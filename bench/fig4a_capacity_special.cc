@@ -1,0 +1,20 @@
+// Fig. 4(a): special case — cache hit ratio vs edge-server capacity
+// Q ∈ {0.5, 0.75, 1.0, 1.25, 1.5} GB, with M = 10 and I = 30.
+// Expected shape: monotone in Q; Spec >= Gen >= Independent.
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const double q_gb : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kSpecialCase);
+    config.capacity_bytes = support::gigabytes(q_gb);
+    points.push_back({support::Table::cell(q_gb, 2), config});
+  }
+  benchsweep::run_sweep(
+      "fig4a_capacity_special",
+      "Special case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 4a)",
+      "Q_GB", points,
+      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fig. 4(b): special case — cache hit ratio vs number of edge servers
+// M ∈ {6, 8, 10, 12, 14}, with Q = 1 GB and I = 30.
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const std::size_t servers : {6u, 8u, 10u, 12u, 14u}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kSpecialCase);
+    config.num_servers = servers;
+    points.push_back({support::Table::cell(servers), config});
+  }
+  benchsweep::run_sweep(
+      "fig4b_servers_special",
+      "Special case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
+      "(paper Fig. 4b)",
+      "M", points,
+      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

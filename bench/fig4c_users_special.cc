@@ -1,0 +1,21 @@
+// Fig. 4(c): special case — cache hit ratio vs number of users
+// K ∈ {10, 20, 30, 40, 50}, with Q = 1 GB and M = 10.
+// Expected shape: decreasing in K (bandwidth dilution), TrimCaching on top.
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const std::size_t users : {10u, 20u, 30u, 40u, 50u}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kSpecialCase);
+    config.num_users = users;
+    points.push_back({support::Table::cell(users), config});
+  }
+  benchsweep::run_sweep(
+      "fig4c_users_special",
+      "Special case: cache hit ratio vs number of users K; Q=1GB, M=10 "
+      "(paper Fig. 4c)",
+      "K", points,
+      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Fig. 5(a): general case — cache hit ratio vs capacity Q; M = 10, I = 30.
+// Spec is exponential here (§VI), so only Gen vs Independent (as the paper).
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const double q_gb : {0.5, 0.75, 1.0, 1.25, 1.5}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kGeneralCase);
+    config.capacity_bytes = support::gigabytes(q_gb);
+    points.push_back({support::Table::cell(q_gb, 2), config});
+  }
+  benchsweep::run_sweep(
+      "fig5a_capacity_general",
+      "General case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 5a)",
+      "Q_GB", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

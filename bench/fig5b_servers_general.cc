@@ -1,0 +1,19 @@
+// Fig. 5(b): general case — cache hit ratio vs number of edge servers M;
+// Q = 1 GB, I = 30.
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const std::size_t servers : {6u, 8u, 10u, 12u, 14u}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kGeneralCase);
+    config.num_servers = servers;
+    points.push_back({support::Table::cell(servers), config});
+  }
+  benchsweep::run_sweep(
+      "fig5b_servers_general",
+      "General case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
+      "(paper Fig. 5b)",
+      "M", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

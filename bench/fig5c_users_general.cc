@@ -1,0 +1,19 @@
+// Fig. 5(c): general case — cache hit ratio vs number of users K;
+// Q = 1 GB, M = 10.
+#include "bench/sweep_common.h"
+
+int main() {
+  using namespace trimcaching;
+  std::vector<benchsweep::SweepPoint> points;
+  for (const std::size_t users : {10u, 20u, 30u, 40u, 50u}) {
+    auto config = benchsweep::paper_default(sim::LibraryKind::kGeneralCase);
+    config.num_users = users;
+    points.push_back({support::Table::cell(users), config});
+  }
+  benchsweep::run_sweep(
+      "fig5c_users_general",
+      "General case: cache hit ratio vs number of users K; Q=1GB, M=10 "
+      "(paper Fig. 5c)",
+      "K", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Fig. 6(a): special case at reduced scale — cache hit ratio and average
+// running time of TrimCaching Spec / TrimCaching Gen vs the optimal
+// solution.
+//
+// Paper setup: 400 m x 400 m area, M = 2, K = 6, Q = 0.1 GB, each user
+// requests 9 models, ε = 0 (exact sub-problems). The paper's optimum comes
+// from exhaustive search (complexity exponential in the decision variables)
+// and reports Spec matching it, Gen within ~1.3%, and both 10³-10⁴x faster.
+// We additionally report our branch-and-bound exact solver, which prunes
+// most of the exhaustive tree (an engineering extension over the paper).
+// The library is reduced to I = 12 so the exhaustive space stays enumerable.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "src/core/objective.h"
+#include "src/sim/experiment.h"
+#include "src/sim/monte_carlo.h"
+#include "src/support/table.h"
+
+namespace {
+
+// The paper's baseline is a naive enumeration of all 2^(decision vars)
+// placements. Our exact solver prunes infeasible subtrees, so to compare
+// against the paper's 22,900x/58,000x speedups we project the naive cost:
+// (number of assignments) x (measured cost of evaluating one assignment).
+double projected_naive_seconds(const trimcaching::sim::ScenarioConfig& config,
+                               std::uint64_t seed) {
+  using namespace trimcaching;
+  support::Rng rng(seed);
+  const sim::Scenario scenario = sim::build_scenario(config, rng);
+  const core::PlacementProblem problem = scenario.problem();
+  std::size_t vars = 0;
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (ModelId i = 0; i < problem.num_models(); ++i) {
+      if (!problem.hit_list(m, i).empty()) ++vars;
+    }
+  }
+  // Measure one full objective evaluation on a representative placement.
+  core::PlacementSolution placement(problem.num_servers(), problem.num_models());
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (ModelId i = 0; i < problem.num_models(); i += 2) placement.place(m, i);
+  }
+  const int reps = 2000;
+  const auto start = std::chrono::steady_clock::now();
+  double sink = 0;
+  for (int r = 0; r < reps; ++r) sink += core::expected_hit_ratio(problem, placement);
+  const auto stop = std::chrono::steady_clock::now();
+  (void)sink;
+  const double per_eval = std::chrono::duration<double>(stop - start).count() / reps;
+  return std::pow(2.0, static_cast<double>(vars)) * per_eval;
+}
+
+}  // namespace
+
+int main() {
+  using namespace trimcaching;
+
+  sim::ScenarioConfig config;
+  config.area_side_m = 400.0;
+  config.num_servers = 2;
+  config.num_users = 6;
+  config.capacity_bytes = support::megabytes(100);
+  config.library_kind = sim::LibraryKind::kSpecialCase;
+  config.library_size = 12;
+  config.special.models_per_family = 4;
+  config.requests.models_per_user = 9;
+
+  sim::MonteCarloConfig mc = sim::default_mc_config();
+  mc.topologies = sim::full_scale_requested() ? 30 : 6;
+  // The paper's ε = 0 means exact per-server sub-problems; the near-exact
+  // weight-indexed DP realizes that without the profit blow-up of a
+  // vanishing rounding step.
+  mc.spec.solver.mode = core::DpMode::kWeightQuantized;
+  mc.spec.solver.weight_states = 65536;
+  mc.exact.max_decision_vars = 40;
+
+  // Pass 1: exhaustive enumeration (the paper's optimal baseline).
+  sim::MonteCarloConfig mc_exhaustive = mc;
+  mc_exhaustive.exact.branch_and_bound = false;
+  const auto exhaustive =
+      sim::run_comparison(config, {sim::Algorithm::kOptimal}, mc_exhaustive);
+  // Pass 2: branch-and-bound and the two TrimCaching algorithms.
+  const auto stats = sim::run_comparison(
+      config,
+      {sim::Algorithm::kOptimal, sim::Algorithm::kSpec, sim::Algorithm::kGen}, mc);
+
+  const double naive_runtime = projected_naive_seconds(config, mc.seed);
+  support::Table table(
+      {"algorithm", "hit_ratio", "std", "runtime_s", "speedup_vs_naive"});
+  auto add = [&](const std::string& name, double hit, double stddev, double runtime) {
+    table.add_row({name, support::Table::cell(hit, 4),
+                   support::Table::cell(stddev, 4),
+                   support::Table::cell(runtime, 6),
+                   support::Table::cell(naive_runtime / std::max(1e-9, runtime), 1)});
+  };
+  add("Naive enumeration (projected)", stats[0].fading_hit_ratio.mean,
+      stats[0].fading_hit_ratio.stddev, naive_runtime);
+  add("Exhaustive DFS (feasibility-pruned)", exhaustive[0].fading_hit_ratio.mean,
+      exhaustive[0].fading_hit_ratio.stddev, exhaustive[0].runtime_seconds.mean);
+  add("Optimal (B&B, ours)", stats[0].fading_hit_ratio.mean,
+      stats[0].fading_hit_ratio.stddev, stats[0].runtime_seconds.mean);
+  add(sim::to_string(sim::Algorithm::kSpec), stats[1].fading_hit_ratio.mean,
+      stats[1].fading_hit_ratio.stddev, stats[1].runtime_seconds.mean);
+  add(sim::to_string(sim::Algorithm::kGen), stats[2].fading_hit_ratio.mean,
+      stats[2].fading_hit_ratio.stddev, stats[2].runtime_seconds.mean);
+  sim::emit_experiment(
+      "fig6a_optimality",
+      "Reduced-scale special case: Spec/Gen vs optimal (paper Fig. 6a; 400 m, "
+      "M=2, K=6, Q=0.1 GB, 9 requested models per user, eps=0)",
+      table);
+
+  std::cout << "optimality gaps (expected-ratio): Spec "
+            << (stats[0].expected_hit_ratio.mean - stats[1].expected_hit_ratio.mean)
+            << ", Gen "
+            << (stats[0].expected_hit_ratio.mean - stats[2].expected_hit_ratio.mean)
+            << " (paper: 0 and ~1.3%)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared driver for the Fig. 4 / Fig. 5 parameter sweeps: run each scenario
+// point through the Monte-Carlo comparison and emit one row per point with
+// mean ± stddev hit ratios (fading-evaluated, as in the paper) per algorithm.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+#include "src/sim/monte_carlo.h"
+#include "src/support/table.h"
+
+namespace trimcaching::benchsweep {
+
+struct SweepPoint {
+  std::string label;
+  sim::ScenarioConfig config;
+};
+
+/// Monte-Carlo budget for the figure sweeps. At paper scale (300-model
+/// library) the successive greedy uses the exact weight-quantized DP for its
+/// sub-problems: the profit-rounding DP of Algorithm 2 is only needed for
+/// its theoretical guarantee and is exercised at full fidelity by
+/// fig6a_optimality, ablation_epsilon and the unit tests; the weight DP
+/// solves the same sub-problems (>= as well) orders of magnitude faster.
+inline sim::MonteCarloConfig sweep_mc_config() {
+  sim::MonteCarloConfig mc = sim::default_mc_config();
+  mc.spec.solver.mode = core::DpMode::kWeightQuantized;
+  mc.spec.solver.weight_states = 2048;
+  return mc;
+}
+
+inline void run_sweep(const std::string& name, const std::string& description,
+                      const std::string& x_label,
+                      const std::vector<SweepPoint>& points,
+                      const std::vector<sim::Algorithm>& algorithms,
+                      const sim::MonteCarloConfig& mc = sweep_mc_config()) {
+  std::vector<std::string> header = {x_label};
+  for (const auto algorithm : algorithms) {
+    header.push_back(sim::to_string(algorithm) + " mean");
+    header.push_back("std");
+  }
+  support::Table table(header);
+  for (const auto& point : points) {
+    std::vector<std::string> row = {point.label};
+    const auto stats = sim::run_comparison(point.config, algorithms, mc);
+    for (const auto& s : stats) {
+      row.push_back(support::Table::cell(s.fading_hit_ratio.mean, 4));
+      row.push_back(support::Table::cell(s.fading_hit_ratio.stddev, 4));
+    }
+    table.add_row(std::move(row));
+    std::cout << "[" << name << "] " << x_label << "=" << point.label << " done\n";
+  }
+  sim::emit_experiment(name, description, table);
+}
+
+/// The paper's default scenario for Figs. 4-5 (§VII-A): 1 km², 275 m
+/// coverage, Q = 1 GB, M = 10, K = 20; the full 300-model library with each
+/// user requesting I = 30 models (Zipf). Only a slice of the catalogue fits
+/// on a server, which is what makes placement — and block dedup — matter.
+inline sim::ScenarioConfig paper_default(sim::LibraryKind kind) {
+  sim::ScenarioConfig config;
+  config.num_servers = 10;
+  config.num_users = 20;
+  config.capacity_bytes = support::gigabytes(1.0);
+  config.library_kind = kind;
+  config.library_size = 0;                 // full 300-model library
+  config.special.models_per_family = 100;  // 3 x 100
+  config.requests.models_per_user = 30;    // the captions' I = 30
+  return config;
+}
+
+}  // namespace trimcaching::benchsweep

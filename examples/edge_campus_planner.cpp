@@ -1,0 +1,69 @@
+// Campus model-cache planner: the workload the paper's intro motivates.
+//
+// A campus operator runs 8 small cells and must provision a catalogue of
+// CNN vision services (all fine-tuned from shared ResNet backbones) so that
+// autonomous robots and AR clients can pull models within their deadlines.
+// The example compares all three placement policies on the same snapshot,
+// shows the storage-dedup advantage, and prints the winning plan per cell.
+#include <iomanip>
+#include <iostream>
+
+#include "src/core/independent_caching.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "src/sim/evaluator.h"
+#include "src/sim/scenario.h"
+
+int main() {
+  using namespace trimcaching;
+
+  sim::ScenarioConfig config;
+  config.area_side_m = 800.0;          // campus footprint
+  config.num_servers = 8;              // small cells
+  config.num_users = 24;               // robots + AR headsets
+  config.capacity_bytes = support::megabytes(600);
+  config.library_size = 24;            // catalogue offered this semester
+  config.special.models_per_family = 100;
+  config.requests.zipf_exponent = 1.0; // a few very hot services
+
+  support::Rng rng(7);
+  const sim::Scenario scenario = sim::build_scenario(config, rng);
+  const core::PlacementProblem problem = scenario.problem();
+  const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                 scenario.requests);
+
+  const auto spec = core::trimcaching_spec(problem);
+  const auto gen = core::trimcaching_gen(problem);
+  const auto indep = core::independent_caching(problem);
+
+  std::cout << std::fixed << std::setprecision(4);
+  std::cout << "policy comparison (expected hit ratio / fading hit ratio):\n";
+  const struct {
+    const char* name;
+    const core::PlacementSolution* placement;
+  } rows[] = {{"TrimCaching Spec ", &spec.placement},
+              {"TrimCaching Gen  ", &gen.placement},
+              {"Independent      ", &indep.placement}};
+  for (const auto& row : rows) {
+    support::Rng fading_rng(17);
+    std::cout << "  " << row.name << " "
+              << evaluator.expected_hit_ratio(*row.placement) << "  /  "
+              << evaluator.fading_hit_ratio(*row.placement, 300, fading_rng).mean
+              << "\n";
+  }
+
+  std::cout << "\nwinning plan (TrimCaching Spec), per cell:\n";
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    const auto& models = spec.placement.models_on(m);
+    const auto dedup = scenario.library.dedup_size(models);
+    const auto naive = scenario.library.naive_size(models);
+    std::cout << "  cell " << m << ": " << models.size() << " models in "
+              << support::as_megabytes(dedup) << " MB (would be "
+              << support::as_megabytes(naive) << " MB without sharing)\n";
+    for (const ModelId i : models) {
+      std::cout << "      - " << scenario.library.model(i).name << " ("
+                << support::as_megabytes(scenario.library.model_size(i)) << " MB)\n";
+    }
+  }
+  return 0;
+}

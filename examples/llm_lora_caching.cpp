@@ -1,0 +1,57 @@
+// LoRA-adapter caching for on-device LLMs — the PEFT regime the paper's
+// introduction highlights (>99% of parameters frozen).
+//
+// Two foundation models serve 40 personalized fine-tunes. With block
+// deduplication an edge server stores each foundation once plus the tiny
+// adapters, so a cache sized for ~2 full checkpoints can serve the whole
+// catalogue; independent caching fits only a couple of models.
+#include <iostream>
+
+#include "src/core/independent_caching.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/sim/evaluator.h"
+#include "src/sim/scenario.h"
+
+int main() {
+  using namespace trimcaching;
+
+  sim::ScenarioConfig config;
+  config.num_servers = 5;
+  config.num_users = 15;
+  config.library_kind = sim::LibraryKind::kLora;
+  config.library_size = 0;  // keep all adapters
+  config.lora.num_foundations = 2;
+  config.lora.adapters_per_foundation = 20;
+  config.lora.foundation_bytes = support::gigabytes(1.3);  // 3.25B params, int4-ish
+  config.lora.adapter_fraction = 0.005;
+  config.capacity_bytes = support::gigabytes(3.0);
+  // LLM checkpoints take seconds to push even at edge rates.
+  config.requests.deadline_min_s = 6.0;
+  config.requests.deadline_max_s = 12.0;
+
+  support::Rng rng(41);
+  const sim::Scenario scenario = sim::build_scenario(config, rng);
+  const auto stats = scenario.library.stats();
+  std::cout << "catalogue: " << stats.num_models << " fine-tuned LLMs, "
+            << support::as_gigabytes(stats.naive_total) << " GB naive vs "
+            << support::as_gigabytes(stats.dedup_total)
+            << " GB deduplicated (sharing ratio " << stats.sharing_ratio << ")\n";
+
+  const core::PlacementProblem problem = scenario.problem();
+  const auto gen = core::trimcaching_gen(problem);
+  const auto indep = core::independent_caching(problem);
+
+  std::cout << "TrimCaching Gen hit ratio:    " << gen.hit_ratio << "\n"
+            << "Independent caching hit ratio: " << indep.hit_ratio << "\n";
+
+  std::size_t gen_models = 0, indep_models = 0;
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    gen_models += gen.placement.models_on(m).size();
+    indep_models += indep.placement.models_on(m).size();
+  }
+  std::cout << "models cached across the edge: " << gen_models
+            << " (TrimCaching) vs " << indep_models << " (independent)\n"
+            << "-> one foundation block amortizes across every adapter placed on "
+               "the same server.\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Additional placement baselines from the edge-caching literature, used to
+// widen the comparisons beyond the paper's Independent Caching:
+//
+//  * Top-popularity: every server caches the globally most-requested models
+//    that fit (dedup-aware), ignoring topology — the classic "cache the
+//    head of the Zipf curve everywhere" policy.
+//  * Random: uniformly random feasible placement — the sanity floor.
+#pragma once
+
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+#include "src/support/rng.h"
+
+namespace trimcaching::core {
+
+struct BaselineResult {
+  PlacementSolution placement;
+  double hit_ratio = 0.0;
+};
+
+/// Ranks models by total request mass Σ_k p_{k,i} and fills every server
+/// with the highest-ranked models that still fit under g_m.
+[[nodiscard]] BaselineResult top_popularity_caching(const PlacementProblem& problem);
+
+/// Fills each server with models drawn uniformly at random (without
+/// replacement) until nothing more fits.
+[[nodiscard]] BaselineResult random_placement(const PlacementProblem& problem,
+                                              support::Rng& rng);
+
+}  // namespace trimcaching::core

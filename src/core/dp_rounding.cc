@@ -1,0 +1,516 @@
+#include "src/core/dp_rounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/bitset.h"
+
+namespace trimcaching::core {
+
+namespace {
+
+using model::ModelLibrary;
+using support::Bytes;
+using support::DynamicBitset;
+
+constexpr Bytes kInfWeight = std::numeric_limits<Bytes>::max();
+
+struct Candidate {
+  ModelId id = 0;
+  double utility = 0.0;
+  Bytes specific_size = 0;       ///< D_N(i) (Eq. 13): size outside shared blocks
+  std::uint64_t rounded = 0;     ///< u̇ (profit mode)
+  std::size_t quantized = 0;     ///< quantized specific size (weight mode)
+};
+
+// ---------------------------------------------------------------------------
+// Inner 0/1 knapsacks with traceback (used to reconstruct the winning leaf).
+// ---------------------------------------------------------------------------
+
+struct KnapsackPick {
+  std::vector<std::size_t> chosen;  ///< indices into the item vector
+  double utility_sum = 0.0;
+};
+
+/// Profit-indexed min-weight DP (the paper's Eq. 16) with traceback.
+KnapsackPick knapsack_profit(const std::vector<Candidate>& items, Bytes budget) {
+  std::uint64_t max_profit = 0;
+  for (const auto& it : items) max_profit += it.rounded;
+  std::vector<Bytes> weight(max_profit + 1, kInfWeight);
+  weight[0] = 0;
+  std::vector<std::vector<char>> keep(items.size(),
+                                      std::vector<char>(max_profit + 1, 0));
+  std::uint64_t reach = 0;
+  for (std::size_t e = 0; e < items.size(); ++e) {
+    const auto& it = items[e];
+    reach += it.rounded;
+    if (it.rounded == 0) continue;
+    for (std::uint64_t w = reach; w >= it.rounded; --w) {
+      const Bytes base = weight[w - it.rounded];
+      if (base == kInfWeight) continue;
+      const Bytes candidate_weight = base + it.specific_size;
+      if (candidate_weight < weight[w]) {
+        weight[w] = candidate_weight;
+        keep[e][w] = 1;
+      }
+      if (w == it.rounded) break;  // unsigned loop guard
+    }
+  }
+  std::uint64_t best = 0;
+  for (std::uint64_t w = max_profit;; --w) {
+    if (weight[w] <= budget) {
+      best = w;
+      break;
+    }
+    if (w == 0) break;
+  }
+  KnapsackPick pick;
+  std::uint64_t w = best;
+  for (std::size_t e = items.size(); e-- > 0;) {
+    if (w >= items[e].rounded && items[e].rounded > 0 && keep[e][w]) {
+      pick.chosen.push_back(e);
+      pick.utility_sum += items[e].utility;
+      w -= items[e].rounded;
+    }
+  }
+  std::reverse(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+/// Weight-indexed max-profit DP with traceback.
+KnapsackPick knapsack_weight(const std::vector<Candidate>& items,
+                             std::size_t budget_states) {
+  std::vector<double> value(budget_states + 1, 0.0);
+  std::vector<std::vector<char>> keep(items.size(),
+                                      std::vector<char>(budget_states + 1, 0));
+  for (std::size_t e = 0; e < items.size(); ++e) {
+    const std::size_t wq = items[e].quantized;
+    if (wq > budget_states) continue;
+    for (std::size_t w = budget_states; w >= wq; --w) {
+      const double candidate_value = value[w - wq] + items[e].utility;
+      if (candidate_value > value[w]) {
+        value[w] = candidate_value;
+        keep[e][w] = 1;
+      }
+      if (w == wq) break;
+    }
+  }
+  KnapsackPick pick;
+  std::size_t w = budget_states;
+  for (std::size_t e = items.size(); e-- > 0;) {
+    if (keep[e][w]) {
+      pick.chosen.push_back(e);
+      pick.utility_sum += items[e].utility;
+      w -= items[e].quantized;
+    }
+  }
+  std::reverse(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental (no-traceback) DP state used during combination traversal.
+// ---------------------------------------------------------------------------
+
+/// Profit-indexed: state[w] = min weight to reach rounded profit exactly w.
+struct ProfitDp {
+  std::vector<Bytes> weight{0};  // weight[0] = 0
+  std::uint64_t reach = 0;
+
+  void add(const Candidate& it, std::size_t max_profit_states) {
+    if (it.rounded == 0) return;
+    reach += it.rounded;
+    if (reach + 1 > max_profit_states) {
+      throw std::runtime_error("ProfitDp: profit state space exceeds configured limit");
+    }
+    weight.resize(reach + 1, kInfWeight);
+    for (std::uint64_t w = reach; w >= it.rounded; --w) {
+      const Bytes base = weight[w - it.rounded];
+      if (base != kInfWeight) {
+        weight[w] = std::min(weight[w], base + it.specific_size);
+      }
+      if (w == it.rounded) break;
+    }
+  }
+
+  /// Largest rounded profit achievable within `budget`.
+  [[nodiscard]] std::uint64_t query(Bytes budget) const {
+    for (std::uint64_t w = reach;; --w) {
+      if (weight[w] <= budget) return w;
+      if (w == 0) return 0;
+    }
+  }
+};
+
+/// Weight-indexed: state[w] = max utility with quantized weight ≤ w.
+struct WeightDp {
+  std::vector<double> value;
+
+  explicit WeightDp(std::size_t states) : value(states + 1, 0.0) {}
+
+  void add(const Candidate& it) {
+    const std::size_t wq = it.quantized;
+    if (wq >= value.size()) return;  // never fits
+    for (std::size_t w = value.size() - 1; w >= wq; --w) {
+      value[w] = std::max(value[w], value[w - wq] + it.utility);
+      if (w == wq) break;
+    }
+  }
+
+  [[nodiscard]] double query(std::size_t budget_state) const {
+    return value[std::min(budget_state, value.size() - 1)];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sharing-group decomposition of the candidate set.
+// ---------------------------------------------------------------------------
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+/// One sharing group whose distinct shared parts form an inclusion chain.
+/// Level t (1-based) corresponds to the t-th smallest part; cum_size[t] is
+/// d_N of that part; models_at_level[t] are candidates whose part equals it.
+struct Chain {
+  std::vector<Bytes> cum_size;                       // index 0 unused (=0)
+  std::vector<std::vector<std::size_t>> at_level;    // candidate indices
+};
+
+struct Decomposition {
+  bool is_chain = true;
+  std::vector<std::size_t> base;  ///< candidates with empty shared part
+  std::vector<Chain> chains;
+  // Fallback data (non-chain): distinct parts and the closure.
+  std::vector<DynamicBitset> closure;
+};
+
+Decomposition decompose(const ModelLibrary& library,
+                        const std::vector<Candidate>& candidates,
+                        std::size_t max_combinations) {
+  Decomposition out;
+  const std::size_t beta = library.shared_blocks().size();
+  UnionFind uf(beta);
+  for (const auto& cand : candidates) {
+    const DynamicBitset& part = library.shared_part(cand.id);
+    std::size_t first = beta;
+    part.for_each([&](std::size_t t) {
+      if (first == beta) {
+        first = t;
+      } else {
+        uf.unite(first, t);
+      }
+    });
+  }
+  // Group candidates by component (or base if no shared blocks).
+  std::unordered_map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const DynamicBitset& part = library.shared_part(candidates[c].id);
+    std::size_t first = beta;
+    part.for_each([&](std::size_t t) {
+      if (first == beta) first = t;
+    });
+    if (first == beta) {
+      out.base.push_back(c);
+    } else {
+      groups[uf.find(first)].push_back(c);
+    }
+  }
+  // Per group: distinct parts, chain check.
+  for (auto& [root, members] : groups) {
+    (void)root;
+    std::unordered_map<DynamicBitset, std::vector<std::size_t>,
+                       support::DynamicBitsetHash>
+        by_part;
+    for (const std::size_t c : members) {
+      by_part[library.shared_part(candidates[c].id)].push_back(c);
+    }
+    std::vector<const DynamicBitset*> parts;
+    parts.reserve(by_part.size());
+    for (const auto& [part, cs] : by_part) {
+      (void)cs;
+      parts.push_back(&part);
+    }
+    std::sort(parts.begin(), parts.end(),
+              [](const DynamicBitset* a, const DynamicBitset* b) {
+                return a->count() < b->count();
+              });
+    bool chain_ok = true;
+    for (std::size_t t = 1; t < parts.size(); ++t) {
+      if (!parts[t - 1]->is_subset_of(*parts[t])) {
+        chain_ok = false;
+        break;
+      }
+    }
+    if (!chain_ok) {
+      out.is_chain = false;
+      break;
+    }
+    Chain chain;
+    chain.cum_size.push_back(0);
+    chain.at_level.emplace_back();  // level 0: empty
+    for (const DynamicBitset* part : parts) {
+      chain.cum_size.push_back(library.combination_size(*part));
+      chain.at_level.push_back(by_part[*part]);
+    }
+    out.chains.push_back(std::move(chain));
+  }
+
+  if (out.is_chain) {
+    // Leaf-count guard: ∏ (levels per chain).
+    double leaves = 1.0;
+    for (const auto& chain : out.chains) {
+      leaves *= static_cast<double>(chain.cum_size.size());
+      if (leaves > static_cast<double>(max_combinations)) {
+        throw std::runtime_error(
+            "solve_server_subproblem: combination space exceeds max_combinations "
+            "(general-case blow-up; use trimcaching_gen)");
+      }
+    }
+    return out;
+  }
+
+  // Generic fallback: union-closure of the candidates' distinct parts.
+  out.chains.clear();
+  std::unordered_set<DynamicBitset, support::DynamicBitsetHash> distinct;
+  for (const auto& cand : candidates) {
+    const DynamicBitset& part = library.shared_part(cand.id);
+    if (part.any()) distinct.insert(part);
+  }
+  std::unordered_set<DynamicBitset, support::DynamicBitsetHash> closure;
+  std::vector<DynamicBitset> order;
+  DynamicBitset empty(beta);
+  closure.insert(empty);
+  order.push_back(std::move(empty));
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const DynamicBitset current = order[head];
+    for (const auto& g : distinct) {
+      DynamicBitset next = current;
+      next |= g;
+      if (closure.insert(next).second) {
+        if (closure.size() > max_combinations) {
+          throw std::runtime_error(
+              "solve_server_subproblem: closure exceeds max_combinations "
+              "(general-case blow-up; use trimcaching_gen)");
+        }
+        order.push_back(std::move(next));
+      }
+    }
+  }
+  out.closure = std::move(order);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Chain traversal with incremental DP.
+// ---------------------------------------------------------------------------
+
+struct BestLeaf {
+  bool valid = false;
+  double score = 0.0;             // comparable across leaves (mode-specific)
+  std::vector<std::size_t> levels;
+  Bytes shared_size = 0;
+};
+
+template <typename Dp, typename AddFn, typename QueryFn>
+void traverse(const std::vector<Chain>& chains, std::size_t f, const Dp& dp,
+              Bytes used_shared, Bytes capacity, std::vector<std::size_t>& levels,
+              std::size_t& visited, BestLeaf& best, const AddFn& add,
+              const QueryFn& query) {
+  if (f == chains.size()) {
+    ++visited;
+    const double score = query(dp, capacity - used_shared);
+    if (!best.valid || score > best.score) {
+      best.valid = true;
+      best.score = score;
+      best.levels = levels;
+      best.shared_size = used_shared;
+    }
+    return;
+  }
+  const Chain& chain = chains[f];
+  levels[f] = 0;
+  traverse(chains, f + 1, dp, used_shared, capacity, levels, visited, best, add, query);
+  Dp local = dp;
+  for (std::size_t t = 1; t < chain.cum_size.size(); ++t) {
+    if (used_shared + chain.cum_size[t] > capacity) break;  // cum sizes increase
+    for (const std::size_t c : chain.at_level[t]) add(local, c);
+    levels[f] = t;
+    traverse(chains, f + 1, local, used_shared + chain.cum_size[t], capacity, levels,
+             visited, best, add, query);
+  }
+  levels[f] = 0;
+}
+
+}  // namespace
+
+ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
+                                               const std::vector<double>& utilities,
+                                               Bytes capacity,
+                                               const SpecSolverConfig& config) {
+  if (!library.finalized()) {
+    throw std::invalid_argument("solve_server_subproblem: library must be finalized");
+  }
+  if (utilities.size() != library.num_models()) {
+    throw std::invalid_argument("solve_server_subproblem: utilities size mismatch");
+  }
+  if (config.epsilon < 0.0 || config.epsilon > 1.0) {
+    throw std::invalid_argument("solve_server_subproblem: epsilon must be in [0, 1]");
+  }
+  if (config.mode == DpMode::kWeightQuantized && config.weight_states == 0) {
+    throw std::invalid_argument("solve_server_subproblem: weight_states must be > 0");
+  }
+
+  ServerSubproblemResult result;
+
+  // Candidate set: only models with positive utility can improve the
+  // objective; everything else would waste capacity.
+  std::vector<Candidate> candidates;
+  double min_utility = std::numeric_limits<double>::infinity();
+  for (ModelId i = 0; i < library.num_models(); ++i) {
+    const double u = utilities[i];
+    if (u < 0.0) {
+      throw std::invalid_argument("solve_server_subproblem: negative utility");
+    }
+    if (u <= 0.0) continue;
+    Candidate cand;
+    cand.id = i;
+    cand.utility = u;
+    cand.specific_size = library.specific_size(i);
+    candidates.push_back(cand);
+    min_utility = std::min(min_utility, u);
+  }
+  if (candidates.empty()) return result;
+
+  // Rounding / quantization. The paper's "ε = 0" means exact profits; we
+  // realize it as a very fine rounding (Proposition 4's loss becomes
+  // negligible at 1e-5).
+  const double eps = config.epsilon == 0.0 ? 1e-5 : config.epsilon;
+  const Bytes quantum =
+      std::max<Bytes>(1, (capacity + config.weight_states - 1) / config.weight_states);
+  for (auto& cand : candidates) {
+    cand.rounded =
+        static_cast<std::uint64_t>(std::floor(cand.utility / (eps * min_utility)));
+    cand.quantized = static_cast<std::size_t>((cand.specific_size + quantum - 1) / quantum);
+  }
+  if (config.mode == DpMode::kProfitRounding) {
+    std::uint64_t total = 0;
+    for (const auto& cand : candidates) total += cand.rounded;
+    if (total + 1 > config.max_profit_states) {
+      throw std::runtime_error(
+          "solve_server_subproblem: profit state space exceeds max_profit_states; "
+          "increase epsilon or use kWeightQuantized");
+    }
+  }
+
+  Decomposition decomposition = decompose(library, candidates, config.max_combinations);
+
+  BestLeaf best;
+  std::size_t visited = 0;
+  std::vector<std::size_t> best_member_set;  // candidate indices of winning leaf
+
+  auto collect_members = [&](const std::vector<std::size_t>& levels) {
+    std::vector<std::size_t> members = decomposition.base;
+    for (std::size_t f = 0; f < decomposition.chains.size(); ++f) {
+      const Chain& chain = decomposition.chains[f];
+      for (std::size_t t = 1; t <= levels[f]; ++t) {
+        members.insert(members.end(), chain.at_level[t].begin(),
+                       chain.at_level[t].end());
+      }
+    }
+    return members;
+  };
+
+  if (decomposition.closure.empty()) {
+    // Chain path: incremental DP along each chain.
+    result.used_chain_path = true;
+    std::vector<std::size_t> levels(decomposition.chains.size(), 0);
+    if (config.mode == DpMode::kProfitRounding) {
+      ProfitDp dp;
+      for (const std::size_t c : decomposition.base) {
+        dp.add(candidates[c], config.max_profit_states);
+      }
+      traverse(
+          decomposition.chains, 0, dp, Bytes{0}, capacity, levels, visited, best,
+          [&](ProfitDp& d, std::size_t c) { d.add(candidates[c], config.max_profit_states); },
+          [](const ProfitDp& d, Bytes budget) {
+            return static_cast<double>(d.query(budget));
+          });
+    } else {
+      WeightDp dp(config.weight_states);
+      for (const std::size_t c : decomposition.base) dp.add(candidates[c]);
+      traverse(
+          decomposition.chains, 0, dp, Bytes{0}, capacity, levels, visited, best,
+          [&](WeightDp& d, std::size_t c) { d.add(candidates[c]); },
+          [&](const WeightDp& d, Bytes budget) {
+            return d.query(static_cast<std::size_t>(budget / quantum));
+          });
+    }
+    if (best.valid) best_member_set = collect_members(best.levels);
+  } else {
+    // Generic fallback: per-combination knapsack from scratch.
+    for (const DynamicBitset& combo : decomposition.closure) {
+      const Bytes shared_size = library.combination_size(combo);
+      if (shared_size > capacity) continue;
+      ++visited;
+      std::vector<std::size_t> members = decomposition.base;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const DynamicBitset& part = library.shared_part(candidates[c].id);
+        if (part.any() && part.is_subset_of(combo)) members.push_back(c);
+      }
+      std::vector<Candidate> items;
+      items.reserve(members.size());
+      for (const std::size_t c : members) items.push_back(candidates[c]);
+      const Bytes budget = capacity - shared_size;
+      double score = 0.0;
+      if (config.mode == DpMode::kProfitRounding) {
+        ProfitDp dp;
+        for (const auto& it : items) dp.add(it, config.max_profit_states);
+        score = static_cast<double>(dp.query(budget));
+      } else {
+        WeightDp dp(config.weight_states);
+        for (const auto& it : items) dp.add(it);
+        score = dp.query(static_cast<std::size_t>(budget / quantum));
+      }
+      if (!best.valid || score > best.score) {
+        best.valid = true;
+        best.score = score;
+        best.shared_size = shared_size;
+        best_member_set = std::move(members);
+      }
+    }
+  }
+
+  result.combinations_visited = visited;
+  if (!best.valid || best.score <= 0.0) return result;
+
+  // Reconstruct the winning leaf's knapsack with traceback.
+  std::vector<Candidate> items;
+  items.reserve(best_member_set.size());
+  for (const std::size_t c : best_member_set) items.push_back(candidates[c]);
+  const Bytes budget = capacity - best.shared_size;
+  const KnapsackPick pick =
+      config.mode == DpMode::kProfitRounding
+          ? knapsack_profit(items, budget)
+          : knapsack_weight(items, static_cast<std::size_t>(budget / quantum));
+  result.value = pick.utility_sum;
+  result.models.reserve(pick.chosen.size());
+  for (const std::size_t e : pick.chosen) result.models.push_back(items[e].id);
+  std::sort(result.models.begin(), result.models.end());
+  return result;
+}
+
+}  // namespace trimcaching::core

@@ -1,0 +1,32 @@
+// Exact solver for P1.1 at reduced scale (the "optimal solution" of Fig. 6a).
+//
+// Branch-and-bound over the placement variables x_{m,i}, restricted to pairs
+// that can serve at least one request (all others are useless). The bound at
+// a node is the current hit mass plus the mass of all still-uncovered
+// requests that some undecided server could serve — a valid optimistic
+// completion because the objective is monotone. With the bound disabled the
+// search degenerates to exhaustive enumeration (used to validate the B&B).
+#pragma once
+
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+
+namespace trimcaching::core {
+
+struct ExactConfig {
+  bool branch_and_bound = true;
+  /// Refuse instances with more decision variables than this (the search is
+  /// exponential; Fig. 6a uses ~2 servers x ~12 models).
+  std::size_t max_decision_vars = 40;
+};
+
+struct ExactResult {
+  PlacementSolution placement;
+  double hit_ratio = 0.0;
+  std::size_t nodes_visited = 0;
+};
+
+[[nodiscard]] ExactResult exact_optimal(const PlacementProblem& problem,
+                                        const ExactConfig& config = {});
+
+}  // namespace trimcaching::core

@@ -1,0 +1,158 @@
+#include "src/core/local_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+namespace {
+
+/// Per-server block reference counts enabling O(|blocks|) feasibility checks
+/// for add / swap moves (ServerStorage is add-only).
+class ServerBlocks {
+ public:
+  ServerBlocks(const model::ModelLibrary& library, support::Bytes capacity)
+      : library_(&library), capacity_(capacity), use_count_(library.num_blocks(), 0) {}
+
+  void add(ModelId i) {
+    for (const BlockId j : library_->model(i).blocks) {
+      if (use_count_[j]++ == 0) used_ += library_->block(j).size_bytes;
+    }
+  }
+
+  void remove(ModelId i) {
+    for (const BlockId j : library_->model(i).blocks) {
+      if (use_count_[j] <= 0) throw std::logic_error("ServerBlocks::remove underflow");
+      if (--use_count_[j] == 0) used_ -= library_->block(j).size_bytes;
+    }
+  }
+
+  /// Bytes needed to add model `add_id`, optionally pretending `removed_id`
+  /// (== kInvalidId for none) was removed first.
+  [[nodiscard]] support::Bytes needed_bytes(ModelId add_id, ModelId removed_id) const {
+    support::Bytes needed = 0;
+    for (const BlockId j : library_->model(add_id).blocks) {
+      std::int32_t count = use_count_[j];
+      if (removed_id != kInvalidId && contains_block(removed_id, j)) --count;
+      if (count == 0) needed += library_->block(j).size_bytes;
+    }
+    return needed;
+  }
+
+  /// Bytes released by removing model `i` (blocks used only by it).
+  [[nodiscard]] support::Bytes freed_bytes(ModelId i) const {
+    support::Bytes freed = 0;
+    for (const BlockId j : library_->model(i).blocks) {
+      if (use_count_[j] == 1) freed += library_->block(j).size_bytes;
+    }
+    return freed;
+  }
+
+  [[nodiscard]] support::Bytes used() const noexcept { return used_; }
+  [[nodiscard]] support::Bytes capacity() const noexcept { return capacity_; }
+
+ private:
+  [[nodiscard]] bool contains_block(ModelId i, BlockId j) const {
+    const auto& blocks = library_->model(i).blocks;
+    return std::binary_search(blocks.begin(), blocks.end(), j);
+  }
+
+  const model::ModelLibrary* library_;
+  support::Bytes capacity_;
+  support::Bytes used_ = 0;
+  std::vector<std::int32_t> use_count_;
+};
+
+}  // namespace
+
+LocalSearchResult local_search(const PlacementProblem& problem,
+                               const PlacementSolution& initial,
+                               const LocalSearchConfig& config) {
+  if (initial.num_servers() != problem.num_servers() ||
+      initial.num_models() != problem.num_models()) {
+    throw std::invalid_argument("local_search: dimension mismatch");
+  }
+  const std::size_t num_servers = problem.num_servers();
+  const std::size_t num_models = problem.num_models();
+
+  // Mutable working state.
+  std::vector<std::vector<ModelId>> cached(num_servers);
+  std::vector<std::vector<char>> is_cached(num_servers,
+                                           std::vector<char>(num_models, 0));
+  std::vector<ServerBlocks> blocks;
+  blocks.reserve(num_servers);
+  CountedCoverage coverage(problem);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    blocks.emplace_back(problem.library(), problem.capacity(m));
+    for (const ModelId i : initial.models_on(m)) {
+      cached[m].push_back(i);
+      is_cached[m][i] = 1;
+      blocks[m].add(i);
+      coverage.add(m, i);
+    }
+  }
+
+  // Candidate models per server: anything that can serve at least one user.
+  std::vector<std::vector<ModelId>> candidates(num_servers);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    for (ModelId i = 0; i < num_models; ++i) {
+      if (!problem.hit_list(m, i).empty()) candidates[m].push_back(i);
+    }
+  }
+
+  LocalSearchResult result{PlacementSolution(num_servers, num_models), 0.0, 0, 0, 0};
+  bool improved = true;
+  while (improved && result.rounds < config.max_rounds) {
+    ++result.rounds;
+    improved = false;
+    for (ServerId m = 0; m < num_servers; ++m) {
+      // Pure additions (greedy slack).
+      for (const ModelId b : candidates[m]) {
+        if (is_cached[m][b]) continue;
+        if (coverage.marginal_mass(m, b) <= config.min_gain) continue;
+        if (blocks[m].used() + blocks[m].needed_bytes(b, kInvalidId) >
+            blocks[m].capacity()) {
+          continue;
+        }
+        cached[m].push_back(b);
+        is_cached[m][b] = 1;
+        blocks[m].add(b);
+        coverage.add(m, b);
+        ++result.additions;
+        improved = true;
+      }
+      // 1-swaps (first improvement).
+      for (std::size_t slot = 0; slot < cached[m].size(); ++slot) {
+        const ModelId a = cached[m][slot];
+        const double loss = coverage.removal_loss(m, a);
+        for (const ModelId b : candidates[m]) {
+          if (b == a || is_cached[m][b]) continue;
+          const double delta = coverage.marginal_mass(m, b) - loss;
+          if (delta <= config.min_gain) continue;
+          const support::Bytes new_used = blocks[m].used() - blocks[m].freed_bytes(a) +
+                                          blocks[m].needed_bytes(b, a);
+          if (new_used > blocks[m].capacity()) continue;
+          // Apply the swap.
+          coverage.remove(m, a);
+          blocks[m].remove(a);
+          is_cached[m][a] = 0;
+          cached[m][slot] = b;
+          is_cached[m][b] = 1;
+          blocks[m].add(b);
+          coverage.add(m, b);
+          ++result.swaps;
+          improved = true;
+          break;  // slot now holds b; move to the next slot
+        }
+      }
+    }
+  }
+
+  for (ServerId m = 0; m < num_servers; ++m) {
+    for (const ModelId i : cached[m]) result.placement.place(m, i);
+  }
+  result.hit_ratio = coverage.hit_ratio();
+  return result;
+}
+
+}  // namespace trimcaching::core

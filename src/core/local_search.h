@@ -1,0 +1,40 @@
+// Swap-based local search on top of a greedy placement (extension beyond
+// the paper's algorithms).
+//
+// Greedy maximization of a submodular objective under submodular constraints
+// can stop at a local optimum; a standard remedy is 1-swap local search:
+// repeatedly try to replace one cached model on a server with one model not
+// cached there, keeping the move only if it is storage-feasible and strictly
+// increases the hit ratio. Add-only moves are also attempted (greedy can
+// leave slack when a large model blocked a smaller one). Terminates when a
+// full pass yields no improving move or after `max_rounds` passes.
+#pragma once
+
+#include "src/core/objective.h"
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+
+namespace trimcaching::core {
+
+struct LocalSearchConfig {
+  std::size_t max_rounds = 8;
+  /// Minimum un-normalized mass improvement for a move to be kept.
+  double min_gain = 1e-12;
+};
+
+struct LocalSearchResult {
+  PlacementSolution placement;
+  double hit_ratio = 0.0;
+  std::size_t swaps = 0;      ///< accepted remove+add moves
+  std::size_t additions = 0;  ///< accepted pure-add moves
+  std::size_t rounds = 0;     ///< full passes performed
+};
+
+/// Improves `initial` in place-semantics (the input is not modified; the
+/// improved placement is returned). The result is always storage-feasible
+/// and its hit ratio is >= the initial one.
+[[nodiscard]] LocalSearchResult local_search(const PlacementProblem& problem,
+                                             const PlacementSolution& initial,
+                                             const LocalSearchConfig& config = {});
+
+}  // namespace trimcaching::core

@@ -1,0 +1,117 @@
+#include "src/core/objective.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+double expected_hit_ratio(const PlacementProblem& problem,
+                          const PlacementSolution& placement) {
+  if (placement.num_servers() != problem.num_servers() ||
+      placement.num_models() != problem.num_models()) {
+    throw std::invalid_argument("expected_hit_ratio: dimension mismatch");
+  }
+  CoverageState coverage(problem);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (const ModelId i : placement.models_on(m)) coverage.add(m, i);
+  }
+  return coverage.hit_ratio();
+}
+
+CountedCoverage::CountedCoverage(const PlacementProblem& problem)
+    : problem_(&problem),
+      counts_(problem.num_users() * problem.num_models(), 0) {}
+
+void CountedCoverage::add(ServerId m, ModelId i) {
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    auto& count =
+        counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+    if (count++ == 0) hit_mass_ += entry.mass;
+  }
+}
+
+void CountedCoverage::remove(ServerId m, ModelId i) {
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    auto& count =
+        counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+    if (count <= 0) throw std::logic_error("CountedCoverage::remove: not added");
+    if (--count == 0) hit_mass_ -= entry.mass;
+  }
+}
+
+double CountedCoverage::marginal_mass(ServerId m, ModelId i) const {
+  double gain = 0.0;
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    if (counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i] ==
+        0) {
+      gain += entry.mass;
+    }
+  }
+  return gain;
+}
+
+double CountedCoverage::removal_loss(ServerId m, ModelId i) const {
+  double loss = 0.0;
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    if (counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i] ==
+        1) {
+      loss += entry.mass;
+    }
+  }
+  return loss;
+}
+
+bool CountedCoverage::covered(UserId k, ModelId i) const {
+  if (k >= problem_->num_users() || i >= problem_->num_models()) {
+    throw std::out_of_range("CountedCoverage::covered");
+  }
+  return counts_[static_cast<std::size_t>(k) * problem_->num_models() + i] > 0;
+}
+
+double CountedCoverage::hit_ratio() const {
+  const double mass = problem_->total_mass();
+  return mass > 0.0 ? hit_mass_ / mass : 0.0;
+}
+
+CoverageState::CoverageState(const PlacementProblem& problem)
+    : problem_(&problem),
+      covered_(problem.num_users() * problem.num_models(), 0) {}
+
+double CoverageState::marginal_mass(ServerId m, ModelId i) const {
+  double gain = 0.0;
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    if (!covered_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i]) {
+      gain += entry.mass;
+    }
+  }
+  return gain;
+}
+
+double CoverageState::marginal_gain(ServerId m, ModelId i) const {
+  const double mass = problem_->total_mass();
+  return mass > 0.0 ? marginal_mass(m, i) / mass : 0.0;
+}
+
+void CoverageState::add(ServerId m, ModelId i) {
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    char& flag =
+        covered_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+    if (!flag) {
+      flag = 1;
+      hit_mass_ += entry.mass;
+    }
+  }
+}
+
+bool CoverageState::covered(UserId k, ModelId i) const {
+  if (k >= problem_->num_users() || i >= problem_->num_models()) {
+    throw std::out_of_range("CoverageState::covered");
+  }
+  return covered_[static_cast<std::size_t>(k) * problem_->num_models() + i] != 0;
+}
+
+double CoverageState::hit_ratio() const {
+  const double mass = problem_->total_mass();
+  return mass > 0.0 ? hit_mass_ / mass : 0.0;
+}
+
+}  // namespace trimcaching::core

@@ -1,0 +1,76 @@
+// The expected cache-hit-ratio objective U(X) (Eq. 2) and an incremental
+// coverage tracker for greedy marginal-gain computation.
+//
+// U(X) = Σ_{k,i} p_{k,i} · [ ∃m : x_{m,i} = 1 ∧ I1(m,k,i) = 1 ] / Σ_{k,i} p_{k,i}
+//
+// CoverageState maintains the set of already-served (k,i) pairs, so that the
+// marginal gain of a candidate placement x_{m,i} is a single pass over the
+// problem's hit list for (m,i). This is also exactly the paper's I2
+// bookkeeping in the successive greedy decomposition (Eq. 11).
+#pragma once
+
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+
+namespace trimcaching::core {
+
+/// Evaluates U(X) from scratch (Eq. 2).
+[[nodiscard]] double expected_hit_ratio(const PlacementProblem& problem,
+                                        const PlacementSolution& placement);
+
+/// Coverage tracker with *removal* support: per-(k,i) cover counts instead
+/// of booleans. Used by search procedures that backtrack or undo placements
+/// (exact branch-and-bound, local-search swaps). Slightly heavier than
+/// CoverageState, which greedy-only algorithms should prefer.
+class CountedCoverage {
+ public:
+  explicit CountedCoverage(const PlacementProblem& problem);
+
+  /// Registers placement x_{m,i} = 1, incrementing cover counts.
+  void add(ServerId m, ModelId i);
+
+  /// Unregisters a previously-added placement; counts must not go negative.
+  void remove(ServerId m, ModelId i);
+
+  /// Un-normalized marginal hit mass of adding (m, i) now.
+  [[nodiscard]] double marginal_mass(ServerId m, ModelId i) const;
+
+  /// Un-normalized hit mass lost if (m, i) were removed now.
+  [[nodiscard]] double removal_loss(ServerId m, ModelId i) const;
+
+  [[nodiscard]] bool covered(UserId k, ModelId i) const;
+  [[nodiscard]] double hit_mass() const noexcept { return hit_mass_; }
+  [[nodiscard]] double hit_ratio() const;
+
+ private:
+  const PlacementProblem* problem_;
+  std::vector<std::int32_t> counts_;  // dense K x I
+  double hit_mass_ = 0.0;
+};
+
+class CoverageState {
+ public:
+  explicit CoverageState(const PlacementProblem& problem);
+
+  /// Un-normalized marginal hit mass of setting x_{m,i} = 1.
+  [[nodiscard]] double marginal_mass(ServerId m, ModelId i) const;
+
+  /// Marginal gain in hit *ratio* (mass divided by total mass).
+  [[nodiscard]] double marginal_gain(ServerId m, ModelId i) const;
+
+  /// Commits x_{m,i} = 1, marking all its newly-served (k, i) pairs covered.
+  void add(ServerId m, ModelId i);
+
+  /// True if user k's request for model i is already served.
+  [[nodiscard]] bool covered(UserId k, ModelId i) const;
+
+  [[nodiscard]] double hit_mass() const noexcept { return hit_mass_; }
+  [[nodiscard]] double hit_ratio() const;
+
+ private:
+  const PlacementProblem* problem_;
+  std::vector<char> covered_;  // dense K x I
+  double hit_mass_ = 0.0;
+};
+
+}  // namespace trimcaching::core

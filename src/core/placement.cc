@@ -1,0 +1,47 @@
+#include "src/core/placement.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+PlacementSolution::PlacementSolution(std::size_t num_servers, std::size_t num_models)
+    : num_servers_(num_servers),
+      num_models_(num_models),
+      placed_(num_servers * num_models, 0),
+      per_server_(num_servers),
+      per_model_(num_models) {
+  if (num_servers == 0 || num_models == 0) {
+    throw std::invalid_argument("PlacementSolution: empty dimension");
+  }
+}
+
+void PlacementSolution::place(ServerId m, ModelId i) {
+  if (m >= num_servers_ || i >= num_models_) {
+    throw std::out_of_range("PlacementSolution::place");
+  }
+  char& cell = placed_[static_cast<std::size_t>(m) * num_models_ + i];
+  if (cell) return;
+  cell = 1;
+  per_server_[m].push_back(i);
+  per_model_[i].push_back(m);
+  ++count_;
+}
+
+bool PlacementSolution::placed(ServerId m, ModelId i) const {
+  if (m >= num_servers_ || i >= num_models_) {
+    throw std::out_of_range("PlacementSolution::placed");
+  }
+  return placed_[static_cast<std::size_t>(m) * num_models_ + i] != 0;
+}
+
+const std::vector<ModelId>& PlacementSolution::models_on(ServerId m) const {
+  if (m >= num_servers_) throw std::out_of_range("PlacementSolution::models_on");
+  return per_server_[m];
+}
+
+const std::vector<ServerId>& PlacementSolution::holders_of(ModelId i) const {
+  if (i >= num_models_) throw std::out_of_range("PlacementSolution::holders_of");
+  return per_model_[i];
+}
+
+}  // namespace trimcaching::core

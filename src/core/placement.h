@@ -1,0 +1,41 @@
+// Placement decision X = {x_{m,i}} (Eq. 6c): which models sit on which
+// edge server.
+#pragma once
+
+#include <vector>
+
+#include "src/support/ids.h"
+
+namespace trimcaching::core {
+
+class PlacementSolution {
+ public:
+  PlacementSolution(std::size_t num_servers, std::size_t num_models);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
+  [[nodiscard]] std::size_t num_models() const noexcept { return num_models_; }
+
+  /// Sets x_{m,i} = 1. Idempotent.
+  void place(ServerId m, ModelId i);
+
+  [[nodiscard]] bool placed(ServerId m, ModelId i) const;
+
+  /// Models cached on server m, in placement order (no duplicates).
+  [[nodiscard]] const std::vector<ModelId>& models_on(ServerId m) const;
+
+  /// Servers caching model i, in placement order (no duplicates).
+  [[nodiscard]] const std::vector<ServerId>& holders_of(ModelId i) const;
+
+  /// Total number of (m, i) placements (the paper's |X|).
+  [[nodiscard]] std::size_t total_placements() const noexcept { return count_; }
+
+ private:
+  std::size_t num_servers_;
+  std::size_t num_models_;
+  std::vector<char> placed_;                      // dense M x I
+  std::vector<std::vector<ModelId>> per_server_;  // models per server
+  std::vector<std::vector<ServerId>> per_model_;  // holders per model
+  std::size_t count_ = 0;
+};
+
+}  // namespace trimcaching::core

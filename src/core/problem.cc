@@ -1,0 +1,74 @@
+#include "src/core/problem.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+std::size_t PlacementProblem::cell(ServerId m, UserId k, ModelId i) const noexcept {
+  return (static_cast<std::size_t>(m) * num_users_ + k) * num_models_ + i;
+}
+
+PlacementProblem::PlacementProblem(const wireless::NetworkTopology& topology,
+                                   const model::ModelLibrary& library,
+                                   const workload::RequestModel& requests)
+    : topology_(&topology),
+      library_(&library),
+      requests_(&requests),
+      num_servers_(topology.num_servers()),
+      num_users_(topology.num_users()),
+      num_models_(library.num_models()) {
+  if (!library.finalized()) {
+    throw std::invalid_argument("PlacementProblem: library must be finalized");
+  }
+  if (requests.num_users() != num_users_ || requests.num_models() != num_models_) {
+    throw std::invalid_argument("PlacementProblem: request model dimensions mismatch");
+  }
+
+  eligible_.assign(num_servers_ * num_users_ * num_models_, 0);
+  hit_lists_.assign(num_servers_ * num_models_, {});
+  total_mass_ = requests.total_mass();
+
+  std::vector<char> reachable(num_users_ * num_models_, 0);
+  for (ServerId m = 0; m < num_servers_; ++m) {
+    for (UserId k = 0; k < num_users_; ++k) {
+      for (ModelId i = 0; i < num_models_; ++i) {
+        const double p = requests.probability(k, i);
+        const double budget = requests.deadline_s(k, i) - requests.inference_s(k, i);
+        if (budget <= 0) continue;
+        const double t = topology.delivery_seconds(m, k, library.model_size(i));
+        if (t <= budget) {
+          eligible_[cell(m, k, i)] = 1;
+          if (p > 0.0) {
+            hit_lists_[static_cast<std::size_t>(m) * num_models_ + i].push_back(
+                HitEntry{k, p});
+            reachable[static_cast<std::size_t>(k) * num_models_ + i] = 1;
+          }
+        }
+      }
+    }
+  }
+  reachable_mass_ = 0.0;
+  for (UserId k = 0; k < num_users_; ++k) {
+    for (ModelId i = 0; i < num_models_; ++i) {
+      if (reachable[static_cast<std::size_t>(k) * num_models_ + i]) {
+        reachable_mass_ += requests.probability(k, i);
+      }
+    }
+  }
+}
+
+bool PlacementProblem::eligible(ServerId m, UserId k, ModelId i) const {
+  if (m >= num_servers_ || k >= num_users_ || i >= num_models_) {
+    throw std::out_of_range("PlacementProblem::eligible");
+  }
+  return eligible_[cell(m, k, i)] != 0;
+}
+
+std::span<const HitEntry> PlacementProblem::hit_list(ServerId m, ModelId i) const {
+  if (m >= num_servers_ || i >= num_models_) {
+    throw std::out_of_range("PlacementProblem::hit_list");
+  }
+  return hit_lists_[static_cast<std::size_t>(m) * num_models_ + i];
+}
+
+}  // namespace trimcaching::core

@@ -1,0 +1,85 @@
+// The cache-hit-ratio maximization instance P1.1 (Eq. 6).
+//
+// A PlacementProblem snapshots everything the algorithms consume:
+//   * the service-eligibility indicator I1(m,k,i) (Eq. 3) — whether edge
+//     server m can deliver model i to user k within T̄_{k,i}, including the
+//     relayed path through an associated server (Eqs. 4–5), computed from
+//     *average* channel rates (the paper's "snapshot" decision stage);
+//   * per-(m,i) hit lists: the users (with request mass) that placement
+//     x_{m,i} = 1 can newly serve — the data structure behind every
+//     marginal-gain computation;
+//   * the storage side: library block structure and server capacities.
+//
+// The problem borrows (does not own) topology / library / requests; keep
+// them alive for the problem's lifetime (sim::Scenario does).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/model_library.h"
+#include "src/support/ids.h"
+#include "src/support/units.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::core {
+
+struct HitEntry {
+  UserId user = 0;
+  double mass = 0.0;  ///< p_{k,i}
+};
+
+class PlacementProblem {
+ public:
+  PlacementProblem(const wireless::NetworkTopology& topology,
+                   const model::ModelLibrary& library,
+                   const workload::RequestModel& requests);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
+  [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
+  [[nodiscard]] std::size_t num_models() const noexcept { return num_models_; }
+
+  [[nodiscard]] const wireless::NetworkTopology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] const model::ModelLibrary& library() const noexcept { return *library_; }
+  [[nodiscard]] const workload::RequestModel& requests() const noexcept {
+    return *requests_;
+  }
+
+  [[nodiscard]] support::Bytes capacity(ServerId m) const {
+    return topology_->capacity(m);
+  }
+
+  /// I1(m,k,i): can server m serve user k's request for model i in time?
+  [[nodiscard]] bool eligible(ServerId m, UserId k, ModelId i) const;
+
+  /// Users servable by placing model i on server m, with their request mass.
+  [[nodiscard]] std::span<const HitEntry> hit_list(ServerId m, ModelId i) const;
+
+  /// Σ_k Σ_i p_{k,i} — the denominator of U(X).
+  [[nodiscard]] double total_mass() const noexcept { return total_mass_; }
+
+  /// Mass of requests servable by at least one server (the coverage ceiling
+  /// on the achievable hit mass; used by bound computations).
+  [[nodiscard]] double reachable_mass() const noexcept { return reachable_mass_; }
+
+ private:
+  [[nodiscard]] std::size_t cell(ServerId m, UserId k, ModelId i) const noexcept;
+
+  const wireless::NetworkTopology* topology_;
+  const model::ModelLibrary* library_;
+  const workload::RequestModel* requests_;
+
+  std::size_t num_servers_;
+  std::size_t num_users_;
+  std::size_t num_models_;
+
+  std::vector<char> eligible_;                      // dense M x K x I
+  std::vector<std::vector<HitEntry>> hit_lists_;    // per (m, i)
+  double total_mass_ = 0.0;
+  double reachable_mass_ = 0.0;
+};
+
+}  // namespace trimcaching::core

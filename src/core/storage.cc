@@ -1,0 +1,34 @@
+#include "src/core/storage.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+ServerStorage::ServerStorage(const model::ModelLibrary& library, support::Bytes capacity)
+    : library_(&library), capacity_(capacity), cached_(library.num_blocks()) {
+  if (!library.finalized()) {
+    throw std::invalid_argument("ServerStorage: library must be finalized");
+  }
+}
+
+support::Bytes ServerStorage::incremental_cost(ModelId i) const {
+  support::Bytes cost = 0;
+  for (const BlockId j : library_->model(i).blocks) {
+    if (!cached_.test(j)) cost += library_->block(j).size_bytes;
+  }
+  return cost;
+}
+
+void ServerStorage::add(ModelId i) {
+  const support::Bytes cost = incremental_cost(i);
+  if (cost > free()) throw std::logic_error("ServerStorage::add: capacity exceeded");
+  for (const BlockId j : library_->model(i).blocks) cached_.set(j);
+  used_ += cost;
+}
+
+support::Bytes dedup_storage(const model::ModelLibrary& library,
+                             const std::vector<ModelId>& models) {
+  return library.dedup_size(models);
+}
+
+}  // namespace trimcaching::core

@@ -1,0 +1,94 @@
+#include "src/core/submodular.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+namespace {
+
+using support::DynamicBitset;
+using support::Rng;
+
+struct Chain {
+  DynamicBitset small;
+  DynamicBitset large;
+  std::size_t extra = 0;  ///< element outside `large`
+  bool valid = false;
+};
+
+/// Samples S ⊆ T ⊆ [0,n) and x ∉ T (requires n ≥ 1; retries until x exists).
+Chain sample_chain(std::size_t n, Rng& rng) {
+  Chain chain{DynamicBitset(n), DynamicBitset(n), 0, false};
+  std::size_t outside_count = 0;
+  for (std::size_t e = 0; e < n; ++e) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 1.0 / 3.0) {
+      chain.small.set(e);
+      chain.large.set(e);
+    } else if (roll < 2.0 / 3.0) {
+      chain.large.set(e);
+    } else {
+      ++outside_count;
+    }
+  }
+  if (outside_count == 0) return chain;
+  std::size_t pick = rng.index(outside_count);
+  for (std::size_t e = 0; e < n; ++e) {
+    if (!chain.large.test(e)) {
+      if (pick == 0) {
+        chain.extra = e;
+        chain.valid = true;
+        break;
+      }
+      --pick;
+    }
+  }
+  return chain;
+}
+
+PropertyReport check_marginals(const SetFunction& f, std::size_t n, std::size_t trials,
+                               Rng& rng, double tolerance, bool submodular) {
+  if (n == 0) throw std::invalid_argument("property check: empty ground set");
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Chain chain = sample_chain(n, rng);
+    if (!chain.valid) continue;
+    ++report.trials;
+    DynamicBitset small_plus = chain.small;
+    small_plus.set(chain.extra);
+    DynamicBitset large_plus = chain.large;
+    large_plus.set(chain.extra);
+    const double small_marginal = f(small_plus) - f(chain.small);
+    const double large_marginal = f(large_plus) - f(chain.large);
+    const bool ok = submodular ? small_marginal >= large_marginal - tolerance
+                               : large_marginal >= small_marginal - tolerance;
+    if (!ok) ++report.violations;
+  }
+  return report;
+}
+
+}  // namespace
+
+PropertyReport check_submodular(const SetFunction& f, std::size_t n, std::size_t trials,
+                                Rng& rng, double tolerance) {
+  return check_marginals(f, n, trials, rng, tolerance, /*submodular=*/true);
+}
+
+PropertyReport check_supermodular(const SetFunction& f, std::size_t n,
+                                  std::size_t trials, Rng& rng, double tolerance) {
+  return check_marginals(f, n, trials, rng, tolerance, /*submodular=*/false);
+}
+
+PropertyReport check_monotone(const SetFunction& f, std::size_t n, std::size_t trials,
+                              Rng& rng, double tolerance) {
+  if (n == 0) throw std::invalid_argument("property check: empty ground set");
+  PropertyReport report;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Chain chain = sample_chain(n, rng);
+    ++report.trials;
+    if (f(chain.large) < f(chain.small) - tolerance) ++report.violations;
+  }
+  return report;
+}
+
+}  // namespace trimcaching::core

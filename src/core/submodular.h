@@ -1,0 +1,42 @@
+// Randomized set-function property probes.
+//
+// Used by the property-based test suite to validate Proposition 1 (U is
+// monotone submodular; every g_m is submodular) and the supermodularity of
+// the transformed objective U(Y) on concrete instances: for random chains
+// S ⊆ T and elements x ∉ T, check the defining marginal inequalities.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "src/support/bitset.h"
+#include "src/support/rng.h"
+
+namespace trimcaching::core {
+
+/// A set function over subsets of a ground set [0, n).
+using SetFunction = std::function<double(const support::DynamicBitset&)>;
+
+struct PropertyReport {
+  std::size_t trials = 0;
+  std::size_t violations = 0;
+
+  [[nodiscard]] bool holds() const noexcept { return violations == 0; }
+};
+
+/// Checks f(S ∪ {x}) - f(S) ≥ f(T ∪ {x}) - f(T) for random S ⊆ T, x ∉ T.
+[[nodiscard]] PropertyReport check_submodular(const SetFunction& f, std::size_t n,
+                                              std::size_t trials, support::Rng& rng,
+                                              double tolerance = 1e-9);
+
+/// Checks the reversed inequality (supermodularity).
+[[nodiscard]] PropertyReport check_supermodular(const SetFunction& f, std::size_t n,
+                                                std::size_t trials, support::Rng& rng,
+                                                double tolerance = 1e-9);
+
+/// Checks f(T) ≥ f(S) for random S ⊆ T (monotonicity).
+[[nodiscard]] PropertyReport check_monotone(const SetFunction& f, std::size_t n,
+                                            std::size_t trials, support::Rng& rng,
+                                            double tolerance = 1e-9);
+
+}  // namespace trimcaching::core

@@ -1,0 +1,63 @@
+#include "src/core/transform.h"
+
+#include <stdexcept>
+
+#include "src/core/objective.h"
+
+namespace trimcaching::core {
+
+BlockPlacement block_placement_from(const model::ModelLibrary& library,
+                                    const PlacementSolution& placement) {
+  BlockPlacement out;
+  out.per_server.reserve(placement.num_servers());
+  for (ServerId m = 0; m < placement.num_servers(); ++m) {
+    support::DynamicBitset blocks(library.num_blocks());
+    for (const ModelId i : placement.models_on(m)) {
+      for (const BlockId j : library.model(i).blocks) blocks.set(j);
+    }
+    out.per_server.push_back(std::move(blocks));
+  }
+  return out;
+}
+
+PlacementSolution models_available_under(const model::ModelLibrary& library,
+                                         const BlockPlacement& blocks) {
+  if (blocks.num_servers() == 0) {
+    throw std::invalid_argument("models_available_under: no servers");
+  }
+  PlacementSolution out(blocks.num_servers(), library.num_models());
+  for (ServerId m = 0; m < blocks.num_servers(); ++m) {
+    const support::DynamicBitset& cached = blocks.per_server[m];
+    for (ModelId i = 0; i < library.num_models(); ++i) {
+      bool all = true;
+      for (const BlockId j : library.model(i).blocks) {
+        if (!cached.test(j)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.place(m, i);
+    }
+  }
+  return out;
+}
+
+support::Bytes block_storage(const model::ModelLibrary& library,
+                             const support::DynamicBitset& blocks) {
+  if (blocks.size() != library.num_blocks()) {
+    throw std::invalid_argument("block_storage: bitset size mismatch");
+  }
+  support::Bytes total = 0;
+  blocks.for_each([&](std::size_t j) {
+    total += library.block(static_cast<BlockId>(j)).size_bytes;
+  });
+  return total;
+}
+
+double expected_hit_ratio_blocks(const PlacementProblem& problem,
+                                 const BlockPlacement& blocks) {
+  const PlacementSolution available = models_available_under(problem.library(), blocks);
+  return expected_hit_ratio(problem, available);
+}
+
+}  // namespace trimcaching::core

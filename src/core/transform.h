@@ -1,0 +1,43 @@
+// The block-variable transformation of Proposition 2 (P1.1 <-> P1.2).
+//
+// P1.2 re-states the placement in terms of y_{m,j} (block j cached on server
+// m) with plain knapsack storage constraints; models become available when
+// *all* their blocks are present: x_{m,i} = Π_{j∈J_i} y_{m,j}. The objective
+// becomes supermodular in Y, which is where the inapproximability result
+// comes from. These helpers implement the transformation both ways and the
+// transformed objective U(Y); they exist to verify the equivalence claims
+// and to let tests probe the supermodularity of U(Y).
+#pragma once
+
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+#include "src/support/bitset.h"
+
+namespace trimcaching::core {
+
+/// Y = {y_{m,j}}: one block bitset per server.
+struct BlockPlacement {
+  std::vector<support::DynamicBitset> per_server;
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return per_server.size(); }
+};
+
+/// y_{m,j} = 1 - Π_{i∈I_j}(1 - x_{m,i}): blocks induced by cached models.
+[[nodiscard]] BlockPlacement block_placement_from(const model::ModelLibrary& library,
+                                                  const PlacementSolution& placement);
+
+/// x_{m,i} = Π_{j∈J_i} y_{m,j}: models whose blocks are all present.
+[[nodiscard]] PlacementSolution models_available_under(const model::ModelLibrary& library,
+                                                       const BlockPlacement& blocks);
+
+/// Storage used by server m under Y: Σ_j D'_j y_{m,j} (Eq. 8b's left side).
+[[nodiscard]] support::Bytes block_storage(const model::ModelLibrary& library,
+                                           const support::DynamicBitset& blocks);
+
+/// U(Y) (Eq. 8a): the hit ratio of the models available under Y.
+[[nodiscard]] double expected_hit_ratio_blocks(const PlacementProblem& problem,
+                                               const BlockPlacement& blocks);
+
+}  // namespace trimcaching::core

@@ -1,0 +1,140 @@
+#include "src/core/trimcaching_gen.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/core/storage.h"
+
+namespace trimcaching::core {
+
+namespace {
+
+constexpr double kGainTolerance = 1e-15;
+
+/// Score of a candidate under the configured rule. Zero-cost additions
+/// (every block already cached) are scored as one-byte costs so that free
+/// gains always dominate.
+double score_candidate(GreedyRule rule, double gain, support::Bytes cost) {
+  if (rule == GreedyRule::kGain) return gain;
+  return gain / static_cast<double>(std::max<support::Bytes>(1, cost));
+}
+
+GenResult run_naive(const PlacementProblem& problem, GreedyRule rule) {
+  const std::size_t num_servers = problem.num_servers();
+  const std::size_t num_models = problem.num_models();
+  GenResult result{PlacementSolution(num_servers, num_models), 0.0, 0};
+  CoverageState coverage(problem);
+  std::vector<ServerStorage> storage;
+  storage.reserve(num_servers);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    storage.emplace_back(problem.library(), problem.capacity(m));
+  }
+
+  while (true) {
+    double best_score = 0.0;
+    ServerId best_m = 0;
+    ModelId best_i = 0;
+    bool found = false;
+    for (ServerId m = 0; m < num_servers; ++m) {
+      for (ModelId i = 0; i < num_models; ++i) {
+        if (result.placement.placed(m, i) || !storage[m].fits(i)) continue;
+        const double gain = coverage.marginal_mass(m, i);
+        ++result.gain_evaluations;
+        if (gain <= kGainTolerance) continue;
+        const double score = score_candidate(rule, gain, storage[m].incremental_cost(i));
+        if (score > best_score + kGainTolerance) {
+          best_score = score;
+          best_m = m;
+          best_i = i;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    storage[best_m].add(best_i);
+    coverage.add(best_m, best_i);
+    result.placement.place(best_m, best_i);
+  }
+  result.hit_ratio = coverage.hit_ratio();
+  return result;
+}
+
+struct HeapEntry {
+  double gain = 0.0;
+  ServerId server = 0;
+  ModelId model = 0;
+
+  bool operator<(const HeapEntry& other) const {
+    // std::priority_queue is a max-heap on operator<; tie-break on (m, i)
+    // so that lazy and naive agree whenever gains are distinct.
+    if (gain != other.gain) return gain < other.gain;
+    if (server != other.server) return server > other.server;
+    return model > other.model;
+  }
+};
+
+GenResult run_lazy(const PlacementProblem& problem) {
+  const std::size_t num_servers = problem.num_servers();
+  const std::size_t num_models = problem.num_models();
+  GenResult result{PlacementSolution(num_servers, num_models), 0.0, 0};
+  CoverageState coverage(problem);
+  std::vector<ServerStorage> storage;
+  storage.reserve(num_servers);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    storage.emplace_back(problem.library(), problem.capacity(m));
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (ServerId m = 0; m < num_servers; ++m) {
+    for (ModelId i = 0; i < num_models; ++i) {
+      const double gain = coverage.marginal_mass(m, i);
+      ++result.gain_evaluations;
+      if (gain > kGainTolerance) heap.push(HeapEntry{gain, m, i});
+    }
+  }
+  // Candidates that do not fit right now, per server; revived when the
+  // server's cached blocks change (their incremental size can only shrink).
+  std::vector<std::vector<ModelId>> parked(num_servers);
+
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (result.placement.placed(top.server, top.model)) continue;
+    const double fresh = coverage.marginal_mass(top.server, top.model);
+    ++result.gain_evaluations;
+    if (fresh <= kGainTolerance) continue;
+    const double next_best = heap.empty() ? 0.0 : heap.top().gain;
+    if (fresh + kGainTolerance < next_best) {
+      heap.push(HeapEntry{fresh, top.server, top.model});
+      continue;
+    }
+    if (!storage[top.server].fits(top.model)) {
+      parked[top.server].push_back(top.model);
+      continue;
+    }
+    storage[top.server].add(top.model);
+    coverage.add(top.server, top.model);
+    result.placement.place(top.server, top.model);
+    // Sharing may have made parked models on this server affordable again.
+    for (const ModelId i : parked[top.server]) {
+      if (result.placement.placed(top.server, i)) continue;
+      const double gain = coverage.marginal_mass(top.server, i);
+      ++result.gain_evaluations;
+      if (gain > kGainTolerance) heap.push(HeapEntry{gain, top.server, i});
+    }
+    parked[top.server].clear();
+  }
+  result.hit_ratio = coverage.hit_ratio();
+  return result;
+}
+
+}  // namespace
+
+GenResult trimcaching_gen(const PlacementProblem& problem, const GenConfig& config) {
+  if (config.rule == GreedyRule::kGainPerByte) {
+    return run_naive(problem, config.rule);  // lazy unsound for ratio scores
+  }
+  return config.lazy ? run_lazy(problem) : run_naive(problem, config.rule);
+}
+
+}  // namespace trimcaching::core

@@ -1,0 +1,48 @@
+// TrimCaching Gen (Algorithm 3): global greedy for arbitrary sharing.
+//
+// Repeatedly adds the placement x_{m,i} with the largest marginal hit-ratio
+// gain among those that still fit under the dedup-aware capacity g_m
+// (Eq. 7), until no placement with positive gain fits. 1/Γ approximation
+// (Theorem 3); no constant guarantee exists in general (Proposition 2).
+//
+// Two drivers are provided:
+//  * naive  — full rescan of all (m, i) each step (the literal Algorithm 3);
+//  * lazy   — Minoux's lazy greedy: since U is submodular, marginal gains
+//    only decrease, so stale heap entries can be re-evaluated on demand.
+//    Candidates that do not currently fit are parked per server and revived
+//    when that server's cache content changes (placing a model can *lower*
+//    a sharing neighbour's incremental size, so infeasibility is not final).
+// Both produce a maximal-gain sequence; they can differ only in tie-breaks.
+#pragma once
+
+#include "src/core/objective.h"
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+
+namespace trimcaching::core {
+
+/// Candidate scoring rule. The paper's Algorithm 3 picks the raw maximum
+/// marginal gain; gain-per-byte (cost-benefit) is the classic knapsack
+/// heuristic and is provided as an ablation (bench/ablation_greedy).
+enum class GreedyRule { kGain, kGainPerByte };
+
+struct GenConfig {
+  bool lazy = true;
+  /// kGainPerByte forces the naive driver: under dedup the incremental byte
+  /// cost of a model can *decrease* when a sharing neighbour is placed, so
+  /// stale heap scores are no longer upper bounds and lazy evaluation would
+  /// be unsound.
+  GreedyRule rule = GreedyRule::kGain;
+};
+
+struct GenResult {
+  PlacementSolution placement;
+  double hit_ratio = 0.0;
+  /// Number of marginal-gain evaluations performed (lazy vs naive metric).
+  std::size_t gain_evaluations = 0;
+};
+
+[[nodiscard]] GenResult trimcaching_gen(const PlacementProblem& problem,
+                                        const GenConfig& config = {});
+
+}  // namespace trimcaching::core

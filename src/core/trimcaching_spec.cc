@@ -1,0 +1,51 @@
+#include "src/core/trimcaching_spec.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace trimcaching::core {
+
+SpecResult trimcaching_spec(const PlacementProblem& problem, const SpecConfig& config) {
+  const std::size_t num_servers = problem.num_servers();
+  const std::size_t num_models = problem.num_models();
+
+  std::vector<ServerId> order(num_servers);
+  std::iota(order.begin(), order.end(), 0);
+  if (config.order == SpecConfig::ServerOrder::kByReachableMassDesc) {
+    std::vector<double> mass(num_servers, 0.0);
+    for (ServerId m = 0; m < num_servers; ++m) {
+      for (ModelId i = 0; i < num_models; ++i) {
+        for (const HitEntry& entry : problem.hit_list(m, i)) mass[m] += entry.mass;
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&mass](ServerId a, ServerId b) { return mass[a] > mass[b]; });
+  }
+
+  SpecResult result{PlacementSolution(num_servers, num_models), 0.0, {}, 0};
+  CoverageState coverage(problem);
+
+  for (const ServerId m : order) {
+    // u(m,i) with the I2 mask: only not-yet-served request mass counts.
+    std::vector<double> utilities(num_models, 0.0);
+    for (ModelId i = 0; i < num_models; ++i) {
+      utilities[i] = coverage.marginal_mass(m, i);
+    }
+    const ServerSubproblemResult sub = solve_server_subproblem(
+        problem.library(), utilities, problem.capacity(m), config.solver);
+    result.combinations_visited += sub.combinations_visited;
+
+    double gain_mass = 0.0;
+    for (const ModelId i : sub.models) {
+      gain_mass += coverage.marginal_mass(m, i);
+      coverage.add(m, i);
+      result.placement.place(m, i);
+    }
+    result.per_server_gain.push_back(
+        problem.total_mass() > 0 ? gain_mass / problem.total_mass() : 0.0);
+  }
+  result.hit_ratio = coverage.hit_ratio();
+  return result;
+}
+
+}  // namespace trimcaching::core

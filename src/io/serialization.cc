@@ -1,0 +1,210 @@
+#include "src/io/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace trimcaching::io {
+
+namespace {
+
+/// Whitespace would break the line format; generated names never contain it,
+/// hand-written ones get it normalized.
+std::string sanitize(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  /// Next non-empty line as a token stream; throws at EOF.
+  std::istringstream next(const std::string& expectation) {
+    std::string line;
+    while (std::getline(stream_, line)) {
+      ++line_number_;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) {
+        return std::istringstream(line);
+      }
+    }
+    throw std::invalid_argument("parse error: unexpected end of input while reading " +
+                                expectation);
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("parse error at line " + std::to_string(line_number_) +
+                                ": " + message);
+  }
+
+ private:
+  std::istringstream stream_;
+  std::size_t line_number_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_library(const model::ModelLibrary& library) {
+  if (!library.finalized()) {
+    throw std::invalid_argument("serialize_library: library must be finalized");
+  }
+  std::ostringstream out;
+  out << "trimcaching-library v1\n";
+  out << "blocks " << library.num_blocks() << "\n";
+  for (BlockId j = 0; j < library.num_blocks(); ++j) {
+    out << library.block(j).size_bytes << " " << sanitize(library.block(j).name)
+        << "\n";
+  }
+  out << "models " << library.num_models() << "\n";
+  for (ModelId i = 0; i < library.num_models(); ++i) {
+    const auto& spec = library.model(i);
+    out << sanitize(spec.family) << " " << sanitize(spec.name) << " "
+        << spec.blocks.size();
+    for (const BlockId j : spec.blocks) out << " " << j;
+    out << "\n";
+  }
+  return out.str();
+}
+
+model::ModelLibrary parse_library(const std::string& text) {
+  LineReader reader(text);
+  {
+    auto line = reader.next("header");
+    std::string magic, version;
+    line >> magic >> version;
+    if (magic != "trimcaching-library" || version != "v1") {
+      reader.fail("expected 'trimcaching-library v1' header");
+    }
+  }
+  model::ModelLibrary library;
+  std::size_t num_blocks = 0;
+  {
+    auto line = reader.next("block count");
+    std::string keyword;
+    line >> keyword >> num_blocks;
+    if (keyword != "blocks" || line.fail()) reader.fail("expected 'blocks <count>'");
+  }
+  for (std::size_t j = 0; j < num_blocks; ++j) {
+    auto line = reader.next("block definition");
+    support::Bytes size = 0;
+    std::string name;
+    line >> size >> name;
+    if (line.fail()) reader.fail("expected '<size_bytes> <name>'");
+    library.add_block(size, name);
+  }
+  std::size_t num_models = 0;
+  {
+    auto line = reader.next("model count");
+    std::string keyword;
+    line >> keyword >> num_models;
+    if (keyword != "models" || line.fail()) reader.fail("expected 'models <count>'");
+  }
+  for (std::size_t i = 0; i < num_models; ++i) {
+    auto line = reader.next("model definition");
+    std::string family, name;
+    std::size_t count = 0;
+    line >> family >> name >> count;
+    if (line.fail()) reader.fail("expected '<family> <name> <n> <blocks...>'");
+    std::vector<BlockId> blocks(count);
+    for (std::size_t b = 0; b < count; ++b) {
+      line >> blocks[b];
+      if (line.fail()) reader.fail("model '" + name + "': missing block id");
+      if (blocks[b] >= num_blocks) reader.fail("model '" + name + "': block id out of range");
+    }
+    library.add_model(name, family, std::move(blocks));
+  }
+  library.finalize();
+  return library;
+}
+
+std::string serialize_placement(const core::PlacementSolution& placement) {
+  std::ostringstream out;
+  out << "trimcaching-placement v1\n";
+  out << "servers " << placement.num_servers() << " models "
+      << placement.num_models() << "\n";
+  for (ServerId m = 0; m < placement.num_servers(); ++m) {
+    const auto& models = placement.models_on(m);
+    out << "server " << m << " " << models.size();
+    for (const ModelId i : models) out << " " << i;
+    out << "\n";
+  }
+  return out.str();
+}
+
+core::PlacementSolution parse_placement(const std::string& text) {
+  LineReader reader(text);
+  {
+    auto line = reader.next("header");
+    std::string magic, version;
+    line >> magic >> version;
+    if (magic != "trimcaching-placement" || version != "v1") {
+      reader.fail("expected 'trimcaching-placement v1' header");
+    }
+  }
+  std::size_t num_servers = 0, num_models = 0;
+  {
+    auto line = reader.next("dimensions");
+    std::string kw_servers, kw_models;
+    line >> kw_servers >> num_servers >> kw_models >> num_models;
+    if (kw_servers != "servers" || kw_models != "models" || line.fail()) {
+      reader.fail("expected 'servers <M> models <I>'");
+    }
+  }
+  core::PlacementSolution placement(num_servers, num_models);
+  for (std::size_t row = 0; row < num_servers; ++row) {
+    auto line = reader.next("server row");
+    std::string keyword;
+    std::size_t m = 0, count = 0;
+    line >> keyword >> m >> count;
+    if (keyword != "server" || line.fail()) reader.fail("expected 'server <m> <n> ...'");
+    if (m >= num_servers) reader.fail("server id out of range");
+    for (std::size_t c = 0; c < count; ++c) {
+      std::size_t i = 0;
+      line >> i;
+      if (line.fail()) reader.fail("missing model id");
+      if (i >= num_models) reader.fail("model id out of range");
+      placement.place(static_cast<ServerId>(m), static_cast<ModelId>(i));
+    }
+  }
+  return placement;
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+}
+
+}  // namespace
+
+void write_library(const std::string& path, const model::ModelLibrary& library) {
+  write_file(path, serialize_library(library));
+}
+
+model::ModelLibrary read_library(const std::string& path) {
+  return parse_library(read_file(path));
+}
+
+void write_placement(const std::string& path,
+                     const core::PlacementSolution& placement) {
+  write_file(path, serialize_placement(placement));
+}
+
+core::PlacementSolution read_placement(const std::string& path) {
+  return parse_placement(read_file(path));
+}
+
+}  // namespace trimcaching::io

@@ -1,0 +1,41 @@
+// Text serialization for the two artifacts a deployment would persist or
+// ship between tools: model libraries (the operator's catalogue, including
+// the sharing structure) and placement solutions (the output of the
+// placement algorithms, consumed by the cache-provisioning plane).
+//
+// The format is line-oriented and whitespace-separated:
+//
+//   trimcaching-library v1
+//   blocks <J>
+//   <size_bytes> <name>            (J lines; names must be whitespace-free)
+//   models <I>
+//   <family> <name> <n> <b_1> ... <b_n>     (I lines)
+//
+//   trimcaching-placement v1
+//   servers <M> models <I>
+//   server <m> <n> <i_1> ... <i_n>          (M lines)
+//
+// Parsers validate aggressively and throw std::invalid_argument with a
+// line-number diagnostic; a parsed library is returned finalized.
+#pragma once
+
+#include <string>
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+
+namespace trimcaching::io {
+
+[[nodiscard]] std::string serialize_library(const model::ModelLibrary& library);
+[[nodiscard]] model::ModelLibrary parse_library(const std::string& text);
+
+[[nodiscard]] std::string serialize_placement(const core::PlacementSolution& placement);
+[[nodiscard]] core::PlacementSolution parse_placement(const std::string& text);
+
+void write_library(const std::string& path, const model::ModelLibrary& library);
+[[nodiscard]] model::ModelLibrary read_library(const std::string& path);
+
+void write_placement(const std::string& path, const core::PlacementSolution& placement);
+[[nodiscard]] core::PlacementSolution read_placement(const std::string& path);
+
+}  // namespace trimcaching::io

@@ -1,0 +1,22 @@
+#include "src/model/accuracy_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace trimcaching::model {
+
+double AccuracyCurve::accuracy(double frozen_layers) const {
+  if (frozen_layers < 0) throw std::invalid_argument("AccuracyCurve: negative depth");
+  if (reference_depth <= 0) throw std::invalid_argument("AccuracyCurve: bad reference");
+  const double x = frozen_layers / reference_depth;
+  return full_finetune_accuracy - drop_at_reference * std::pow(x, shape);
+}
+
+std::vector<AccuracyCurve> paper_fig1_curves() {
+  return {
+      AccuracyCurve{"animal", 0.948, 0.0520, 97.0, 3.0},
+      AccuracyCurve{"transportation", 0.967, 0.0405, 97.0, 3.0},
+  };
+}
+
+}  // namespace trimcaching::model

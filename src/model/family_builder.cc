@@ -1,0 +1,73 @@
+#include "src/model/family_builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trimcaching::model {
+
+std::vector<ModelId> add_prefix_family(ModelLibrary& lib, const PrefixFamilySpec& spec) {
+  if (spec.freeze_depths.size() != spec.model_names.size()) {
+    throw std::invalid_argument("add_prefix_family: depths/names size mismatch");
+  }
+  if (spec.freeze_depths.empty()) {
+    throw std::invalid_argument("add_prefix_family: no models");
+  }
+  if (spec.bytes_per_param == 0) {
+    throw std::invalid_argument("add_prefix_family: bytes_per_param == 0");
+  }
+  const std::size_t num_layers = spec.layers.size();
+  for (const std::size_t d : spec.freeze_depths) {
+    if (d >= num_layers) {
+      throw std::invalid_argument(
+          "add_prefix_family: freeze depth must leave at least the head trainable");
+    }
+  }
+
+  // Prefix parameter sums: prefix_params[d] = params of layers [0, d).
+  std::vector<std::size_t> prefix_params(num_layers + 1, 0);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    prefix_params[l + 1] = prefix_params[l] + spec.layers[l].params;
+  }
+  auto segment_bytes = [&](std::size_t from, std::size_t to) {
+    return static_cast<support::Bytes>(prefix_params[to] - prefix_params[from]) *
+           spec.bytes_per_param;
+  };
+
+  // Distinct depths define the shared segment boundaries.
+  std::vector<std::size_t> depths = spec.freeze_depths;
+  std::sort(depths.begin(), depths.end());
+  depths.erase(std::unique(depths.begin(), depths.end()), depths.end());
+  if (!depths.empty() && depths.front() == 0) depths.erase(depths.begin());
+
+  std::vector<BlockId> segment_blocks;
+  segment_blocks.reserve(depths.size());
+  std::size_t prev = 0;
+  for (const std::size_t d : depths) {
+    const support::Bytes sz = segment_bytes(prev, d);
+    if (sz == 0) {
+      throw std::logic_error("add_prefix_family: empty frozen segment");
+    }
+    segment_blocks.push_back(lib.add_block(
+        sz, spec.family_name + ".frozen[" + std::to_string(prev) + "," +
+                std::to_string(d) + ")"));
+    prev = d;
+  }
+
+  std::vector<ModelId> out;
+  out.reserve(spec.freeze_depths.size());
+  for (std::size_t idx = 0; idx < spec.freeze_depths.size(); ++idx) {
+    const std::size_t d = spec.freeze_depths[idx];
+    std::vector<BlockId> blocks;
+    for (std::size_t t = 0; t < depths.size() && depths[t] <= d; ++t) {
+      blocks.push_back(segment_blocks[t]);
+    }
+    const support::Bytes specific = segment_bytes(d, num_layers);
+    if (specific > 0) {
+      blocks.push_back(lib.add_block(specific, spec.model_names[idx] + ".specific"));
+    }
+    out.push_back(lib.add_model(spec.model_names[idx], spec.family_name, std::move(blocks)));
+  }
+  return out;
+}
+
+}  // namespace trimcaching::model

@@ -1,0 +1,34 @@
+// Shared helper that turns "downstream models fine-tuned from one backbone
+// with bottom-layer freezing" into library blocks.
+//
+// Given the backbone's ordered layer stack and one freeze depth per
+// downstream model, models freezing d layers share the bottom-d prefix.
+// The distinct freeze depths d1 < d2 < ... < dT partition the deepest
+// frozen prefix into T segments (0,d1], (d1,d2], ..., (d_{T-1},dT]; a model
+// frozen at depth dt reuses segments 1..t and carries one model-specific
+// block holding its re-trained top layers (Fig. 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/model/model_library.h"
+#include "src/model/resnet_zoo.h"
+
+namespace trimcaching::model {
+
+struct PrefixFamilySpec {
+  std::string family_name;
+  std::vector<LayerSpec> layers;            ///< backbone stack, bottom to top
+  std::vector<std::size_t> freeze_depths;   ///< one per downstream model, < layers.size()
+  std::vector<std::string> model_names;     ///< one per downstream model
+  std::size_t bytes_per_param = 4;          ///< fp32 checkpoints
+};
+
+/// Adds the family's segment blocks and downstream models to `lib` (which
+/// must not be finalized yet). Returns the ids of the added models in the
+/// order of `spec.freeze_depths`.
+std::vector<ModelId> add_prefix_family(ModelLibrary& lib, const PrefixFamilySpec& spec);
+
+}  // namespace trimcaching::model

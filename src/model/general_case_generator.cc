@@ -1,0 +1,103 @@
+#include "src/model/general_case_generator.h"
+
+#include <stdexcept>
+
+#include "src/model/family_builder.h"
+
+namespace trimcaching::model {
+
+void GeneralCaseConfig::validate() const {
+  if (archs.empty()) throw std::invalid_argument("GeneralCaseConfig: no architectures");
+  if (classes_per_superclass == 0) {
+    throw std::invalid_argument("GeneralCaseConfig: classes_per_superclass == 0");
+  }
+  if (head_classes == 0) throw std::invalid_argument("GeneralCaseConfig: head_classes == 0");
+  if (bytes_per_param == 0) {
+    throw std::invalid_argument("GeneralCaseConfig: bytes_per_param == 0");
+  }
+  if (min_freeze_fraction <= 0 || max_freeze_fraction >= 1 ||
+      min_freeze_fraction > max_freeze_fraction) {
+    throw std::invalid_argument("GeneralCaseConfig: bad freeze fraction range");
+  }
+  if (lineages.empty() && standalone_superclasses.empty()) {
+    throw std::invalid_argument("GeneralCaseConfig: empty library");
+  }
+}
+
+namespace {
+
+/// Samples one freeze depth in the configured fractional range, at least 1
+/// and leaving the head trainable.
+std::size_t sample_depth(const GeneralCaseConfig& config, std::size_t num_layers,
+                         support::Rng& rng) {
+  const auto lo = static_cast<std::int64_t>(config.min_freeze_fraction *
+                                            static_cast<double>(num_layers));
+  const auto hi = static_cast<std::int64_t>(config.max_freeze_fraction *
+                                            static_cast<double>(num_layers));
+  const auto depth = rng.uniform_int(std::max<std::int64_t>(1, lo),
+                                     std::min<std::int64_t>(static_cast<std::int64_t>(num_layers) - 1, hi));
+  return static_cast<std::size_t>(depth);
+}
+
+/// Adds the per-class models of one group of superclasses, all fine-tuned
+/// from the same backbone stack identified by `family_name`.
+void add_group(ModelLibrary& lib, const GeneralCaseConfig& config,
+               const std::string& family_name, const std::vector<LayerSpec>& layers,
+               const std::vector<std::string>& superclasses, support::Rng& rng) {
+  PrefixFamilySpec spec;
+  spec.family_name = family_name;
+  spec.layers = layers;
+  spec.bytes_per_param = config.bytes_per_param;
+  for (const auto& superclass : superclasses) {
+    for (std::size_t c = 0; c < config.classes_per_superclass; ++c) {
+      spec.freeze_depths.push_back(sample_depth(config, layers.size(), rng));
+      spec.model_names.push_back(family_name + "." + superclass + ".class" +
+                                 std::to_string(c));
+    }
+  }
+  add_prefix_family(lib, spec);
+}
+
+}  // namespace
+
+ModelLibrary build_general_case_library(const GeneralCaseConfig& config,
+                                        support::Rng& rng) {
+  config.validate();
+  ModelLibrary lib;
+  for (const ResNetArch arch : config.archs) {
+    const std::string arch_name = to_string(arch);
+    const auto layers = resnet_layers(arch, config.head_classes);
+    // First round: each lineage parent is a full fine-tune, so its stack is
+    // a fresh set of parameters shared only within the lineage.
+    for (const auto& lineage : config.lineages) {
+      std::vector<std::string> superclasses;
+      superclasses.push_back(lineage.root);
+      superclasses.insert(superclasses.end(), lineage.children.begin(),
+                          lineage.children.end());
+      add_group(lib, config, arch_name + "." + lineage.root + "_lineage", layers,
+                superclasses, rng);
+    }
+    // Standalone superclasses: fine-tuned from the original pre-trained
+    // backbone (a single additional sharing group per architecture).
+    if (!config.standalone_superclasses.empty()) {
+      add_group(lib, config, arch_name + ".pretrained", layers,
+                config.standalone_superclasses, rng);
+    }
+  }
+  lib.finalize();
+  return lib;
+}
+
+GeneralCaseConfig reduced_general_case_config() {
+  GeneralCaseConfig config;
+  config.archs = {ResNetArch::kResNet18};
+  config.lineages = {
+      {"fruit_and_vegetables", {"flowers"}},
+      {"vehicles_2", {"vehicles_1"}},
+  };
+  config.standalone_superclasses = {"fish", "insects"};
+  config.classes_per_superclass = 5;
+  return config;
+}
+
+}  // namespace trimcaching::model

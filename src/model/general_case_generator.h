@@ -1,0 +1,68 @@
+// General-case model library (§VI, §VII-A Table I).
+//
+// Two-round fine-tuning: first, full-parameter fine-tunes of each backbone
+// on a few selected superclasses produce *lineage parents* whose parameters
+// are entirely new (not shared across lineages). Second, per-class models
+// for the parent's own superclass and for the related superclasses listed
+// in Table I are fine-tuned from the lineage parent with bottom-layer
+// freezing, so they share prefix segments of the parent's stack. Superclasses
+// outside any lineage fine-tune directly from the original pre-trained
+// backbone. The number of shared blocks therefore grows with the library
+// scale — the regime where enumerating shared-block combinations blows up
+// and only TrimCaching Gen remains practical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/model_library.h"
+#include "src/model/resnet_zoo.h"
+#include "src/support/rng.h"
+
+namespace trimcaching::model {
+
+/// One first-round lineage of Table I: `root` is the superclass whose full
+/// fine-tune produces the lineage parent; `children` are the second-round
+/// superclasses derived from it.
+struct LineageSpec {
+  std::string root;
+  std::vector<std::string> children;
+};
+
+struct GeneralCaseConfig {
+  std::vector<ResNetArch> archs = {ResNetArch::kResNet18, ResNetArch::kResNet34,
+                                   ResNetArch::kResNet50};
+  /// Table I of the paper.
+  std::vector<LineageSpec> lineages = {
+      {"fruit_and_vegetables", {"flowers", "trees"}},
+      {"medium_sized_mammals",
+       {"large_carnivores", "large_omnivores_and_herbivores", "people", "reptiles",
+        "small_mammals"}},
+      {"vehicles_2", {"large_man_made_outdoor_things", "vehicles_1"}},
+  };
+  /// CIFAR-100 superclasses not covered by any lineage fine-tune directly
+  /// from the pre-trained backbone (8 remaining superclasses).
+  std::vector<std::string> standalone_superclasses = {
+      "aquatic_mammals", "fish",     "food_containers",        "household_electrical_devices",
+      "household_furniture", "insects", "large_natural_outdoor_scenes", "non_insect_invertebrates"};
+  std::size_t classes_per_superclass = 5;
+  std::size_t head_classes = 5;
+  std::size_t bytes_per_param = 4;
+  /// Freeze depth of each second-round / standalone model is drawn uniformly
+  /// from [min_fraction, max_fraction] of the backbone's layer count.
+  double min_freeze_fraction = 0.55;
+  double max_freeze_fraction = 0.95;
+
+  void validate() const;
+};
+
+/// Builds the general-case library. With the default config this yields
+/// 20 superclasses x 5 classes x |archs| = 300 models, the paper's library.
+[[nodiscard]] ModelLibrary build_general_case_library(const GeneralCaseConfig& config,
+                                                      support::Rng& rng);
+
+/// A reduced single-architecture config producing a small general-case
+/// library (useful where TrimCaching Spec must still terminate, Fig. 6b).
+[[nodiscard]] GeneralCaseConfig reduced_general_case_config();
+
+}  // namespace trimcaching::model

@@ -1,0 +1,44 @@
+#include "src/model/lora_generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trimcaching::model {
+
+void LoraLibraryConfig::validate() const {
+  if (num_foundations == 0) throw std::invalid_argument("LoraLibraryConfig: no foundations");
+  if (adapters_per_foundation == 0) {
+    throw std::invalid_argument("LoraLibraryConfig: no adapters");
+  }
+  if (foundation_bytes == 0) {
+    throw std::invalid_argument("LoraLibraryConfig: zero foundation size");
+  }
+  if (adapter_fraction <= 0 || adapter_fraction >= 1) {
+    throw std::invalid_argument("LoraLibraryConfig: adapter_fraction out of (0,1)");
+  }
+  if (adapter_jitter < 0 || adapter_jitter >= 1) {
+    throw std::invalid_argument("LoraLibraryConfig: adapter_jitter out of [0,1)");
+  }
+}
+
+ModelLibrary build_lora_library(const LoraLibraryConfig& config, support::Rng& rng) {
+  config.validate();
+  ModelLibrary lib;
+  for (std::size_t f = 0; f < config.num_foundations; ++f) {
+    const std::string family = "foundation" + std::to_string(f);
+    const BlockId base = lib.add_block(config.foundation_bytes, family + ".frozen");
+    for (std::size_t a = 0; a < config.adapters_per_foundation; ++a) {
+      const double jitter = rng.uniform(1.0 - config.adapter_jitter, 1.0 + config.adapter_jitter);
+      const auto adapter_bytes = static_cast<support::Bytes>(
+          std::max(1.0, config.adapter_fraction * jitter *
+                            static_cast<double>(config.foundation_bytes)));
+      const std::string name = family + ".adapter" + std::to_string(a);
+      const BlockId adapter = lib.add_block(adapter_bytes, name + ".lora");
+      lib.add_model(name, family, {base, adapter});
+    }
+  }
+  lib.finalize();
+  return lib;
+}
+
+}  // namespace trimcaching::model

@@ -1,0 +1,33 @@
+// LoRA/PEFT-style library (extension beyond the paper's ResNet evaluation).
+//
+// The paper motivates TrimCaching with LLMs where PEFT freezes > 99% of the
+// parameters; this generator builds such a library: a handful of foundation
+// models, each shared verbatim by many downstream models that add only a
+// tiny adapter block. It exercises the extreme-sharing end of the design
+// space (used by the sharing-degree ablation and the llm_lora_caching
+// example).
+#pragma once
+
+#include "src/model/model_library.h"
+#include "src/support/rng.h"
+
+namespace trimcaching::model {
+
+struct LoraLibraryConfig {
+  std::size_t num_foundations = 2;
+  std::size_t adapters_per_foundation = 20;
+  /// Foundation checkpoint size; default models a 3.25e9-parameter fp16
+  /// on-device LLM (the paper's Gemini Nano-2 reference).
+  support::Bytes foundation_bytes = 6'500'000'000ull;
+  /// Adapter size as a fraction of the foundation (LoRA: well under 1%).
+  double adapter_fraction = 0.005;
+  /// Relative spread of adapter sizes (adapters differ by rank/targets).
+  double adapter_jitter = 0.5;
+
+  void validate() const;
+};
+
+[[nodiscard]] ModelLibrary build_lora_library(const LoraLibraryConfig& config,
+                                              support::Rng& rng);
+
+}  // namespace trimcaching::model

@@ -1,0 +1,223 @@
+#include "src/model/model_library.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace trimcaching::model {
+
+using support::Bytes;
+using support::DynamicBitset;
+
+void ModelLibrary::check_finalized(bool expected) const {
+  if (finalized_ != expected) {
+    throw std::logic_error(expected ? "ModelLibrary: finalize() required first"
+                                    : "ModelLibrary: already finalized");
+  }
+}
+
+BlockId ModelLibrary::add_block(Bytes size_bytes, std::string name) {
+  check_finalized(false);
+  if (size_bytes == 0) throw std::invalid_argument("add_block: zero-sized block");
+  blocks_.push_back(ParameterBlock{size_bytes, std::move(name)});
+  return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+ModelId ModelLibrary::add_model(std::string name, std::string family,
+                                std::vector<BlockId> blocks) {
+  check_finalized(false);
+  if (blocks.empty()) throw std::invalid_argument("add_model: model with no blocks");
+  std::sort(blocks.begin(), blocks.end());
+  if (std::adjacent_find(blocks.begin(), blocks.end()) != blocks.end()) {
+    throw std::invalid_argument("add_model: duplicate block in model");
+  }
+  if (blocks.back() >= blocks_.size()) {
+    throw std::invalid_argument("add_model: unknown block id");
+  }
+  models_.push_back(ModelSpec{std::move(name), std::move(family), std::move(blocks)});
+  return static_cast<ModelId>(models_.size() - 1);
+}
+
+void ModelLibrary::finalize() {
+  check_finalized(false);
+  if (models_.empty()) throw std::logic_error("ModelLibrary: no models");
+  block_models_.assign(blocks_.size(), {});
+  model_sizes_.assign(models_.size(), 0);
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    for (const BlockId j : models_[i].blocks) {
+      block_models_[j].push_back(static_cast<ModelId>(i));
+      model_sizes_[i] += blocks_[j].size_bytes;
+    }
+  }
+  shared_blocks_.clear();
+  shared_index_.assign(blocks_.size(), kInvalidId);
+  for (std::size_t j = 0; j < blocks_.size(); ++j) {
+    if (block_models_[j].size() >= 2) {
+      shared_index_[j] = static_cast<std::uint32_t>(shared_blocks_.size());
+      shared_blocks_.push_back(static_cast<BlockId>(j));
+    }
+  }
+  const std::size_t beta = shared_blocks_.size();
+  shared_parts_.assign(models_.size(), DynamicBitset(beta));
+  shared_part_sizes_.assign(models_.size(), 0);
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    for (const BlockId j : models_[i].blocks) {
+      if (shared_index_[j] != kInvalidId) {
+        shared_parts_[i].set(shared_index_[j]);
+        shared_part_sizes_[i] += blocks_[j].size_bytes;
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+Bytes ModelLibrary::model_size(ModelId i) const {
+  check_finalized(true);
+  return model_sizes_.at(i);
+}
+
+const std::vector<ModelId>& ModelLibrary::models_with_block(BlockId j) const {
+  check_finalized(true);
+  return block_models_.at(j);
+}
+
+bool ModelLibrary::is_shared_block(BlockId j) const {
+  check_finalized(true);
+  return shared_index_.at(j) != kInvalidId;
+}
+
+const std::vector<BlockId>& ModelLibrary::shared_blocks() const {
+  check_finalized(true);
+  return shared_blocks_;
+}
+
+const DynamicBitset& ModelLibrary::shared_part(ModelId i) const {
+  check_finalized(true);
+  return shared_parts_.at(i);
+}
+
+Bytes ModelLibrary::shared_part_size(ModelId i) const {
+  check_finalized(true);
+  return shared_part_sizes_.at(i);
+}
+
+Bytes ModelLibrary::specific_size(ModelId i) const {
+  check_finalized(true);
+  return model_sizes_.at(i) - shared_part_sizes_.at(i);
+}
+
+Bytes ModelLibrary::combination_size(const DynamicBitset& combo) const {
+  check_finalized(true);
+  if (combo.size() != shared_blocks_.size()) {
+    throw std::invalid_argument("combination_size: bitset must span shared blocks");
+  }
+  Bytes total = 0;
+  combo.for_each([&](std::size_t t) { total += blocks_[shared_blocks_[t]].size_bytes; });
+  return total;
+}
+
+Bytes ModelLibrary::dedup_size(const std::vector<ModelId>& models) const {
+  check_finalized(true);
+  DynamicBitset used(blocks_.size());
+  for (const ModelId i : models) {
+    for (const BlockId j : models_.at(i).blocks) used.set(j);
+  }
+  Bytes total = 0;
+  used.for_each([&](std::size_t j) { total += blocks_[j].size_bytes; });
+  return total;
+}
+
+Bytes ModelLibrary::naive_size(const std::vector<ModelId>& models) const {
+  check_finalized(true);
+  Bytes total = 0;
+  for (const ModelId i : models) total += model_sizes_.at(i);
+  return total;
+}
+
+std::vector<DynamicBitset> ModelLibrary::shared_combination_closure(
+    std::size_t max_size) const {
+  check_finalized(true);
+  const std::size_t beta = shared_blocks_.size();
+  // Distinct non-empty shared parts.
+  std::unordered_set<DynamicBitset, support::DynamicBitsetHash> parts;
+  for (const auto& sp : shared_parts_) {
+    if (sp.any()) parts.insert(sp);
+  }
+  std::vector<DynamicBitset> generators(parts.begin(), parts.end());
+
+  std::unordered_set<DynamicBitset, support::DynamicBitsetHash> closure;
+  std::vector<DynamicBitset> order;
+  const DynamicBitset empty(beta);
+  closure.insert(empty);
+  order.push_back(empty);
+  // BFS union closure: every achievable union of generator parts.
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const DynamicBitset current = order[head];  // copy: order may reallocate
+    for (const auto& g : generators) {
+      DynamicBitset next = current;
+      next |= g;
+      if (closure.insert(next).second) {
+        if (closure.size() > max_size) {
+          throw std::runtime_error(
+              "shared_combination_closure: closure exceeds max_size (general-case "
+              "blow-up; use TrimCachingGen instead)");
+        }
+        order.push_back(std::move(next));
+      }
+    }
+  }
+  return order;
+}
+
+ModelLibrary ModelLibrary::subset(const std::vector<ModelId>& models) const {
+  check_finalized(true);
+  if (models.empty()) throw std::invalid_argument("subset: empty model set");
+  ModelLibrary out;
+  std::unordered_map<BlockId, BlockId> block_map;
+  for (const ModelId i : models) {
+    const ModelSpec& spec = models_.at(i);
+    std::vector<BlockId> new_blocks;
+    new_blocks.reserve(spec.blocks.size());
+    for (const BlockId j : spec.blocks) {
+      auto it = block_map.find(j);
+      if (it == block_map.end()) {
+        const BlockId nj = out.add_block(blocks_[j].size_bytes, blocks_[j].name);
+        it = block_map.emplace(j, nj).first;
+      }
+      new_blocks.push_back(it->second);
+    }
+    out.add_model(spec.name, spec.family, std::move(new_blocks));
+  }
+  out.finalize();
+  return out;
+}
+
+ModelLibrary ModelLibrary::sample_subset(std::size_t count, support::Rng& rng) const {
+  check_finalized(true);
+  if (count == 0 || count > models_.size()) {
+    throw std::invalid_argument("sample_subset: bad count");
+  }
+  std::vector<ModelId> ids(models_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<ModelId>(i);
+  rng.shuffle(ids);
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return subset(ids);
+}
+
+ModelLibrary::Stats ModelLibrary::stats() const {
+  check_finalized(true);
+  Stats s;
+  s.num_models = models_.size();
+  s.num_blocks = blocks_.size();
+  s.num_shared_blocks = shared_blocks_.size();
+  for (const auto& sz : model_sizes_) s.naive_total += sz;
+  for (const auto& b : blocks_) s.dedup_total += b.size_bytes;
+  s.sharing_ratio =
+      s.naive_total > 0
+          ? 1.0 - static_cast<double>(s.dedup_total) / static_cast<double>(s.naive_total)
+          : 0.0;
+  return s;
+}
+
+}  // namespace trimcaching::model

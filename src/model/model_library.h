@@ -1,0 +1,131 @@
+// Parameter-sharing model library (§III-B of the paper).
+//
+// A library holds J parameter blocks and I models; every model is a set of
+// block ids. A block contained in >= 2 models is a *shared* block, otherwise
+// it is *specific*. Storage on an edge server is deduplicated at block
+// granularity: caching a set S of models occupies the size of the *union* of
+// their blocks (Eq. 7), which is what makes the storage constraint
+// submodular.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/support/bitset.h"
+#include "src/support/ids.h"
+#include "src/support/rng.h"
+#include "src/support/units.h"
+
+namespace trimcaching::model {
+
+struct ParameterBlock {
+  support::Bytes size_bytes = 0;
+  std::string name;
+};
+
+struct ModelSpec {
+  std::string name;
+  std::string family;              ///< lineage tag (e.g. "resnet50")
+  std::vector<BlockId> blocks;     ///< unique, ascending after finalize()
+};
+
+class ModelLibrary {
+ public:
+  /// Registers a parameter block and returns its id.
+  BlockId add_block(support::Bytes size_bytes, std::string name = {});
+
+  /// Registers a model referencing previously-added blocks (duplicates in
+  /// `blocks` are rejected). Returns the model id.
+  ModelId add_model(std::string name, std::string family, std::vector<BlockId> blocks);
+
+  /// Computes derived structures (sharing classification, per-model sizes,
+  /// shared parts). Must be called once after all add_* calls; further
+  /// mutation is rejected.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t num_models() const noexcept { return models_.size(); }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+  [[nodiscard]] const ParameterBlock& block(BlockId j) const { return blocks_.at(j); }
+  [[nodiscard]] const ModelSpec& model(ModelId i) const { return models_.at(i); }
+
+  /// Total (non-deduplicated) size D_i of model i.
+  [[nodiscard]] support::Bytes model_size(ModelId i) const;
+
+  /// Models containing block j (the paper's I_j), ascending.
+  [[nodiscard]] const std::vector<ModelId>& models_with_block(BlockId j) const;
+
+  /// True if block j belongs to two or more models.
+  [[nodiscard]] bool is_shared_block(BlockId j) const;
+
+  /// Ids of all shared blocks, ascending. β = shared_blocks().size().
+  [[nodiscard]] const std::vector<BlockId>& shared_blocks() const;
+
+  /// Model i's shared blocks as a bitset over the *shared-block index space*
+  /// [0, β) (index t corresponds to shared_blocks()[t]).
+  [[nodiscard]] const support::DynamicBitset& shared_part(ModelId i) const;
+
+  /// Size of model i's shared part (paper's d_{N,i} when N covers it).
+  [[nodiscard]] support::Bytes shared_part_size(ModelId i) const;
+
+  /// Size of model i's specific part: D_i - shared_part_size(i). This is the
+  /// DP weight D_N(i) of Eq. 13 for any combination N that covers S_i.
+  [[nodiscard]] support::Bytes specific_size(ModelId i) const;
+
+  /// Total size of a shared-block combination (bitset over [0, β)).
+  [[nodiscard]] support::Bytes combination_size(const support::DynamicBitset& combo) const;
+
+  /// Deduplicated size of a set of models (union of their blocks, Eq. 7's
+  /// g_m for a concrete placement).
+  [[nodiscard]] support::Bytes dedup_size(const std::vector<ModelId>& models) const;
+
+  /// Sum of standalone model sizes (what Independent Caching would use).
+  [[nodiscard]] support::Bytes naive_size(const std::vector<ModelId>& models) const;
+
+  /// Enumerates the union-closure of the models' shared parts: every set of
+  /// shared blocks realizable as U_{i in S} S_i for some model subset S,
+  /// including the empty set. This is exactly the set of combinations the
+  /// TrimCaching Spec algorithm must traverse (paper's A, Fig. 3): any
+  /// combination outside the closure is dominated by the closure element it
+  /// contains. Throws std::runtime_error if the closure would exceed
+  /// `max_size` (the general case's exponential blow-up, Prop. 2 / §VI).
+  [[nodiscard]] std::vector<support::DynamicBitset> shared_combination_closure(
+      std::size_t max_size = 1u << 20) const;
+
+  /// A new library containing only `models` (re-indexed, unused blocks
+  /// dropped). Useful for sampling I models out of a large library.
+  [[nodiscard]] ModelLibrary subset(const std::vector<ModelId>& models) const;
+
+  /// Samples `count` distinct models uniformly and returns the sub-library.
+  [[nodiscard]] ModelLibrary sample_subset(std::size_t count, support::Rng& rng) const;
+
+  /// Library-wide stats used in docs/experiments.
+  struct Stats {
+    std::size_t num_models = 0;
+    std::size_t num_blocks = 0;
+    std::size_t num_shared_blocks = 0;
+    support::Bytes naive_total = 0;   ///< sum of model sizes
+    support::Bytes dedup_total = 0;   ///< size of the union of all blocks
+    double sharing_ratio = 0.0;       ///< 1 - dedup/naive
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void check_finalized(bool expected) const;
+
+  bool finalized_ = false;
+  std::vector<ParameterBlock> blocks_;
+  std::vector<ModelSpec> models_;
+
+  // Derived by finalize():
+  std::vector<std::vector<ModelId>> block_models_;   // I_j
+  std::vector<BlockId> shared_blocks_;               // ascending
+  std::vector<std::uint32_t> shared_index_;          // block id -> index in [0, β), or kInvalidId
+  std::vector<support::Bytes> model_sizes_;          // D_i
+  std::vector<support::DynamicBitset> shared_parts_; // S_i over [0, β)
+  std::vector<support::Bytes> shared_part_sizes_;
+};
+
+}  // namespace trimcaching::model

@@ -1,0 +1,119 @@
+#include "src/model/resnet_zoo.h"
+
+#include <stdexcept>
+
+namespace trimcaching::model {
+
+std::string to_string(ResNetArch arch) {
+  switch (arch) {
+    case ResNetArch::kResNet18: return "resnet18";
+    case ResNetArch::kResNet34: return "resnet34";
+    case ResNetArch::kResNet50: return "resnet50";
+  }
+  throw std::invalid_argument("to_string: unknown ResNetArch");
+}
+
+namespace {
+
+void add_conv(std::vector<LayerSpec>& out, const std::string& name, std::size_t k,
+              std::size_t cin, std::size_t cout) {
+  out.push_back(LayerSpec{name, k * k * cin * cout});  // ResNet convs have no bias
+}
+
+void add_bn(std::vector<LayerSpec>& out, const std::string& name, std::size_t channels) {
+  out.push_back(LayerSpec{name, 2 * channels});  // scale + shift
+}
+
+/// BasicBlock (ResNet-18/34): two 3x3 convs, optional 1x1 downsample.
+void add_basic_block(std::vector<LayerSpec>& out, const std::string& prefix,
+                     std::size_t cin, std::size_t cout, bool downsample) {
+  add_conv(out, prefix + ".conv1", 3, cin, cout);
+  add_bn(out, prefix + ".bn1", cout);
+  add_conv(out, prefix + ".conv2", 3, cout, cout);
+  add_bn(out, prefix + ".bn2", cout);
+  if (downsample) {
+    add_conv(out, prefix + ".downsample.conv", 1, cin, cout);
+    add_bn(out, prefix + ".downsample.bn", cout);
+  }
+}
+
+/// Bottleneck (ResNet-50): 1x1 -> 3x3 -> 1x1 (x4 expansion), optional downsample.
+void add_bottleneck(std::vector<LayerSpec>& out, const std::string& prefix,
+                    std::size_t cin, std::size_t cmid, bool downsample) {
+  const std::size_t cout = 4 * cmid;
+  add_conv(out, prefix + ".conv1", 1, cin, cmid);
+  add_bn(out, prefix + ".bn1", cmid);
+  add_conv(out, prefix + ".conv2", 3, cmid, cmid);
+  add_bn(out, prefix + ".bn2", cmid);
+  add_conv(out, prefix + ".conv3", 1, cmid, cout);
+  add_bn(out, prefix + ".bn3", cout);
+  if (downsample) {
+    add_conv(out, prefix + ".downsample.conv", 1, cin, cout);
+    add_bn(out, prefix + ".downsample.bn", cout);
+  }
+}
+
+}  // namespace
+
+std::vector<LayerSpec> resnet_layers(ResNetArch arch, std::size_t num_classes) {
+  if (num_classes == 0) throw std::invalid_argument("resnet_layers: num_classes == 0");
+  std::vector<LayerSpec> out;
+  add_conv(out, "conv1", 7, 3, 64);
+  add_bn(out, "bn1", 64);
+
+  const std::size_t widths[4] = {64, 128, 256, 512};
+  if (arch == ResNetArch::kResNet18 || arch == ResNetArch::kResNet34) {
+    const std::size_t depths18[4] = {2, 2, 2, 2};
+    const std::size_t depths34[4] = {3, 4, 6, 3};
+    const std::size_t* depths = (arch == ResNetArch::kResNet18) ? depths18 : depths34;
+    std::size_t cin = 64;
+    for (std::size_t stage = 0; stage < 4; ++stage) {
+      const std::size_t cout = widths[stage];
+      for (std::size_t b = 0; b < depths[stage]; ++b) {
+        const bool downsample = (b == 0 && cin != cout);
+        const std::string prefix =
+            "layer" + std::to_string(stage + 1) + ".block" + std::to_string(b);
+        add_basic_block(out, prefix, cin, cout, downsample);
+        cin = cout;
+      }
+    }
+    out.push_back(LayerSpec{"fc", cin * num_classes + num_classes});
+  } else {
+    const std::size_t depths50[4] = {3, 4, 6, 3};
+    std::size_t cin = 64;
+    for (std::size_t stage = 0; stage < 4; ++stage) {
+      const std::size_t cmid = widths[stage];
+      for (std::size_t b = 0; b < depths50[stage]; ++b) {
+        // Every stage's first bottleneck downsamples (layer1 changes 64->256).
+        const bool downsample = (b == 0);
+        const std::string prefix =
+            "layer" + std::to_string(stage + 1) + ".block" + std::to_string(b);
+        add_bottleneck(out, prefix, cin, cmid, downsample);
+        cin = 4 * cmid;
+      }
+    }
+    out.push_back(LayerSpec{"fc", cin * num_classes + num_classes});
+  }
+  return out;
+}
+
+std::size_t resnet_param_count(ResNetArch arch, std::size_t num_classes) {
+  std::size_t total = 0;
+  for (const auto& layer : resnet_layers(arch, num_classes)) total += layer.params;
+  return total;
+}
+
+std::size_t resnet_layer_count(ResNetArch arch) {
+  return resnet_layers(arch, 100).size();
+}
+
+std::pair<std::size_t, std::size_t> paper_freeze_range(ResNetArch arch) {
+  switch (arch) {
+    case ResNetArch::kResNet18: return {29, 40};
+    case ResNetArch::kResNet34: return {49, 72};
+    case ResNetArch::kResNet50: return {87, 106};
+  }
+  throw std::invalid_argument("paper_freeze_range: unknown ResNetArch");
+}
+
+}  // namespace trimcaching::model

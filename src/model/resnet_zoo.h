@@ -1,0 +1,49 @@
+// Exact trainable-layer parameter tables for the ResNet family.
+//
+// The paper's model library is built from ResNet-18/34/50 fine-tuned on
+// CIFAR-100. Placement only needs layer *sizes* and ordering, which are
+// fully determined by the architecture, so we compute them programmatically
+// (He et al., CVPR 2016; torchvision layout).
+//
+// Layer counting convention (validated against the paper's §VII-A freeze
+// ranges): every convolution and every batch-norm is one trainable layer,
+// plus the final fully-connected head. This yields
+//   ResNet-18: 41 layers (freeze range [29, 40]),
+//   ResNet-34: 73 layers (freeze range [49, 72]),
+//   ResNet-50: 107 layers (freeze range [87, 106]),
+// so the paper's maximum freeze depth is exactly "all but the head", and
+// "layer 97" is 90% of ResNet-50's 107 trainable layers as stated for Fig. 1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace trimcaching::model {
+
+enum class ResNetArch { kResNet18, kResNet34, kResNet50 };
+
+[[nodiscard]] std::string to_string(ResNetArch arch);
+
+struct LayerSpec {
+  std::string name;
+  std::size_t params = 0;  ///< trainable parameter count
+};
+
+/// Ordered bottom-to-top trainable layers of the architecture with a
+/// `num_classes`-way classification head.
+[[nodiscard]] std::vector<LayerSpec> resnet_layers(ResNetArch arch,
+                                                   std::size_t num_classes = 100);
+
+/// Total trainable parameters.
+[[nodiscard]] std::size_t resnet_param_count(ResNetArch arch, std::size_t num_classes = 100);
+
+/// Number of trainable layers (41 / 73 / 107 for CIFAR-100 heads).
+[[nodiscard]] std::size_t resnet_layer_count(ResNetArch arch);
+
+/// The paper's freeze-depth range for each architecture (§VII-A): the number
+/// of frozen bottom layers of a fine-tuned downstream model is drawn
+/// uniformly from [first, second].
+[[nodiscard]] std::pair<std::size_t, std::size_t> paper_freeze_range(ResNetArch arch);
+
+}  // namespace trimcaching::model

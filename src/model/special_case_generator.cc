@@ -1,0 +1,41 @@
+#include "src/model/special_case_generator.h"
+
+#include <stdexcept>
+
+#include "src/model/family_builder.h"
+
+namespace trimcaching::model {
+
+void SpecialCaseConfig::validate() const {
+  if (models_per_family == 0) {
+    throw std::invalid_argument("SpecialCaseConfig: models_per_family == 0");
+  }
+  if (head_classes == 0) throw std::invalid_argument("SpecialCaseConfig: head_classes == 0");
+  if (bytes_per_param == 0) {
+    throw std::invalid_argument("SpecialCaseConfig: bytes_per_param == 0");
+  }
+  if (archs.empty()) throw std::invalid_argument("SpecialCaseConfig: no architectures");
+}
+
+ModelLibrary build_special_case_library(const SpecialCaseConfig& config,
+                                        support::Rng& rng) {
+  config.validate();
+  ModelLibrary lib;
+  for (const ResNetArch arch : config.archs) {
+    PrefixFamilySpec spec;
+    spec.family_name = to_string(arch);
+    spec.layers = resnet_layers(arch, config.head_classes);
+    spec.bytes_per_param = config.bytes_per_param;
+    const auto [lo, hi] = paper_freeze_range(arch);
+    for (std::size_t i = 0; i < config.models_per_family; ++i) {
+      spec.freeze_depths.push_back(static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi))));
+      spec.model_names.push_back(spec.family_name + ".task" + std::to_string(i));
+    }
+    add_prefix_family(lib, spec);
+  }
+  lib.finalize();
+  return lib;
+}
+
+}  // namespace trimcaching::model

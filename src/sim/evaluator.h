@@ -1,0 +1,51 @@
+// Hit-ratio evaluation of a fixed placement.
+//
+// The placement algorithms decide on *average* channel gains; following
+// §VII-A, the achieved cache hit ratio is then measured over Rayleigh
+// block-fading realizations (≥10³ in the paper): per realization every
+// associated (server, user) link draws an i.i.d. |h|² ~ Exp(1) power gain
+// and a request (k,i) is a hit if any server holding model i can deliver it
+// within T̄_{k,i} - t_{k,i} under the realized rates (direct, Eq. 4, or
+// relayed through the best covering server, Eq. 5).
+//
+// The evaluator reads the topology's *current* user positions, so it also
+// serves the mobility study: update the topology, evaluate again.
+#pragma once
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+
+class Evaluator {
+ public:
+  Evaluator(const wireless::NetworkTopology& topology,
+            const model::ModelLibrary& library,
+            const workload::RequestModel& requests);
+
+  /// Expected hit ratio under average rates (Eq. 2 recomputed from the
+  /// topology's current user positions).
+  [[nodiscard]] double expected_hit_ratio(const core::PlacementSolution& placement) const;
+
+  /// Monte-Carlo hit ratio over Rayleigh fading realizations.
+  [[nodiscard]] support::Summary fading_hit_ratio(
+      const core::PlacementSolution& placement, std::size_t realizations,
+      support::Rng& rng) const;
+
+ private:
+  /// Hit ratio for one set of per-(m,k) fading gains; `gains` maps the
+  /// associated pair (m,k) to |h|²; pass 1.0 everywhere for the mean channel.
+  [[nodiscard]] double hit_ratio_with_gains(
+      const core::PlacementSolution& placement,
+      const std::vector<std::vector<double>>& per_user_gains) const;
+
+  const wireless::NetworkTopology* topology_;
+  const model::ModelLibrary* library_;
+  const workload::RequestModel* requests_;
+};
+
+}  // namespace trimcaching::sim

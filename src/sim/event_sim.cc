@@ -1,0 +1,418 @@
+#include "src/sim/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "src/support/units.h"
+#include "src/wireless/channel.h"
+
+namespace trimcaching::sim {
+
+void EventSimConfig::validate() const {
+  if (arrival_rate_per_user <= 0) {
+    throw std::invalid_argument("EventSimConfig: arrival rate must be > 0");
+  }
+  if (duration_s <= 0) throw std::invalid_argument("EventSimConfig: duration must be > 0");
+  if (cloud_rate_bps <= 0) {
+    throw std::invalid_argument("EventSimConfig: cloud rate must be > 0");
+  }
+}
+
+namespace {
+
+struct Flow {
+  UserId user = 0;
+  ModelId model = 0;
+  ServerId server = 0;
+  double request_time = 0.0;
+  double budget_s = 0.0;          ///< deadline minus inference latency
+  double remaining_bits = 0.0;
+  double spectral_efficiency = 0.0;  ///< bits/s/Hz on its downlink
+  double rate_bps = 0.0;          ///< current processor-shared rate
+  double last_update = 0.0;
+  std::uint64_t version = 0;
+  bool active = false;
+};
+
+enum class EventKind { kArrival, kFlowStart, kFlowFinish };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kArrival;
+  std::size_t flow = 0;        ///< flow index (unused for arrivals)
+  std::uint64_t version = 0;   ///< stale-finish detection
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// Per-server processor-sharing state, plus the block cache used by the
+/// reactive kLruOnMiss policy.
+struct ServerState {
+  std::vector<std::size_t> active_flows;
+  double busy_time = 0.0;
+  double flow_time = 0.0;  ///< ∫ n(t) dt while busy
+  double last_change = 0.0;
+
+  // kLruOnMiss cache state.
+  std::vector<char> cached_block;
+  std::vector<std::uint64_t> last_use;  ///< LRU stamp per block
+  support::Bytes used = 0;
+  support::Bytes capacity = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const wireless::NetworkTopology& topology,
+            const model::ModelLibrary& library,
+            const workload::RequestModel& requests,
+            const core::PlacementSolution& placement, const EventSimConfig& config,
+            support::Rng& rng)
+      : topology_(&topology),
+        library_(&library),
+        requests_(&requests),
+        placement_(&placement),
+        config_(&config),
+        rng_(&rng),
+        servers_(topology.num_servers()),
+        prev_counts_(topology.num_servers(), 0) {
+    build_request_cdfs();
+    if (config.cache_policy == CachePolicy::kLruOnMiss) {
+      for (ServerId m = 0; m < topology.num_servers(); ++m) {
+        ServerState& server = servers_[m];
+        server.cached_block.assign(library.num_blocks(), 0);
+        server.last_use.assign(library.num_blocks(), 0);
+        server.capacity = topology.capacity(m);
+        for (const ModelId i : placement.models_on(m)) {
+          for (const BlockId j : library.model(i).blocks) {
+            if (!server.cached_block[j]) {
+              server.cached_block[j] = 1;
+              server.used += library.block(j).size_bytes;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  EventSimResult run() {
+    schedule_next_arrival(0.0);
+    while (!queue_.empty()) {
+      const Event event = queue_.top();
+      queue_.pop();
+      switch (event.kind) {
+        case EventKind::kArrival:
+          handle_arrival(event.time);
+          break;
+        case EventKind::kFlowStart:
+          attach_flow(event.flow, event.time);
+          break;
+        case EventKind::kFlowFinish:
+          if (flows_[event.flow].active && flows_[event.flow].version == event.version) {
+            finish_flow(event.flow, event.time);
+          }
+          break;
+      }
+    }
+    return finalize();
+  }
+
+ private:
+  void build_request_cdfs() {
+    const std::size_t num_models = requests_->num_models();
+    cdfs_.resize(requests_->num_users());
+    for (UserId k = 0; k < requests_->num_users(); ++k) {
+      double acc = 0.0;
+      for (ModelId i = 0; i < num_models; ++i) {
+        const double p = requests_->probability(k, i);
+        if (p > 0) {
+          acc += p;
+          cdfs_[k].emplace_back(acc, i);
+        }
+      }
+    }
+  }
+
+  ModelId sample_model(UserId k) {
+    const auto& cdf = cdfs_[k];
+    const double x = rng_->uniform(0.0, cdf.back().first);
+    const auto it = std::lower_bound(
+        cdf.begin(), cdf.end(), x,
+        [](const std::pair<double, ModelId>& entry, double v) { return entry.first < v; });
+    return it == cdf.end() ? cdf.back().second : it->second;
+  }
+
+  void schedule_next_arrival(double now) {
+    const double total_rate =
+        config_->arrival_rate_per_user * static_cast<double>(requests_->num_users());
+    const double next = now + rng_->exponential(total_rate);
+    if (next <= config_->duration_s) {
+      queue_.push(Event{next, EventKind::kArrival, 0, 0});
+    }
+  }
+
+  /// Spectral efficiency of user k served by (covering) server m.
+  double spectral_efficiency(ServerId m, UserId k) {
+    const auto& radio = topology_->radio();
+    const double d =
+        wireless::distance(topology_->server_position(m), topology_->user_position(k));
+    const double gain = config_->average_channel
+                            ? 1.0
+                            : wireless::sample_rayleigh_power_gain(*rng_);
+    // SNR is share-invariant (power and bandwidth shares scale together), so
+    // use the full-band SNR; the share enters through the flow rate.
+    const double snr = radio.total_power_w * wireless::path_gain(radio.channel, d) *
+                       gain / (radio.channel.effective_noise_psd() * radio.total_bandwidth_hz);
+    return std::log2(1.0 + snr);
+  }
+
+  void handle_arrival(double now) {
+    schedule_next_arrival(now);
+    ++result_.requests;
+    ++lru_clock_;
+    const auto k = static_cast<UserId>(rng_->index(requests_->num_users()));
+    const ModelId i = sample_model(k);
+    const double budget = requests_->deadline_s(k, i) - requests_->inference_s(k, i);
+    const double payload_bits = support::bits(library_->model_size(i));
+
+    if (config_->cache_policy == CachePolicy::kLruOnMiss) {
+      handle_arrival_lru(now, k, i, budget, payload_bits);
+      return;
+    }
+
+    // Pick the serving server: best direct holder, else relay to the best
+    // covering server (paper's two delivery cases).
+    const auto& covering = topology_->servers_covering(k);
+    ServerId serve = kInvalidId;
+    double best_se = 0.0;
+    bool relay = false;
+    for (const ServerId holder : placement_->holders_of(i)) {
+      if (!std::binary_search(covering.begin(), covering.end(), holder)) continue;
+      const double se = spectral_efficiency(holder, k);
+      if (se > best_se) {
+        best_se = se;
+        serve = holder;
+      }
+    }
+    if (serve == kInvalidId && !placement_->holders_of(i).empty()) {
+      for (const ServerId m : covering) {
+        const double se = spectral_efficiency(m, k);
+        if (se > best_se) {
+          best_se = se;
+          serve = m;
+          relay = true;
+        }
+      }
+    }
+    if (serve == kInvalidId || best_se <= 0.0) {
+      ++result_.unserved;
+      return;
+    }
+
+    Flow flow;
+    flow.user = k;
+    flow.model = i;
+    flow.server = serve;
+    flow.request_time = now;
+    flow.budget_s = budget;
+    flow.remaining_bits = payload_bits;
+    flow.spectral_efficiency = best_se;
+    flows_.push_back(flow);
+    const std::size_t idx = flows_.size() - 1;
+    if (relay) {
+      const double backhaul_delay = payload_bits / topology_->radio().backhaul_bps;
+      queue_.push(Event{now + backhaul_delay, EventKind::kFlowStart, idx, 0});
+    } else {
+      attach_flow(idx, now);
+    }
+  }
+
+  /// Reactive mode: serve from the best covering server; fetch misses from
+  /// the cloud and insert the model's blocks under block-level LRU.
+  void handle_arrival_lru(double now, UserId k, ModelId i, double budget,
+                          double payload_bits) {
+    const auto& covering = topology_->servers_covering(k);
+    ServerId serve = kInvalidId;
+    double best_se = 0.0;
+    for (const ServerId m : covering) {
+      const double se = spectral_efficiency(m, k);
+      if (se > best_se) {
+        best_se = se;
+        serve = m;
+      }
+    }
+    if (serve == kInvalidId || best_se <= 0.0) {
+      ++result_.unserved;
+      return;
+    }
+    ServerState& server = servers_[serve];
+    support::Bytes missing = 0;
+    for (const BlockId j : library_->model(i).blocks) {
+      if (!server.cached_block[j]) missing += library_->block(j).size_bytes;
+      server.last_use[j] = lru_clock_;
+    }
+
+    Flow flow;
+    flow.user = k;
+    flow.model = i;
+    flow.server = serve;
+    flow.request_time = now;
+    flow.budget_s = budget;
+    flow.remaining_bits = payload_bits;
+    flow.spectral_efficiency = best_se;
+    flows_.push_back(flow);
+    const std::size_t idx = flows_.size() - 1;
+
+    if (missing == 0) {
+      attach_flow(idx, now);
+      return;
+    }
+    ++result_.cloud_fetches;
+    insert_with_lru(server, i);
+    const double cloud_delay = support::bits(missing) / config_->cloud_rate_bps;
+    queue_.push(Event{now + cloud_delay, EventKind::kFlowStart, idx, 0});
+  }
+
+  /// Inserts model i's blocks, evicting least-recently-used blocks (never
+  /// the inserted model's own) until the cache fits. Models larger than the
+  /// cache are served pass-through without insertion.
+  void insert_with_lru(ServerState& server, ModelId i) {
+    if (library_->model_size(i) > server.capacity) return;
+    std::vector<char> inserting(library_->num_blocks(), 0);
+    for (const BlockId j : library_->model(i).blocks) {
+      inserting[j] = 1;
+      if (!server.cached_block[j]) {
+        server.cached_block[j] = 1;
+        server.used += library_->block(j).size_bytes;
+      }
+    }
+    while (server.used > server.capacity) {
+      BlockId victim = kInvalidId;
+      std::uint64_t oldest = UINT64_MAX;
+      for (BlockId j = 0; j < library_->num_blocks(); ++j) {
+        if (server.cached_block[j] && !inserting[j] && server.last_use[j] < oldest) {
+          oldest = server.last_use[j];
+          victim = j;
+        }
+      }
+      if (victim == kInvalidId) break;  // only the inserted model remains
+      server.cached_block[victim] = 0;
+      server.used -= library_->block(victim).size_bytes;
+    }
+  }
+
+  void attach_flow(std::size_t idx, double now) {
+    Flow& flow = flows_[idx];
+    flow.active = true;
+    flow.last_update = now;
+    servers_[flow.server].active_flows.push_back(idx);
+    rebalance(flow.server, now);
+  }
+
+  void finish_flow(std::size_t idx, double now) {
+    Flow& flow = flows_[idx];
+    flow.active = false;
+    auto& active = servers_[flow.server].active_flows;
+    active.erase(std::find(active.begin(), active.end(), idx));
+    const double download = now - flow.request_time;
+    download_times_.push_back(download);
+    if (download <= flow.budget_s) {
+      ++result_.hits;
+    } else {
+      ++result_.late;
+    }
+    rebalance(flow.server, now);
+  }
+
+  /// Re-shares the server's bandwidth among its active flows and reschedules
+  /// their (versioned) finish events.
+  void rebalance(ServerId m, double now) {
+    ServerState& server = servers_[m];
+    // Account the interval since the last change at its old concurrency.
+    const double elapsed = now - server.last_change;
+    if (elapsed > 0 && prev_counts_[m] > 0) {
+      server.busy_time += elapsed;
+      server.flow_time += elapsed * static_cast<double>(prev_counts_[m]);
+    }
+    server.last_change = now;
+    const std::size_t n = server.active_flows.size();
+    prev_counts_[m] = n;
+
+    if (n == 0) return;
+    const double share_hz =
+        topology_->radio().total_bandwidth_hz / static_cast<double>(n);
+    for (const std::size_t idx : server.active_flows) {
+      Flow& flow = flows_[idx];
+      // Drain work done since the flow's last rate change.
+      flow.remaining_bits -= flow.rate_bps * (now - flow.last_update);
+      flow.remaining_bits = std::max(0.0, flow.remaining_bits);
+      flow.last_update = now;
+      flow.rate_bps = share_hz * flow.spectral_efficiency;
+      ++flow.version;
+      const double finish = now + flow.remaining_bits / flow.rate_bps;
+      queue_.push(Event{finish, EventKind::kFlowFinish, idx, flow.version});
+    }
+  }
+
+  EventSimResult finalize() {
+    result_.empirical_hit_ratio =
+        result_.requests > 0
+            ? static_cast<double>(result_.hits) / static_cast<double>(result_.requests)
+            : 0.0;
+    if (!download_times_.empty()) {
+      double sum = 0;
+      for (const double t : download_times_) sum += t;
+      result_.mean_download_s = sum / static_cast<double>(download_times_.size());
+      std::sort(download_times_.begin(), download_times_.end());
+      const std::size_t p95 =
+          std::min(download_times_.size() - 1,
+                   static_cast<std::size_t>(0.95 * static_cast<double>(
+                                                       download_times_.size())));
+      result_.p95_download_s = download_times_[p95];
+    }
+    double busy = 0, flow_time = 0;
+    for (const auto& server : servers_) {
+      busy += server.busy_time;
+      flow_time += server.flow_time;
+    }
+    result_.mean_concurrency = busy > 0 ? flow_time / busy : 0.0;
+    return result_;
+  }
+
+  const wireless::NetworkTopology* topology_;
+  const model::ModelLibrary* library_;
+  const workload::RequestModel* requests_;
+  const core::PlacementSolution* placement_;
+  const EventSimConfig* config_;
+  support::Rng* rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Flow> flows_;
+  std::vector<ServerState> servers_;
+  std::vector<std::size_t> prev_counts_;
+  std::vector<std::vector<std::pair<double, ModelId>>> cdfs_;
+  std::vector<double> download_times_;
+  std::uint64_t lru_clock_ = 0;
+  EventSimResult result_;
+};
+
+}  // namespace
+
+EventSimResult simulate_downloads(const wireless::NetworkTopology& topology,
+                                  const model::ModelLibrary& library,
+                                  const workload::RequestModel& requests,
+                                  const core::PlacementSolution& placement,
+                                  const EventSimConfig& config, support::Rng& rng) {
+  config.validate();
+  if (placement.num_servers() != topology.num_servers() ||
+      placement.num_models() != library.num_models() ||
+      requests.num_users() != topology.num_users()) {
+    throw std::invalid_argument("simulate_downloads: dimension mismatch");
+  }
+  Simulator simulator(topology, library, requests, placement, config, rng);
+  return simulator.run();
+}
+
+}  // namespace trimcaching::sim

@@ -1,0 +1,78 @@
+// Discrete-event download simulator (extension beyond the paper).
+//
+// The paper evaluates placements with a *static* rate model: every user's
+// downlink share is the expected B/(p_A·|K_m|), independent of what anyone
+// else is doing. This module replays an actual request process against a
+// placement: users issue Poisson requests; a request opens a download flow
+// on the best serving edge server; a server's bandwidth B is processor-
+// shared equally among its concurrently active flows; relayed requests pay
+// the backhaul transfer first. A request is a hit if its download plus
+// on-device inference finishes within its deadline. This exposes the
+// contention regime the snapshot model averages away (bench/
+// ablation_contention sweeps the arrival rate).
+//
+// Mechanics: event-driven processor sharing. Whenever a flow starts or
+// finishes on a server, the remaining work of the server's flows is
+// re-scaled to the new share; completion events are re-queued with a
+// version stamp so stale ones are discarded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+#include "src/support/rng.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+
+/// How server caches behave during the replay.
+///
+///  * kStatic    — the placement is the cache, forever (the paper's model:
+///                 contents are pushed in an offline stage).
+///  * kLruOnMiss — reactive baseline: caches start from the placement; a
+///                 request whose model is not fully cached on the serving
+///                 server is fetched from the cloud (slow), after which the
+///                 model's blocks are inserted with block-level LRU
+///                 eviction. Relaying is disabled in this mode (each user is
+///                 served by its best covering server or the cloud).
+enum class CachePolicy { kStatic, kLruOnMiss };
+
+struct EventSimConfig {
+  /// Mean request rate per user (requests/second).
+  double arrival_rate_per_user = 0.05;
+  double duration_s = 600.0;
+  /// Flow spectral efficiency uses each user's average channel (distance
+  /// path loss); set false to re-draw a Rayleigh gain per request.
+  bool average_channel = true;
+  CachePolicy cache_policy = CachePolicy::kStatic;
+  /// Effective cloud-to-edge fetch rate for cache misses (kLruOnMiss).
+  double cloud_rate_bps = 300e6;
+
+  void validate() const;
+};
+
+struct EventSimResult {
+  std::size_t requests = 0;
+  std::size_t hits = 0;            ///< completed within deadline
+  std::size_t late = 0;            ///< completed after deadline
+  std::size_t unserved = 0;        ///< no edge server could serve at all
+  std::size_t cloud_fetches = 0;   ///< kLruOnMiss: misses served via cloud
+  double empirical_hit_ratio = 0.0;
+  double mean_download_s = 0.0;    ///< over completed downloads
+  double p95_download_s = 0.0;
+  double mean_concurrency = 0.0;   ///< time-averaged active flows per busy server
+
+  [[nodiscard]] std::size_t completed() const noexcept { return hits + late; }
+};
+
+/// Replays `config.duration_s` seconds of Poisson traffic against the
+/// placement and returns empirical statistics. Deterministic given `rng`.
+[[nodiscard]] EventSimResult simulate_downloads(
+    const wireless::NetworkTopology& topology, const model::ModelLibrary& library,
+    const workload::RequestModel& requests, const core::PlacementSolution& placement,
+    const EventSimConfig& config, support::Rng& rng);
+
+}  // namespace trimcaching::sim

@@ -1,0 +1,40 @@
+#include "src/sim/experiment.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+namespace trimcaching::sim {
+
+bool full_scale_requested() {
+  const char* env = std::getenv("TRIMCACHING_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+MonteCarloConfig default_mc_config() {
+  MonteCarloConfig mc;
+  if (full_scale_requested()) {
+    mc.topologies = 100;
+    mc.fading_realizations = 1000;
+  } else {
+    mc.topologies = 8;
+    mc.fading_realizations = 200;
+  }
+  return mc;
+}
+
+void emit_experiment(const std::string& name, const std::string& description,
+                     const support::Table& table) {
+  std::cout << "=== " << name << " ===\n" << description << "\n\n"
+            << table.to_text() << "\n";
+  try {
+    std::filesystem::create_directories("results");
+    table.write_csv("results/" + name + ".csv");
+    std::cout << "[written results/" << name << ".csv]\n\n";
+  } catch (const std::exception& e) {
+    std::cerr << "warning: could not write CSV for " << name << ": " << e.what()
+              << "\n";
+  }
+}
+
+}  // namespace trimcaching::sim

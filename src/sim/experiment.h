@@ -1,0 +1,25 @@
+// Shared plumbing for the figure/table benchmark binaries: Monte-Carlo
+// budget selection (quick vs paper-scale) and result output.
+#pragma once
+
+#include <string>
+
+#include "src/sim/monte_carlo.h"
+#include "src/support/table.h"
+
+namespace trimcaching::sim {
+
+/// True when TRIMCACHING_FULL=1 is set: use the paper's averaging budget
+/// (100 topologies x 1000 fading realizations) instead of the quick default.
+[[nodiscard]] bool full_scale_requested();
+
+/// Monte-Carlo budget honoring TRIMCACHING_FULL.
+[[nodiscard]] MonteCarloConfig default_mc_config();
+
+/// Prints a figure header, the table body, and writes `<name>.csv` next to
+/// the binary's working directory under results/ (best effort: failures to
+/// create the directory only warn).
+void emit_experiment(const std::string& name, const std::string& description,
+                     const support::Table& table);
+
+}  // namespace trimcaching::sim

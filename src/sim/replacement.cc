@@ -1,0 +1,106 @@
+#include "src/sim/replacement.h"
+
+#include <stdexcept>
+
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "src/sim/evaluator.h"
+
+namespace trimcaching::sim {
+
+namespace {
+
+double evaluate(const Evaluator& evaluator, const core::PlacementSolution& placement,
+                const MobilityStudyConfig& config, support::Rng& rng) {
+  if (config.fading_realizations == 0) {
+    return evaluator.expected_hit_ratio(placement);
+  }
+  return evaluator.fading_hit_ratio(placement, config.fading_realizations, rng).mean;
+}
+
+}  // namespace
+
+std::vector<MobilityTracePoint> run_mobility_study(const ScenarioConfig& scenario_config,
+                                                   const MobilityStudyConfig& config,
+                                                   support::Rng& rng) {
+  if (config.eval_every_slots == 0) {
+    throw std::invalid_argument("run_mobility_study: eval_every_slots == 0");
+  }
+  Scenario scenario = build_scenario(scenario_config, rng);
+  const core::PlacementProblem problem = scenario.problem();
+  const core::PlacementSolution spec = core::trimcaching_spec(problem).placement;
+  const core::PlacementSolution gen = core::trimcaching_gen(problem).placement;
+
+  std::vector<mobility::MobilityClass> classes = mobility::assign_classes(
+      scenario_config.num_users, config.pedestrian_fraction, config.bike_fraction,
+      config.vehicle_fraction, rng);
+  std::vector<wireless::Point> initial;
+  initial.reserve(scenario_config.num_users);
+  for (UserId k = 0; k < scenario_config.num_users; ++k) {
+    initial.push_back(scenario.topology.user_position(k));
+  }
+  mobility::MobilityModel mobility(scenario.topology.area(), std::move(initial),
+                                   std::move(classes), rng);
+
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  std::vector<MobilityTracePoint> trace;
+  trace.push_back(MobilityTracePoint{0.0, evaluate(evaluator, spec, config, rng),
+                                     evaluate(evaluator, gen, config, rng)});
+  for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
+    mobility.step(config.slot_seconds, rng);
+    if (slot % config.eval_every_slots != 0) continue;
+    scenario.topology.update_user_positions(mobility.positions());
+    trace.push_back(MobilityTracePoint{
+        slot * config.slot_seconds / 60.0, evaluate(evaluator, spec, config, rng),
+        evaluate(evaluator, gen, config, rng)});
+  }
+  return trace;
+}
+
+ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_config,
+                                             const MobilityStudyConfig& config,
+                                             const ReplacementPolicy& policy,
+                                             support::Rng& rng) {
+  if (policy.degradation_threshold <= 0 || policy.degradation_threshold >= 1) {
+    throw std::invalid_argument("run_replacement_study: threshold out of (0,1)");
+  }
+  Scenario scenario = build_scenario(scenario_config, rng);
+  core::PlacementSolution placement =
+      core::trimcaching_gen(scenario.problem()).placement;
+
+  std::vector<mobility::MobilityClass> classes = mobility::assign_classes(
+      scenario_config.num_users, config.pedestrian_fraction, config.bike_fraction,
+      config.vehicle_fraction, rng);
+  std::vector<wireless::Point> initial;
+  initial.reserve(scenario_config.num_users);
+  for (UserId k = 0; k < scenario_config.num_users; ++k) {
+    initial.push_back(scenario.topology.user_position(k));
+  }
+  mobility::MobilityModel mobility(scenario.topology.area(), std::move(initial),
+                                   std::move(classes), rng);
+
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  ReplacementStudyResult result;
+  double reference = evaluate(evaluator, placement, config, rng);
+  result.trace.push_back(ReplacementTracePoint{0.0, reference, false});
+
+  for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
+    mobility.step(config.slot_seconds, rng);
+    if (slot % config.eval_every_slots != 0) continue;
+    scenario.topology.update_user_positions(mobility.positions());
+    double ratio = evaluate(evaluator, placement, config, rng);
+    bool replaced = false;
+    if (ratio < (1.0 - policy.degradation_threshold) * reference) {
+      placement = core::trimcaching_gen(scenario.problem()).placement;
+      ratio = evaluate(evaluator, placement, config, rng);
+      reference = ratio;
+      replaced = true;
+      ++result.replacements;
+    }
+    result.trace.push_back(
+        ReplacementTracePoint{slot * config.slot_seconds / 60.0, ratio, replaced});
+  }
+  return result;
+}
+
+}  // namespace trimcaching::sim

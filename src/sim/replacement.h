@@ -1,0 +1,61 @@
+// Mobility robustness study (Fig. 7) and the threshold-triggered model
+// re-placement policy the paper sketches in §IV-A ("re-initiate model
+// placement when the performance degrades to a certain threshold").
+#pragma once
+
+#include <vector>
+
+#include "src/mobility/mobility.h"
+#include "src/sim/scenario.h"
+#include "src/support/rng.h"
+
+namespace trimcaching::sim {
+
+struct MobilityStudyConfig {
+  double slot_seconds = 5.0;
+  std::size_t num_slots = 1440;      ///< 2 h at 5 s slots
+  std::size_t eval_every_slots = 12; ///< evaluate once per minute
+  /// Mobility mix (normalized internally).
+  double pedestrian_fraction = 1.0 / 3.0;
+  double bike_fraction = 1.0 / 3.0;
+  double vehicle_fraction = 1.0 / 3.0;
+  /// 0 = evaluate with average rates (fast); otherwise Rayleigh realizations.
+  std::size_t fading_realizations = 0;
+};
+
+struct MobilityTracePoint {
+  double minutes = 0.0;
+  double spec_hit_ratio = 0.0;
+  double gen_hit_ratio = 0.0;
+};
+
+/// Computes Spec and Gen placements on the initial snapshot, then holds them
+/// fixed while users move, recording the achieved hit ratio over time.
+[[nodiscard]] std::vector<MobilityTracePoint> run_mobility_study(
+    const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
+    support::Rng& rng);
+
+struct ReplacementPolicy {
+  /// Re-place when the current ratio falls below (1 - threshold) x the
+  /// ratio measured right after the last placement.
+  double degradation_threshold = 0.10;
+};
+
+struct ReplacementTracePoint {
+  double minutes = 0.0;
+  double hit_ratio = 0.0;
+  bool replaced = false;  ///< a re-placement was triggered at this sample
+};
+
+struct ReplacementStudyResult {
+  std::vector<ReplacementTracePoint> trace;
+  std::size_t replacements = 0;
+};
+
+/// Same mobility trace, but with the §IV-A policy active (placements are
+/// recomputed with TrimCaching Gen whenever the threshold trips).
+[[nodiscard]] ReplacementStudyResult run_replacement_study(
+    const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
+    const ReplacementPolicy& policy, support::Rng& rng);
+
+}  // namespace trimcaching::sim

@@ -1,0 +1,45 @@
+#include "src/sim/scenario.h"
+
+#include <stdexcept>
+
+namespace trimcaching::sim {
+
+void ScenarioConfig::validate() const {
+  if (num_servers == 0) throw std::invalid_argument("ScenarioConfig: no servers");
+  if (num_users == 0) throw std::invalid_argument("ScenarioConfig: no users");
+  if (area_side_m <= 0) throw std::invalid_argument("ScenarioConfig: bad area");
+  if (capacity_bytes == 0) throw std::invalid_argument("ScenarioConfig: zero capacity");
+  radio.validate();
+  requests.validate();
+}
+
+model::ModelLibrary build_library(const ScenarioConfig& config, support::Rng& rng) {
+  model::ModelLibrary full = [&] {
+    switch (config.library_kind) {
+      case LibraryKind::kSpecialCase:
+        return model::build_special_case_library(config.special, rng);
+      case LibraryKind::kGeneralCase:
+        return model::build_general_case_library(config.general, rng);
+      case LibraryKind::kLora:
+        return model::build_lora_library(config.lora, rng);
+    }
+    throw std::invalid_argument("build_library: unknown library kind");
+  }();
+  if (config.library_size == 0 || config.library_size >= full.num_models()) {
+    return full;
+  }
+  return full.sample_subset(config.library_size, rng);
+}
+
+Scenario build_scenario(const ScenarioConfig& config, support::Rng& rng) {
+  config.validate();
+  const wireless::Area area{config.area_side_m};
+  auto topology = wireless::sample_topology(area, config.radio, config.num_servers,
+                                            config.num_users, config.capacity_bytes, rng);
+  auto library = build_library(config, rng);
+  auto requests = workload::RequestModel::generate(config.num_users, library.num_models(),
+                                                   config.requests, rng);
+  return Scenario{std::move(topology), std::move(library), std::move(requests)};
+}
+
+}  // namespace trimcaching::sim

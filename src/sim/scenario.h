@@ -1,0 +1,64 @@
+// End-to-end scenario assembly with the paper's §VII-A defaults.
+//
+// A Scenario bundles one sampled network topology, one model library and one
+// request model — everything a PlacementProblem needs. ScenarioConfig
+// defaults reproduce the paper's simulation setup: 1 km² area, M = 10
+// servers with 275 m coverage / 400 MHz / 43 dBm / Q = 1 GB, K = 20 users,
+// 10 Gbps backhaul, the 300-model special-case ResNet library subsampled to
+// I = 30, and Zipf-distributed requests with E2E deadlines in [0.5, 1] s.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/problem.h"
+#include "src/model/general_case_generator.h"
+#include "src/model/lora_generator.h"
+#include "src/model/special_case_generator.h"
+#include "src/support/rng.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+
+enum class LibraryKind { kSpecialCase, kGeneralCase, kLora };
+
+struct ScenarioConfig {
+  std::size_t num_servers = 10;
+  std::size_t num_users = 20;
+  double area_side_m = 1000.0;
+  support::Bytes capacity_bytes = support::gigabytes(1.0);
+  wireless::RadioConfig radio{};
+
+  LibraryKind library_kind = LibraryKind::kSpecialCase;
+  /// Models offered for placement: the generated library is subsampled to
+  /// this size (0 = keep the full generated library).
+  std::size_t library_size = 30;
+  model::SpecialCaseConfig special{.models_per_family = 100};
+  model::GeneralCaseConfig general{};
+  model::LoraLibraryConfig lora{};
+
+  workload::RequestConfig requests{};
+
+  void validate() const;
+};
+
+struct Scenario {
+  wireless::NetworkTopology topology;
+  model::ModelLibrary library;
+  workload::RequestModel requests;
+
+  /// Builds the placement instance; the returned problem borrows this
+  /// scenario's members, so the scenario must outlive it.
+  [[nodiscard]] core::PlacementProblem problem() const {
+    return core::PlacementProblem(topology, library, requests);
+  }
+};
+
+/// Samples a full scenario from the config.
+[[nodiscard]] Scenario build_scenario(const ScenarioConfig& config, support::Rng& rng);
+
+/// Builds just the library part of the config (used by library-only benches).
+[[nodiscard]] model::ModelLibrary build_library(const ScenarioConfig& config,
+                                                support::Rng& rng);
+
+}  // namespace trimcaching::sim

@@ -1,0 +1,98 @@
+#include "src/support/bitset.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace trimcaching::support {
+
+namespace {
+void check_same_size(const DynamicBitset& a, const DynamicBitset& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("DynamicBitset size mismatch");
+  }
+}
+}  // namespace
+
+void DynamicBitset::set(std::size_t pos) {
+  if (pos >= size_) throw std::out_of_range("DynamicBitset::set out of range");
+  words_[pos / 64] |= (std::uint64_t{1} << (pos % 64));
+}
+
+void DynamicBitset::reset(std::size_t pos) {
+  if (pos >= size_) throw std::out_of_range("DynamicBitset::reset out of range");
+  words_[pos / 64] &= ~(std::uint64_t{1} << (pos % 64));
+}
+
+bool DynamicBitset::test(std::size_t pos) const {
+  if (pos >= size_) throw std::out_of_range("DynamicBitset::test out of range");
+  return (words_[pos / 64] >> (pos % 64)) & 1u;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (const auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::clear() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  check_same_size(*this, other);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&out](std::size_t idx) { out.push_back(idx); });
+  return out;
+}
+
+std::size_t DynamicBitset::hash() const noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace trimcaching::support

@@ -1,0 +1,94 @@
+// A compact dynamically-sized bitset used to represent sets of parameter
+// blocks and sets of models.
+//
+// std::vector<bool> lacks the bulk set operations (union, subset test,
+// popcount) the closure-enumeration and storage-dedup code paths need, and
+// std::bitset requires a compile-time size; this class provides exactly the
+// operations the library uses on top of a std::vector<std::uint64_t>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace trimcaching::support {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset able to hold `size` bits, all cleared.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void set(std::size_t pos);
+  void reset(std::size_t pos);
+  [[nodiscard]] bool test(std::size_t pos) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// Clears all bits, keeping the size.
+  void clear() noexcept;
+
+  /// In-place union with `other`; sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// In-place intersection with `other`; sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// In-place difference (this \ other); sizes must match.
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  /// True if every set bit of *this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
+
+  /// True if the two sets share at least one bit.
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Invokes `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Collects the indices of all set bits in ascending order.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+  /// FNV-1a style hash over the words; suitable for unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  std::size_t operator()(const DynamicBitset& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace trimcaching::support

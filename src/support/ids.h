@@ -1,0 +1,25 @@
+// Index types for the main entity spaces of the system.
+//
+// These are intentionally plain integer aliases (not wrapper classes): the
+// placement algorithms are dense index-crunching loops over contiguous
+// [0, N) ranges, and the distinct alias names document intent at interfaces
+// without imposing conversion boilerplate inside hot loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trimcaching {
+
+/// Index of an edge server in [0, M).
+using ServerId = std::uint32_t;
+/// Index of a user (UE) in [0, K).
+using UserId = std::uint32_t;
+/// Index of an AI model in the library, in [0, I).
+using ModelId = std::uint32_t;
+/// Index of a parameter block in the library, in [0, J).
+using BlockId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = UINT32_MAX;
+
+}  // namespace trimcaching

@@ -1,0 +1,79 @@
+#include "src/support/options.h"
+
+#include <stdexcept>
+
+namespace trimcaching::support {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options options;
+  for (int a = 1; a < argc; ++a) {
+    const std::string token = argv[a];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("Options: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (!options.values_.emplace(key, value).second) {
+      throw std::invalid_argument("Options: duplicate key '" + key + "'");
+    }
+  }
+  return options;
+}
+
+bool Options::has(const std::string& key) const { return values_.contains(key); }
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Options: '" + key + "' is not a number: " +
+                                it->second);
+  }
+}
+
+std::size_t Options::get_size(const std::string& key, std::size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size() || value < 0) throw std::invalid_argument("bad");
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Options: '" + key +
+                                "' is not a non-negative integer: " + it->second);
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw std::invalid_argument("Options: '" + key + "' is not a bool: " + it->second);
+}
+
+void Options::check_unknown(const std::set<std::string>& known) const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!known.contains(key)) {
+      std::string message = "Options: unknown key '" + key + "'; known keys:";
+      for (const auto& k : known) message += " " + k;
+      throw std::invalid_argument(message);
+    }
+  }
+}
+
+}  // namespace trimcaching::support

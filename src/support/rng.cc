@@ -1,0 +1,58 @@
+#include "src/support/rng.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace trimcaching::support {
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n must be > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0) throw std::invalid_argument("Rng::exponential: rate must be > 0");
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::bernoulli: p out of [0,1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // splitmix64-style mixing so that forks of nearby streams decorrelate.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ull + stream * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return Rng(z ^ (z >> 31));
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+}  // namespace trimcaching::support

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (topology sampling, Zipf
+// popularity permutation, Rayleigh fading, mobility) draw from an Rng passed
+// in explicitly, so every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace trimcaching::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate = 1.0);
+
+  /// Standard normal sample.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// A derived generator with an independent stream; `stream` diversifies
+  /// the seed so parallel components do not correlate.
+  [[nodiscard]] Rng fork(std::uint64_t stream);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace trimcaching::support

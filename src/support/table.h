@@ -1,0 +1,35 @@
+// Minimal aligned-text + CSV table writer used by the benchmark harness to
+// print paper-style result rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace trimcaching::support {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one data row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string cell(double v, int precision = 4);
+  static std::string cell(std::size_t v);
+
+  /// Renders with space-padded, right-aligned columns.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`, creating parent-less files only.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trimcaching::support

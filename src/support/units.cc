@@ -1,0 +1,11 @@
+#include "src/support/units.h"
+
+#include <cmath>
+
+namespace trimcaching::support {
+
+double dbm_to_watts(double dbm) noexcept { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+double watts_to_dbm(double watts) noexcept { return 10.0 * std::log10(watts * 1e3); }
+
+}  // namespace trimcaching::support

@@ -1,0 +1,52 @@
+// Units and conversions used throughout the library.
+//
+// Conventions (see DESIGN.md §6):
+//   * storage sizes     -> bytes, std::uint64_t
+//   * data rates        -> bits per second, double
+//   * time              -> seconds, double
+//   * power             -> watts, double
+//   * bandwidth         -> hertz, double
+//   * distance          -> meters, double
+#pragma once
+
+#include <cstdint>
+
+namespace trimcaching::support {
+
+using Bytes = std::uint64_t;
+
+/// Number of bits in a byte-sized payload (model download volumes are
+/// expressed in bytes but link capacities in bit/s).
+[[nodiscard]] constexpr double bits(Bytes n) noexcept {
+  return 8.0 * static_cast<double>(n);
+}
+
+[[nodiscard]] constexpr Bytes kilobytes(double n) noexcept {
+  return static_cast<Bytes>(n * 1e3);
+}
+[[nodiscard]] constexpr Bytes megabytes(double n) noexcept {
+  return static_cast<Bytes>(n * 1e6);
+}
+[[nodiscard]] constexpr Bytes gigabytes(double n) noexcept {
+  return static_cast<Bytes>(n * 1e9);
+}
+
+[[nodiscard]] constexpr double as_megabytes(Bytes n) noexcept {
+  return static_cast<double>(n) / 1e6;
+}
+[[nodiscard]] constexpr double as_gigabytes(Bytes n) noexcept {
+  return static_cast<double>(n) / 1e9;
+}
+
+[[nodiscard]] constexpr double mhz(double v) noexcept { return v * 1e6; }
+[[nodiscard]] constexpr double ghz(double v) noexcept { return v * 1e9; }
+[[nodiscard]] constexpr double mbps(double v) noexcept { return v * 1e6; }
+[[nodiscard]] constexpr double gbps(double v) noexcept { return v * 1e9; }
+
+/// Converts a power level in dBm to watts (43 dBm -> ~19.95 W).
+[[nodiscard]] double dbm_to_watts(double dbm) noexcept;
+
+/// Converts watts to dBm.
+[[nodiscard]] double watts_to_dbm(double watts) noexcept;
+
+}  // namespace trimcaching::support

@@ -1,0 +1,31 @@
+#include "src/wireless/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trimcaching::wireless {
+
+double distance(const Point& a, const Point& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool Area::contains(const Point& p) const noexcept {
+  return p.x >= 0.0 && p.x <= side_m && p.y >= 0.0 && p.y <= side_m;
+}
+
+Point Area::clamp(const Point& p) const noexcept {
+  return Point{std::clamp(p.x, 0.0, side_m), std::clamp(p.y, 0.0, side_m)};
+}
+
+std::vector<Point> uniform_points(const Area& area, std::size_t n, support::Rng& rng) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.uniform(0.0, area.side_m), rng.uniform(0.0, area.side_m)});
+  }
+  return pts;
+}
+
+}  // namespace trimcaching::wireless

@@ -1,0 +1,35 @@
+// 2-D geometry for the network deployment area.
+//
+// The paper deploys K users and M edge servers uniformly at random in a
+// square area (1 km x 1 km by default, 400 m x 400 m for the reduced-scale
+// optimality study of Fig. 6a).
+#pragma once
+
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace trimcaching::wireless {
+
+struct Point {
+  double x = 0.0;  ///< meters
+  double y = 0.0;  ///< meters
+};
+
+[[nodiscard]] double distance(const Point& a, const Point& b) noexcept;
+
+/// An axis-aligned square deployment area with corner at the origin.
+struct Area {
+  double side_m = 1000.0;
+
+  [[nodiscard]] bool contains(const Point& p) const noexcept;
+
+  /// Clamps `p` back into the area (used by the mobility bounce logic).
+  [[nodiscard]] Point clamp(const Point& p) const noexcept;
+};
+
+/// Samples `n` points independently and uniformly in the area.
+[[nodiscard]] std::vector<Point> uniform_points(const Area& area, std::size_t n,
+                                                support::Rng& rng);
+
+}  // namespace trimcaching::wireless

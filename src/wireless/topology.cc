@@ -1,0 +1,134 @@
+#include "src/wireless/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trimcaching::wireless {
+
+void RadioConfig::validate() const {
+  if (total_bandwidth_hz <= 0) throw std::invalid_argument("RadioConfig: bandwidth must be > 0");
+  if (total_power_w <= 0) throw std::invalid_argument("RadioConfig: power must be > 0");
+  if (coverage_radius_m <= 0) throw std::invalid_argument("RadioConfig: radius must be > 0");
+  if (active_probability <= 0 || active_probability > 1) {
+    throw std::invalid_argument("RadioConfig: active probability must be in (0,1]");
+  }
+  if (backhaul_bps <= 0) throw std::invalid_argument("RadioConfig: backhaul rate must be > 0");
+  channel.validate();
+}
+
+NetworkTopology::NetworkTopology(Area area, RadioConfig radio,
+                                 std::vector<Point> server_positions,
+                                 std::vector<Point> user_positions,
+                                 std::vector<support::Bytes> capacities)
+    : area_(area),
+      radio_(radio),
+      server_pos_(std::move(server_positions)),
+      user_pos_(std::move(user_positions)),
+      capacities_(std::move(capacities)) {
+  radio_.validate();
+  if (server_pos_.empty()) throw std::invalid_argument("NetworkTopology: no servers");
+  if (capacities_.size() != server_pos_.size()) {
+    throw std::invalid_argument("NetworkTopology: capacities/servers size mismatch");
+  }
+  rebuild();
+}
+
+void NetworkTopology::rebuild() {
+  const std::size_t m_count = server_pos_.size();
+  const std::size_t k_count = user_pos_.size();
+  covering_.assign(k_count, {});
+  associated_.assign(m_count, {});
+  for (std::size_t k = 0; k < k_count; ++k) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      if (distance(server_pos_[m], user_pos_[k]) <= radio_.coverage_radius_m) {
+        covering_[k].push_back(static_cast<ServerId>(m));
+        associated_[m].push_back(static_cast<UserId>(k));
+      }
+    }
+  }
+  avg_rate_.assign(m_count * k_count, 0.0);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const double bw = per_user_bandwidth_hz(static_cast<ServerId>(m));
+    const double pw = per_user_power_w(static_cast<ServerId>(m));
+    for (const UserId k : associated_[m]) {
+      const double d = distance(server_pos_[m], user_pos_[k]);
+      avg_rate_[m * k_count + k] = shannon_rate(radio_.channel, bw, pw, d);
+    }
+  }
+}
+
+bool NetworkTopology::is_associated(ServerId m, UserId k) const {
+  const auto& cover = covering_.at(k);
+  return std::binary_search(cover.begin(), cover.end(), m);
+}
+
+double NetworkTopology::per_user_bandwidth_hz(ServerId m) const {
+  const std::size_t n = associated_.at(m).size();
+  if (n == 0) return 0.0;
+  return radio_.total_bandwidth_hz / (radio_.active_probability * static_cast<double>(n));
+}
+
+double NetworkTopology::per_user_power_w(ServerId m) const {
+  const std::size_t n = associated_.at(m).size();
+  if (n == 0) return 0.0;
+  return radio_.total_power_w / (radio_.active_probability * static_cast<double>(n));
+}
+
+double NetworkTopology::avg_rate_bps(ServerId m, UserId k) const {
+  if (m >= num_servers() || k >= num_users()) {
+    throw std::out_of_range("NetworkTopology::avg_rate_bps");
+  }
+  return avg_rate_[static_cast<std::size_t>(m) * num_users() + k];
+}
+
+double NetworkTopology::faded_rate_bps(ServerId m, UserId k, double fading_gain) const {
+  if (!is_associated(m, k)) return 0.0;
+  const double d = distance(server_pos_.at(m), user_pos_.at(k));
+  return shannon_rate(radio_.channel, per_user_bandwidth_hz(m), per_user_power_w(m), d,
+                      fading_gain);
+}
+
+double NetworkTopology::delivery_seconds(ServerId m, UserId k,
+                                         support::Bytes payload) const {
+  return delivery_seconds(m, k, payload,
+                          [this](ServerId mm, UserId kk) { return avg_rate_bps(mm, kk); });
+}
+
+double NetworkTopology::delivery_seconds(ServerId m, UserId k, support::Bytes payload,
+                                         const RateFn& rate_fn) const {
+  const double payload_bits = support::bits(payload);
+  if (is_associated(m, k)) {
+    const double rate = rate_fn(m, k);
+    if (rate <= 0.0) return kInfiniteLatency;
+    return payload_bits / rate;  // Eq. 4 (download part)
+  }
+  // Eq. 5: relay through the best covering server m'.
+  double best = kInfiniteLatency;
+  for (const ServerId relay : covering_.at(k)) {
+    const double rate = rate_fn(relay, k);
+    if (rate <= 0.0) continue;
+    const double t = payload_bits / radio_.backhaul_bps + payload_bits / rate;
+    best = std::min(best, t);
+  }
+  return best;
+}
+
+void NetworkTopology::update_user_positions(std::vector<Point> user_positions) {
+  if (user_positions.size() != user_pos_.size()) {
+    throw std::invalid_argument("update_user_positions: user count must not change");
+  }
+  user_pos_ = std::move(user_positions);
+  rebuild();
+}
+
+NetworkTopology sample_topology(const Area& area, const RadioConfig& radio,
+                                std::size_t num_servers, std::size_t num_users,
+                                support::Bytes capacity_per_server, support::Rng& rng) {
+  auto servers = uniform_points(area, num_servers, rng);
+  auto users = uniform_points(area, num_users, rng);
+  std::vector<support::Bytes> capacities(num_servers, capacity_per_server);
+  return NetworkTopology(area, radio, std::move(servers), std::move(users),
+                         std::move(capacities));
+}
+
+}  // namespace trimcaching::wireless

@@ -1,0 +1,122 @@
+// Network topology: edge-server / user deployment, coverage-based
+// association, average per-link rates, and the end-to-end delivery latency
+// model of the paper (Eqs. 4 and 5).
+//
+// Association follows the paper's coverage rule: M_k is the set of edge
+// servers whose coverage disc (radius `coverage_radius_m`) contains user k.
+// A server splits its total bandwidth B and transmit power P equally among
+// the *expected active* associated users, i.e. each user receives
+// B/(p_A·|K_m|) and P/(p_A·|K_m|) (§VII-A).
+//
+// Delivery latency for model payload D (bytes) from server m to user k:
+//   * m ∈ M_k  (Eq. 4):  T = 8D / C̄_{m,k}
+//   * m ∉ M_k  (Eq. 5):  T = min_{m' ∈ M_k} ( 8D / C_backhaul + 8D / C̄_{m',k} )
+// On-device inference latency is added by the caller (core::PlacementProblem),
+// because it is a property of the (user, model) pair, not of the link.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/support/ids.h"
+#include "src/support/units.h"
+#include "src/wireless/channel.h"
+#include "src/wireless/geometry.h"
+
+namespace trimcaching::wireless {
+
+/// Radio/deployment parameters shared by all edge servers.
+struct RadioConfig {
+  double total_bandwidth_hz = 400e6;  ///< B = 400 MHz
+  double total_power_w = 19.952623149688797;  ///< P = 43 dBm
+  double coverage_radius_m = 275.0;
+  double active_probability = 0.5;  ///< p_A
+  double backhaul_bps = 10e9;       ///< C_{m,m'} = 10 Gbps
+  ChannelParams channel{};
+
+  void validate() const;
+};
+
+class NetworkTopology {
+ public:
+  /// Builds a topology from explicit positions. Capacities are per-server
+  /// storage budgets Q_m in bytes.
+  NetworkTopology(Area area, RadioConfig radio, std::vector<Point> server_positions,
+                  std::vector<Point> user_positions,
+                  std::vector<support::Bytes> capacities);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return server_pos_.size(); }
+  [[nodiscard]] std::size_t num_users() const noexcept { return user_pos_.size(); }
+
+  [[nodiscard]] const Area& area() const noexcept { return area_; }
+  [[nodiscard]] const RadioConfig& radio() const noexcept { return radio_; }
+  [[nodiscard]] const Point& server_position(ServerId m) const { return server_pos_.at(m); }
+  [[nodiscard]] const Point& user_position(UserId k) const { return user_pos_.at(k); }
+  [[nodiscard]] support::Bytes capacity(ServerId m) const { return capacities_.at(m); }
+
+  /// Servers covering user k (the paper's M_k), ascending order.
+  [[nodiscard]] const std::vector<ServerId>& servers_covering(UserId k) const {
+    return covering_.at(k);
+  }
+  /// Users associated with server m (the paper's K_m), ascending order.
+  [[nodiscard]] const std::vector<UserId>& users_of(ServerId m) const {
+    return associated_.at(m);
+  }
+
+  [[nodiscard]] bool is_associated(ServerId m, UserId k) const;
+
+  /// Per-user bandwidth share B̄_{m,k} = B/(p_A·|K_m|); 0 if server m has no
+  /// associated users.
+  [[nodiscard]] double per_user_bandwidth_hz(ServerId m) const;
+  /// Per-user power share P̄_{m,k} = P/(p_A·|K_m|); 0 if no associated users.
+  [[nodiscard]] double per_user_power_w(ServerId m) const;
+
+  /// Average downlink rate C̄_{m,k} (Eq. 1); 0 if m does not cover k.
+  [[nodiscard]] double avg_rate_bps(ServerId m, UserId k) const;
+
+  /// Downlink rate under an instantaneous fading power gain |h|^2.
+  [[nodiscard]] double faded_rate_bps(ServerId m, UserId k, double fading_gain) const;
+
+  /// Accessor giving the downlink rate (bit/s) of an associated (m, k) pair;
+  /// used to re-evaluate delivery latency under per-realization fading.
+  using RateFn = std::function<double(ServerId, UserId)>;
+
+  /// Delivery latency (seconds, excluding inference) of a `payload`-byte
+  /// model from server m to user k using average rates. Returns +inf if the
+  /// user is covered by no server or all candidate links have zero rate.
+  [[nodiscard]] double delivery_seconds(ServerId m, UserId k, support::Bytes payload) const;
+
+  /// As above, but downlink rates are supplied by `rate_fn` (fading).
+  [[nodiscard]] double delivery_seconds(ServerId m, UserId k, support::Bytes payload,
+                                        const RateFn& rate_fn) const;
+
+  /// Replaces the user positions (mobility) and recomputes association and
+  /// average rates. The number of users must stay constant.
+  void update_user_positions(std::vector<Point> user_positions);
+
+  static constexpr double kInfiniteLatency = std::numeric_limits<double>::infinity();
+
+ private:
+  void rebuild();
+
+  Area area_;
+  RadioConfig radio_;
+  std::vector<Point> server_pos_;
+  std::vector<Point> user_pos_;
+  std::vector<support::Bytes> capacities_;
+
+  std::vector<std::vector<ServerId>> covering_;    // per user
+  std::vector<std::vector<UserId>> associated_;    // per server
+  std::vector<double> avg_rate_;                   // dense M x K, 0 if not associated
+};
+
+/// Samples a topology with uniformly-placed servers and users and identical
+/// per-server capacity, matching the paper's simulation setup.
+[[nodiscard]] NetworkTopology sample_topology(const Area& area, const RadioConfig& radio,
+                                              std::size_t num_servers,
+                                              std::size_t num_users,
+                                              support::Bytes capacity_per_server,
+                                              support::Rng& rng);
+
+}  // namespace trimcaching::wireless

@@ -1,0 +1,34 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trimcaching::workload {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n == 0");
+  if (exponent < 0) throw std::invalid_argument("ZipfDistribution: negative exponent");
+  pmf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    pmf_[r] = std::pow(static_cast<double>(r + 1), -exponent);
+    norm += pmf_[r];
+  }
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    pmf_[r] /= norm;
+    acc += pmf_[r];
+    cdf_[r] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::sample(support::Rng& rng) const {
+  const double x = rng.uniform(0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace trimcaching::workload

@@ -1,0 +1,34 @@
+// Zipf popularity distribution (§VII-A: "the request probability of each end
+// user ... obeys the Zipf distribution").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace trimcaching::workload {
+
+/// Zipf over ranks 1..n: P(rank r) = r^{-s} / H_{n,s}.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t size() const noexcept { return pmf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+  /// Probability of rank r (0-based index: rank r+1).
+  [[nodiscard]] double pmf(std::size_t rank_index) const { return pmf_.at(rank_index); }
+
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept { return pmf_; }
+
+  /// Samples a 0-based rank index via inverse-CDF.
+  [[nodiscard]] std::size_t sample(support::Rng& rng) const;
+
+ private:
+  double exponent_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace trimcaching::workload

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "src/core/independent_caching.h"
+#include "src/core/storage.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "src/model/lora_generator.h"
+#include "tests/test_util.h"
+
+namespace trimcaching::core {
+namespace {
+
+using support::megabytes;
+using support::Rng;
+
+void expect_storage_feasible(const PlacementProblem& problem,
+                             const PlacementSolution& placement) {
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(problem.library().dedup_size(placement.models_on(m)),
+              problem.capacity(m))
+        << "server " << m;
+  }
+}
+
+void expect_naive_storage_feasible(const PlacementProblem& problem,
+                                   const PlacementSolution& placement) {
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(problem.library().naive_size(placement.models_on(m)),
+              problem.capacity(m))
+        << "server " << m;
+  }
+}
+
+class AlgorithmsOnRandomWorlds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgorithmsOnRandomWorlds, GenFeasibleAndConsistent) {
+  const auto world = testutil::random_world(GetParam(), 3, 10, 12, 14, 40.0);
+  const auto problem = world.problem();
+  const auto result = trimcaching_gen(problem);
+  expect_storage_feasible(problem, result.placement);
+  EXPECT_NEAR(result.hit_ratio, expected_hit_ratio(problem, result.placement), 1e-12);
+  EXPECT_GE(result.hit_ratio, 0.0);
+  EXPECT_LE(result.hit_ratio, 1.0 + 1e-12);
+}
+
+TEST_P(AlgorithmsOnRandomWorlds, LazyEqualsNaiveHitRatio) {
+  const auto world = testutil::random_world(GetParam() + 100, 3, 10, 12, 14, 40.0);
+  const auto problem = world.problem();
+  const auto lazy = trimcaching_gen(problem, GenConfig{.lazy = true});
+  const auto naive = trimcaching_gen(problem, GenConfig{.lazy = false});
+  // Tie-breaks can differ, but greedy value sequences coincide.
+  EXPECT_NEAR(lazy.hit_ratio, naive.hit_ratio, 1e-9);
+  // Lazy evaluation must not do more work than the naive rescans.
+  EXPECT_LE(lazy.gain_evaluations, naive.gain_evaluations);
+}
+
+TEST_P(AlgorithmsOnRandomWorlds, SpecFeasibleAndGainDecomposition) {
+  const auto world = testutil::random_world(GetParam() + 200, 3, 10, 12, 14, 40.0);
+  const auto problem = world.problem();
+  SpecConfig config;
+  config.solver.mode = DpMode::kWeightQuantized;
+  config.solver.weight_states = 40;  // exact for whole-MB instances
+  const auto result = trimcaching_spec(problem, config);
+  expect_storage_feasible(problem, result.placement);
+  EXPECT_NEAR(result.hit_ratio, expected_hit_ratio(problem, result.placement), 1e-12);
+  // Eq. 12: U(X̂) = Σ_m Û_m(X̂_m).
+  double sum = 0;
+  for (const double gain : result.per_server_gain) sum += gain;
+  EXPECT_NEAR(sum, result.hit_ratio, 1e-12);
+}
+
+TEST_P(AlgorithmsOnRandomWorlds, IndependentFeasibleUnderNaiveStorage) {
+  const auto world = testutil::random_world(GetParam() + 300, 3, 10, 12, 14, 40.0);
+  const auto problem = world.problem();
+  const auto result = independent_caching(problem);
+  expect_naive_storage_feasible(problem, result.placement);
+  // Naive-feasible implies dedup-feasible.
+  expect_storage_feasible(problem, result.placement);
+  EXPECT_NEAR(result.hit_ratio, expected_hit_ratio(problem, result.placement), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmsOnRandomWorlds,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// On sharing-heavy libraries, dedup-aware algorithms must dominate the
+// independent baseline (this is the paper's headline claim).
+class SharingAdvantage : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SharingAdvantage, GenBeatsOrMatchesIndependentOnLora) {
+  Rng rng(GetParam());
+  wireless::RadioConfig radio;
+  auto topology = wireless::sample_topology(wireless::Area{800.0}, radio, 3, 10,
+                                            support::gigabytes(8), rng);
+  model::LoraLibraryConfig lora;
+  lora.num_foundations = 2;
+  lora.adapters_per_foundation = 10;
+  auto library = model::build_lora_library(lora, rng);
+  workload::RequestConfig req;
+  req.deadline_min_s = 20.0;  // LLM-scale payloads need looser deadlines
+  req.deadline_max_s = 40.0;
+  auto requests =
+      workload::RequestModel::generate(10, library.num_models(), req, rng);
+  const testutil::World world{std::move(topology), std::move(library),
+                              std::move(requests)};
+  const auto problem = world.problem();
+  const auto gen = trimcaching_gen(problem);
+  const auto indep = independent_caching(problem);
+  EXPECT_GE(gen.hit_ratio, indep.hit_ratio - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharingAdvantage,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// -------------------------------------------------------- deterministic cases
+
+TEST(TrimCachingGen, PicksHighestGainFirst) {
+  // One server, capacity for exactly one model; model 1 twice as popular.
+  const auto world = testutil::random_world(42, 1, 6, 8, 10, 12.0);
+  const auto problem = world.problem();
+  const auto result = trimcaching_gen(problem);
+  // Greedy invariant: no remaining feasible placement has positive gain.
+  CoverageState coverage(problem);
+  ServerStorage storage(problem.library(), problem.capacity(0));
+  for (const ModelId i : result.placement.models_on(0)) {
+    coverage.add(0, i);
+    storage.add(i);
+  }
+  for (ModelId i = 0; i < problem.num_models(); ++i) {
+    if (result.placement.placed(0, i)) continue;
+    if (storage.fits(i)) {
+      EXPECT_LE(coverage.marginal_mass(0, i), 1e-12)
+          << "greedy left a feasible positive-gain model " << i;
+    }
+  }
+}
+
+TEST(TrimCachingGen, ParkedModelsRevivedBySharing) {
+  // Server capacity 30 MB. Solo model (28 MB, utility high) is placed first;
+  // sharing pair (20+5, 20+5) then only fits if parked entries are revived
+  // after placement changes. Construct so greedy places shared model m0
+  // first, making m1 affordable (cost 5 MB).
+  model::ModelLibrary lib;
+  const BlockId shared = lib.add_block(megabytes(20), "shared");
+  const BlockId a = lib.add_block(megabytes(5), "a");
+  const BlockId b = lib.add_block(megabytes(5), "b");
+  lib.add_model("m0", "f", {shared, a});
+  lib.add_model("m1", "f", {shared, b});
+  lib.finalize();
+
+  wireless::RadioConfig radio;
+  Rng rng(1);
+  auto topology = wireless::sample_topology(wireless::Area{200.0}, radio, 1, 4,
+                                            megabytes(30), rng);
+  workload::RequestConfig req;
+  auto requests = workload::RequestModel::generate(4, 2, req, rng);
+  const testutil::World world{std::move(topology), std::move(lib), std::move(requests)};
+  const auto problem = world.problem();
+  const auto result = trimcaching_gen(problem);
+  // Both models fit together (30 MB dedup); greedy must find both.
+  EXPECT_EQ(result.placement.models_on(0).size(), 2u);
+}
+
+TEST(TrimCachingSpec, ServerOrderAblationRuns) {
+  const auto world = testutil::random_world(7, 4, 10, 10, 12, 35.0);
+  const auto problem = world.problem();
+  SpecConfig natural;
+  SpecConfig by_mass;
+  by_mass.order = SpecConfig::ServerOrder::kByReachableMassDesc;
+  const auto a = trimcaching_spec(problem, natural);
+  const auto b = trimcaching_spec(problem, by_mass);
+  expect_storage_feasible(problem, a.placement);
+  expect_storage_feasible(problem, b.placement);
+  EXPECT_GT(a.hit_ratio + b.hit_ratio, 0.0);
+}
+
+TEST(TrimCachingSpec, CountsCombinations) {
+  const auto world = testutil::random_world(8, 2, 6, 8, 10, 30.0);
+  const auto problem = world.problem();
+  const auto result = trimcaching_spec(problem);
+  EXPECT_GT(result.combinations_visited, 0u);
+  EXPECT_EQ(result.per_server_gain.size(), problem.num_servers());
+}
+
+}  // namespace
+}  // namespace trimcaching::core

@@ -1,0 +1,214 @@
+// Deeper cross-module properties: DP optimality on PEFT-style libraries,
+// the Theorem-2 bound with the paper-faithful profit DP, closure algebra,
+// fading monotonicity, and consistency between algorithms at scale.
+#include <gtest/gtest.h>
+
+#include "src/core/dp_rounding.h"
+#include "src/core/exact_solver.h"
+#include "src/core/local_search.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "src/model/general_case_generator.h"
+#include "src/model/lora_generator.h"
+#include "src/support/bitset.h"
+#include "tests/test_util.h"
+
+namespace trimcaching {
+namespace {
+
+using support::DynamicBitset;
+using support::Rng;
+
+// ------------------------------------------------- DP on LoRA-style libraries
+
+class DpOnLora : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DpOnLora, ChainPathMatchesBruteForce) {
+  Rng rng(GetParam());
+  model::LoraLibraryConfig config;
+  config.num_foundations = 2;
+  config.adapters_per_foundation = 5;
+  config.foundation_bytes = support::megabytes(100);
+  config.adapter_fraction = 0.05;
+  const auto lib = model::build_lora_library(config, rng);
+  std::vector<double> utilities(lib.num_models());
+  for (auto& u : utilities) u = rng.uniform(0.1, 1.0);
+  // Capacity fits one foundation plus some adapters — the combination choice
+  // (which foundation(s) to host) is the crux.
+  const support::Bytes capacity = support::megabytes(140);
+  core::SpecSolverConfig solver;
+  solver.mode = core::DpMode::kWeightQuantized;
+  solver.weight_states = 140;  // 1 MB quanta; all sizes whole MB
+  const auto result = core::solve_server_subproblem(lib, utilities, capacity, solver);
+  EXPECT_TRUE(result.used_chain_path);
+  const double brute = testutil::brute_force_subproblem(lib, utilities, capacity);
+  EXPECT_NEAR(result.value, brute, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOnLora, ::testing::Range<std::uint64_t>(0, 8));
+
+// -------------------------------------- Theorem 2 with the profit-rounding DP
+
+class Theorem2ProfitMode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2ProfitMode, SpecMeetsHalfTimesOneMinusEps) {
+  const auto world = testutil::random_world(GetParam() + 300, 2, 6, 8, 10, 25.0, 400.0);
+  const auto problem = world.problem();
+  const auto optimal = core::exact_optimal(problem);
+  for (const double eps : {0.3, 0.1}) {
+    core::SpecConfig config;
+    config.solver.mode = core::DpMode::kProfitRounding;
+    config.solver.epsilon = eps;
+    const auto spec = core::trimcaching_spec(problem, config);
+    EXPECT_GE(spec.hit_ratio, 0.5 * (1.0 - eps) * optimal.hit_ratio - 1e-9)
+        << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2ProfitMode,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+// ---------------------------------------------------------- closure algebra
+
+class ClosureAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosureAlgebra, ClosureContainsPartsAndIsUnionClosed) {
+  Rng rng(GetParam());
+  const auto lib = testutil::random_library(rng, 8, 10);
+  const auto closure = lib.shared_combination_closure();
+  const std::size_t beta = lib.shared_blocks().size();
+  auto contains = [&closure](const DynamicBitset& set) {
+    for (const auto& element : closure) {
+      if (element == set) return true;
+    }
+    return false;
+  };
+  // Every model's shared part is in the closure.
+  for (ModelId i = 0; i < lib.num_models(); ++i) {
+    EXPECT_TRUE(contains(lib.shared_part(i)));
+  }
+  // The closure is union-closed (pairwise suffices for finite BFS closures).
+  for (const auto& a : closure) {
+    for (const auto& b : closure) {
+      DynamicBitset u = a;
+      u |= b;
+      EXPECT_TRUE(contains(u));
+    }
+  }
+  // And contains the empty set.
+  EXPECT_TRUE(contains(DynamicBitset(beta)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureAlgebra, ::testing::Range<std::uint64_t>(0, 6));
+
+// ----------------------------------------------------- fading monotonicity
+
+TEST(FadingMonotonicity, WorseGainNeverShortensDelivery) {
+  Rng rng(9);
+  wireless::RadioConfig radio;
+  const auto topo = wireless::sample_topology(wireless::Area{800.0}, radio, 4, 10,
+                                              support::gigabytes(1), rng);
+  const support::Bytes payload = support::megabytes(80);
+  for (UserId k = 0; k < topo.num_users(); ++k) {
+    for (ServerId m = 0; m < topo.num_servers(); ++m) {
+      const double base = topo.delivery_seconds(m, k, payload);
+      const double faded = topo.delivery_seconds(
+          m, k, payload,
+          [&](ServerId mm, UserId kk) { return topo.faded_rate_bps(mm, kk, 0.3); });
+      if (std::isinf(base)) {
+        EXPECT_TRUE(std::isinf(faded));
+      } else {
+        EXPECT_GE(faded, base - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(FadingMonotonicity, RateScalesWithGainMonotonically) {
+  wireless::ChannelParams params;
+  double prev = 0.0;
+  for (const double gain : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    const double rate = wireless::shannon_rate(params, 1e8, 10.0, 150.0, gain);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(NoiseFigure, RaisesNoiseFloor) {
+  wireless::ChannelParams quiet;
+  wireless::ChannelParams noisy;
+  noisy.noise_figure_db = 9.0;
+  EXPECT_NEAR(noisy.effective_noise_psd() / quiet.effective_noise_psd(),
+              7.943282347, 1e-6);
+  EXPECT_LT(wireless::shannon_rate(noisy, 1e8, 10.0, 150.0),
+            wireless::shannon_rate(quiet, 1e8, 10.0, 150.0));
+  noisy.noise_figure_db = -1.0;
+  EXPECT_THROW(noisy.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------- Spec on the general-case library
+
+TEST(SpecOnGeneralCase, RunsOnReducedLibraryAndBeatsGenOnAverage) {
+  // Fig. 6b's observation: where Spec terminates in the general case, its
+  // placements are at least as good as Gen's.
+  double spec_total = 0.0, gen_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    wireless::RadioConfig radio;
+    auto topology = wireless::sample_topology(wireless::Area{400.0}, radio, 2, 6,
+                                              support::megabytes(200), rng);
+    auto library =
+        model::build_general_case_library(model::reduced_general_case_config(), rng);
+    workload::RequestConfig req;
+    req.models_per_user = 27;
+    auto requests =
+        workload::RequestModel::generate(6, library.num_models(), req, rng);
+    const testutil::World world{std::move(topology), std::move(library),
+                                std::move(requests)};
+    const auto problem = world.problem();
+    spec_total += core::trimcaching_spec(problem).hit_ratio;
+    gen_total += core::trimcaching_gen(problem).hit_ratio;
+  }
+  EXPECT_GE(spec_total, gen_total - 1e-9);
+}
+
+// ------------------------------------------------ optimal dominates everything
+
+class OptimalDominatesAll : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalDominatesAll, IncludingLocalSearchRefinements) {
+  const auto world = testutil::random_world(GetParam() + 70, 2, 6, 8, 10, 25.0, 400.0);
+  const auto problem = world.problem();
+  const auto optimal = core::exact_optimal(problem);
+  const auto gen = core::trimcaching_gen(problem);
+  const auto refined = core::local_search(problem, gen.placement);
+  EXPECT_GE(optimal.hit_ratio + 1e-9, refined.hit_ratio);
+  EXPECT_GE(refined.hit_ratio + 1e-9, gen.hit_ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalDominatesAll,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// ------------------------------------------------------------- bitset corners
+
+TEST(BitsetCorners, EmptyBitsetBehaves) {
+  DynamicBitset empty(0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_TRUE(empty.none());
+  DynamicBitset other(0);
+  EXPECT_TRUE(empty.is_subset_of(other));
+  EXPECT_FALSE(empty.intersects(other));
+  EXPECT_EQ(empty, other);
+}
+
+TEST(BitsetCorners, ExactWordBoundary) {
+  DynamicBitset b(64);
+  b.set(63);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.to_indices(), std::vector<std::size_t>({63}));
+  EXPECT_THROW(b.set(64), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace trimcaching

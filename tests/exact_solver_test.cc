@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/core/exact_solver.h"
+#include "src/core/independent_caching.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "tests/test_util.h"
+
+namespace trimcaching::core {
+namespace {
+
+class ExactOnRandomWorlds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  testutil::World make_world() const {
+    // Small enough for exhaustive search: M=2, I=8.
+    return testutil::random_world(GetParam(), 2, 6, 8, 10, 25.0, 400.0);
+  }
+};
+
+TEST_P(ExactOnRandomWorlds, BranchAndBoundMatchesExhaustive) {
+  const auto world = make_world();
+  const auto problem = world.problem();
+  ExactConfig bb;
+  ExactConfig exhaustive;
+  exhaustive.branch_and_bound = false;
+  const auto a = exact_optimal(problem, bb);
+  const auto b = exact_optimal(problem, exhaustive);
+  EXPECT_NEAR(a.hit_ratio, b.hit_ratio, 1e-12);
+  // Pruning must not increase the node count.
+  EXPECT_LE(a.nodes_visited, b.nodes_visited);
+}
+
+TEST_P(ExactOnRandomWorlds, OptimalDominatesHeuristics) {
+  const auto world = make_world();
+  const auto problem = world.problem();
+  const auto optimal = exact_optimal(problem);
+  const auto gen = trimcaching_gen(problem);
+  const auto indep = independent_caching(problem);
+  SpecConfig spec_config;
+  spec_config.solver.mode = DpMode::kWeightQuantized;
+  spec_config.solver.weight_states = 25;
+  const auto spec = trimcaching_spec(problem, spec_config);
+  EXPECT_GE(optimal.hit_ratio + 1e-9, gen.hit_ratio);
+  EXPECT_GE(optimal.hit_ratio + 1e-9, indep.hit_ratio);
+  EXPECT_GE(optimal.hit_ratio + 1e-9, spec.hit_ratio);
+}
+
+TEST_P(ExactOnRandomWorlds, SpecMeetsTheoremTwoBound) {
+  // Theorem 2: U(X̂) >= (1-ε)/2 U(X*) — with exact sub-problems, >= 1/2.
+  const auto world = make_world();
+  const auto problem = world.problem();
+  const auto optimal = exact_optimal(problem);
+  SpecConfig config;
+  config.solver.mode = DpMode::kWeightQuantized;
+  config.solver.weight_states = 25;
+  const auto spec = trimcaching_spec(problem, config);
+  EXPECT_GE(spec.hit_ratio, 0.5 * optimal.hit_ratio - 1e-9);
+}
+
+TEST_P(ExactOnRandomWorlds, SolutionIsFeasible) {
+  const auto world = make_world();
+  const auto problem = world.problem();
+  const auto result = exact_optimal(problem);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(problem.library().dedup_size(result.placement.models_on(m)),
+              problem.capacity(m));
+  }
+  EXPECT_NEAR(result.hit_ratio, expected_hit_ratio(problem, result.placement), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactOnRandomWorlds,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(ExactSolver, RefusesOversizedInstances) {
+  const auto world = testutil::random_world(1, 4, 12, 20, 24, 50.0);
+  const auto problem = world.problem();
+  ExactConfig config;
+  config.max_decision_vars = 10;
+  EXPECT_THROW((void)exact_optimal(problem, config), std::invalid_argument);
+}
+
+TEST(ExactSolver, EmptyEligibilityGivesZero) {
+  // Impossible deadlines: nothing can ever be served.
+  support::Rng rng(5);
+  wireless::RadioConfig radio;
+  auto topology = wireless::sample_topology(wireless::Area{400.0}, radio, 2, 4,
+                                            support::megabytes(50), rng);
+  auto library = testutil::random_library(rng, 5, 6);
+  workload::RequestConfig req;
+  req.deadline_min_s = 1e-4;
+  req.deadline_max_s = 2e-4;
+  req.inference_min_s = 1e-3;  // inference alone exceeds the deadline
+  req.inference_max_s = 2e-3;
+  auto requests =
+      workload::RequestModel::generate(4, library.num_models(), req, rng);
+  const testutil::World world{std::move(topology), std::move(library),
+                              std::move(requests)};
+  const auto problem = world.problem();
+  const auto result = exact_optimal(problem);
+  EXPECT_DOUBLE_EQ(result.hit_ratio, 0.0);
+  EXPECT_EQ(result.placement.total_placements(), 0u);
+}
+
+}  // namespace
+}  // namespace trimcaching::core

@@ -1,0 +1,315 @@
+// Tests for the extension modules: CountedCoverage, 1-swap local search,
+// greedy scoring rules, the discrete-event download simulator, and the
+// key=value option parser.
+#include <gtest/gtest.h>
+
+#include "src/core/independent_caching.h"
+#include "src/core/local_search.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/sim/event_sim.h"
+#include "src/sim/scenario.h"
+#include "src/support/options.h"
+#include "tests/test_util.h"
+
+namespace trimcaching {
+namespace {
+
+using core::CountedCoverage;
+using support::Rng;
+
+// ------------------------------------------------------------ CountedCoverage
+
+class CountedCoverageTest : public ::testing::Test {
+ protected:
+  CountedCoverageTest() : world_(testutil::random_world(31, 3, 8, 10, 12, 40.0)) {}
+  testutil::World world_;
+};
+
+TEST_F(CountedCoverageTest, AddRemoveRoundTrip) {
+  const auto problem = world_.problem();
+  CountedCoverage coverage(problem);
+  EXPECT_DOUBLE_EQ(coverage.hit_mass(), 0.0);
+  coverage.add(0, 1);
+  coverage.add(1, 1);
+  const double with_both = coverage.hit_mass();
+  coverage.remove(1, 1);
+  coverage.add(1, 1);
+  EXPECT_NEAR(coverage.hit_mass(), with_both, 1e-12);
+  coverage.remove(0, 1);
+  coverage.remove(1, 1);
+  EXPECT_NEAR(coverage.hit_mass(), 0.0, 1e-12);
+}
+
+TEST_F(CountedCoverageTest, RemoveWithoutAddThrows) {
+  const auto problem = world_.problem();
+  CountedCoverage coverage(problem);
+  coverage.add(0, 1);
+  // Removing a different placement whose hit list is non-empty must throw.
+  for (ModelId i = 0; i < problem.num_models(); ++i) {
+    if (i != 1 && !problem.hit_list(0, i).empty()) {
+      EXPECT_THROW(coverage.remove(0, i), std::logic_error);
+      break;
+    }
+  }
+}
+
+TEST_F(CountedCoverageTest, MarginalAndLossAreConsistent) {
+  const auto problem = world_.problem();
+  CountedCoverage coverage(problem);
+  const double gain = coverage.marginal_mass(2, 3);
+  coverage.add(2, 3);
+  // With a single holder, removing it loses exactly what adding gained.
+  EXPECT_NEAR(coverage.removal_loss(2, 3), gain, 1e-12);
+  // A second holder of the same model makes the first removable for free
+  // wherever both serve the same users.
+  coverage.add(1, 3);
+  EXPECT_LE(coverage.removal_loss(2, 3), gain + 1e-12);
+}
+
+TEST_F(CountedCoverageTest, MatchesCoverageStateMass) {
+  const auto problem = world_.problem();
+  CountedCoverage counted(problem);
+  core::CoverageState simple(problem);
+  Rng rng(5);
+  for (int step = 0; step < 15; ++step) {
+    const auto m = static_cast<ServerId>(rng.index(problem.num_servers()));
+    const auto i = static_cast<ModelId>(rng.index(problem.num_models()));
+    counted.add(m, i);
+    simple.add(m, i);
+    EXPECT_NEAR(counted.hit_mass(), simple.hit_mass(), 1e-12);
+  }
+}
+
+// ----------------------------------------------------------------- LocalSearch
+
+class LocalSearchTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchTest, NeverDecreasesAndStaysFeasible) {
+  const auto world = testutil::random_world(GetParam(), 3, 10, 12, 14, 35.0);
+  const auto problem = world.problem();
+  const auto gen = core::trimcaching_gen(problem);
+  const auto improved = core::local_search(problem, gen.placement);
+  EXPECT_GE(improved.hit_ratio, gen.hit_ratio - 1e-12);
+  EXPECT_NEAR(improved.hit_ratio, core::expected_hit_ratio(problem, improved.placement),
+              1e-12);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(problem.library().dedup_size(improved.placement.models_on(m)),
+              problem.capacity(m));
+  }
+}
+
+TEST_P(LocalSearchTest, RepairsIndependentPlacement) {
+  // Independent caching ignores dedup; local search must exploit the slack.
+  const auto world = testutil::random_world(GetParam() + 60, 3, 10, 12, 10, 30.0);
+  const auto problem = world.problem();
+  const auto indep = core::independent_caching(problem);
+  const auto improved = core::local_search(problem, indep.placement);
+  EXPECT_GE(improved.hit_ratio, indep.hit_ratio - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchTest, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(LocalSearch, EmptyStartActsLikeGreedyFill) {
+  const auto world = testutil::random_world(3, 2, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  core::PlacementSolution empty(problem.num_servers(), problem.num_models());
+  const auto improved = core::local_search(problem, empty);
+  // Pure additions only; must produce something useful.
+  EXPECT_EQ(improved.swaps, 0u);
+  EXPECT_GT(improved.additions, 0u);
+  EXPECT_GT(improved.hit_ratio, 0.0);
+}
+
+TEST(LocalSearch, RespectsRoundCap) {
+  const auto world = testutil::random_world(4, 2, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  core::PlacementSolution empty(problem.num_servers(), problem.num_models());
+  core::LocalSearchConfig config;
+  config.max_rounds = 1;
+  const auto improved = core::local_search(problem, empty, config);
+  EXPECT_LE(improved.rounds, 1u);
+}
+
+TEST(LocalSearch, DimensionMismatchThrows) {
+  const auto world = testutil::random_world(5, 2, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  core::PlacementSolution wrong(problem.num_servers() + 1, problem.num_models());
+  EXPECT_THROW((void)core::local_search(problem, wrong), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- GreedyRule
+
+class GreedyRuleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyRuleTest, PerByteRuleFeasibleAndComparable) {
+  const auto world = testutil::random_world(GetParam(), 3, 10, 12, 14, 30.0);
+  const auto problem = world.problem();
+  const auto gain = core::trimcaching_gen(problem);
+  const auto per_byte = core::trimcaching_gen(
+      problem, core::GenConfig{.lazy = true, .rule = core::GreedyRule::kGainPerByte});
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(problem.library().dedup_size(per_byte.placement.models_on(m)),
+              problem.capacity(m));
+  }
+  // Neither rule dominates in theory; both must produce sane ratios.
+  EXPECT_GT(gain.hit_ratio + per_byte.hit_ratio, 0.0);
+  EXPECT_LE(per_byte.hit_ratio, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyRuleTest, ::testing::Range<std::uint64_t>(0, 6));
+
+// -------------------------------------------------------------------- EventSim
+
+class EventSimTest : public ::testing::Test {
+ protected:
+  EventSimTest() {
+    sim::ScenarioConfig config;
+    config.num_servers = 5;
+    config.num_users = 10;
+    config.library_size = 15;
+    config.special.models_per_family = 10;
+    config.capacity_bytes = support::megabytes(500);
+    Rng rng(77);
+    scenario_ = std::make_unique<sim::Scenario>(sim::build_scenario(config, rng));
+    problem_ = std::make_unique<core::PlacementProblem>(scenario_->problem());
+    placement_ = std::make_unique<core::PlacementSolution>(
+        core::trimcaching_gen(*problem_).placement);
+  }
+
+  std::unique_ptr<sim::Scenario> scenario_;
+  std::unique_ptr<core::PlacementProblem> problem_;
+  std::unique_ptr<core::PlacementSolution> placement_;
+};
+
+TEST_F(EventSimTest, RequestConservation) {
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.1;
+  config.duration_s = 400.0;
+  Rng rng(1);
+  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                              scenario_->requests, *placement_, config,
+                                              rng);
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_EQ(result.requests, result.hits + result.late + result.unserved);
+  EXPECT_GE(result.mean_download_s, 0.0);
+  EXPECT_GE(result.p95_download_s, result.mean_download_s * 0.5);
+}
+
+TEST_F(EventSimTest, LowLoadMatchesSnapshotModel) {
+  // With nearly no contention, the empirical hit ratio approaches the
+  // snapshot expectation (Eq. 2 evaluated at average rates).
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.002;  // one request per user per ~8 min
+  config.duration_s = 40000.0;
+  Rng rng(2);
+  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                              scenario_->requests, *placement_, config,
+                                              rng);
+  const double expected = core::expected_hit_ratio(*problem_, *placement_);
+  EXPECT_NEAR(result.empirical_hit_ratio, expected, 0.08);
+  EXPECT_LT(result.mean_concurrency, 1.2);
+}
+
+TEST_F(EventSimTest, HeavyLoadDegrades) {
+  sim::EventSimConfig light;
+  light.arrival_rate_per_user = 0.01;
+  light.duration_s = 3000.0;
+  sim::EventSimConfig heavy = light;
+  heavy.arrival_rate_per_user = 3.0;
+  heavy.duration_s = 60.0;
+  Rng rng_a(3), rng_b(3);
+  const auto light_result = sim::simulate_downloads(
+      scenario_->topology, scenario_->library, scenario_->requests, *placement_, light,
+      rng_a);
+  const auto heavy_result = sim::simulate_downloads(
+      scenario_->topology, scenario_->library, scenario_->requests, *placement_, heavy,
+      rng_b);
+  EXPECT_LT(heavy_result.empirical_hit_ratio, light_result.empirical_hit_ratio);
+  EXPECT_GT(heavy_result.mean_concurrency, light_result.mean_concurrency);
+}
+
+TEST_F(EventSimTest, EmptyPlacementAllUnserved) {
+  core::PlacementSolution empty(scenario_->topology.num_servers(),
+                                scenario_->library.num_models());
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.1;
+  config.duration_s = 200.0;
+  Rng rng(4);
+  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                              scenario_->requests, empty, config, rng);
+  EXPECT_EQ(result.unserved, result.requests);
+  EXPECT_EQ(result.hits, 0u);
+}
+
+TEST_F(EventSimTest, Deterministic) {
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.05;
+  config.duration_s = 500.0;
+  Rng a(9), b(9);
+  const auto r1 = sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                          scenario_->requests, *placement_, config, a);
+  const auto r2 = sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                          scenario_->requests, *placement_, config, b);
+  EXPECT_EQ(r1.requests, r2.requests);
+  EXPECT_EQ(r1.hits, r2.hits);
+  EXPECT_DOUBLE_EQ(r1.mean_download_s, r2.mean_download_s);
+}
+
+TEST_F(EventSimTest, InvalidConfigRejected) {
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.0;
+  Rng rng(5);
+  EXPECT_THROW(
+      (void)sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                    scenario_->requests, *placement_, config, rng),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- Options
+
+TEST(Options, ParsesTypedValues) {
+  const char* argv[] = {"prog", "servers=12", "capacity_gb=1.5", "lazy=true",
+                        "name=spec"};
+  const auto options = support::Options::parse(5, argv);
+  EXPECT_EQ(options.get_size("servers", 0), 12u);
+  EXPECT_DOUBLE_EQ(options.get_double("capacity_gb", 0.0), 1.5);
+  EXPECT_TRUE(options.get_bool("lazy", false));
+  EXPECT_EQ(options.get_string("name", ""), "spec");
+  EXPECT_TRUE(options.has("servers"));
+  EXPECT_FALSE(options.has("absent"));
+}
+
+TEST(Options, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  const auto options = support::Options::parse(1, argv);
+  EXPECT_EQ(options.get_size("servers", 7), 7u);
+  EXPECT_DOUBLE_EQ(options.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(options.get_bool("b", false));
+}
+
+TEST(Options, MalformedTokensRejected) {
+  const char* bad1[] = {"prog", "noequals"};
+  EXPECT_THROW((void)support::Options::parse(2, bad1), std::invalid_argument);
+  const char* bad2[] = {"prog", "=value"};
+  EXPECT_THROW((void)support::Options::parse(2, bad2), std::invalid_argument);
+  const char* bad3[] = {"prog", "k=1", "k=2"};
+  EXPECT_THROW((void)support::Options::parse(3, bad3), std::invalid_argument);
+}
+
+TEST(Options, TypeErrorsRejected) {
+  const char* argv[] = {"prog", "n=abc", "b=maybe", "s=-3"};
+  const auto options = support::Options::parse(4, argv);
+  EXPECT_THROW((void)options.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)options.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW((void)options.get_size("s", 0), std::invalid_argument);
+}
+
+TEST(Options, UnknownKeyDetection) {
+  const char* argv[] = {"prog", "servers=3", "typo_key=1"};
+  const auto options = support::Options::parse(3, argv);
+  EXPECT_THROW(options.check_unknown({"servers"}), std::invalid_argument);
+  EXPECT_NO_THROW(options.check_unknown({"servers", "typo_key"}));
+}
+
+}  // namespace
+}  // namespace trimcaching

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/model/accuracy_model.h"
+#include "src/model/family_builder.h"
+#include "src/model/general_case_generator.h"
+#include "src/model/lora_generator.h"
+#include "src/model/special_case_generator.h"
+
+namespace trimcaching::model {
+namespace {
+
+using support::Rng;
+
+// -------------------------------------------------------------- FamilyBuilder
+
+TEST(FamilyBuilder, PrefixSegmentsAndSpecificBlocks) {
+  ModelLibrary lib;
+  PrefixFamilySpec spec;
+  spec.family_name = "fam";
+  spec.layers = {{"l0", 10}, {"l1", 20}, {"l2", 30}, {"l3", 40}};
+  spec.bytes_per_param = 4;
+  spec.freeze_depths = {1, 3, 1};
+  spec.model_names = {"a", "b", "c"};
+  const auto ids = add_prefix_family(lib, spec);
+  lib.finalize();
+  ASSERT_EQ(ids.size(), 3u);
+  // Distinct depths {1,3}: segment [0,1) = 40 B, segment [1,3) = 200 B.
+  // a: seg1 + specific(l1..l3: 90*4=360) ; b: seg1+seg2 + specific(l3: 160);
+  // c: same shape as a.
+  EXPECT_EQ(lib.model_size(ids[0]), 40u + 360u);
+  EXPECT_EQ(lib.model_size(ids[1]), 40u + 200u + 160u);
+  EXPECT_EQ(lib.model_size(ids[2]), 40u + 360u);
+  // Segment [0,1) is shared by all three; segment [1,3) only by b -> specific.
+  EXPECT_EQ(lib.shared_blocks().size(), 1u);
+  EXPECT_EQ(lib.dedup_size({ids[0], ids[2]}), 40u + 360u + 360u);
+}
+
+TEST(FamilyBuilder, DepthMustLeaveHeadTrainable) {
+  ModelLibrary lib;
+  PrefixFamilySpec spec;
+  spec.family_name = "fam";
+  spec.layers = {{"l0", 10}, {"l1", 20}};
+  spec.freeze_depths = {2};
+  spec.model_names = {"a"};
+  EXPECT_THROW((void)add_prefix_family(lib, spec), std::invalid_argument);
+}
+
+TEST(FamilyBuilder, MismatchedInputsThrow) {
+  ModelLibrary lib;
+  PrefixFamilySpec spec;
+  spec.layers = {{"l0", 10}};
+  spec.freeze_depths = {0};
+  spec.model_names = {"a", "b"};
+  EXPECT_THROW((void)add_prefix_family(lib, spec), std::invalid_argument);
+}
+
+TEST(FamilyBuilder, ZeroDepthModelIsFullySpecific) {
+  ModelLibrary lib;
+  PrefixFamilySpec spec;
+  spec.family_name = "fam";
+  spec.layers = {{"l0", 10}, {"l1", 20}};
+  spec.freeze_depths = {0, 1};
+  spec.model_names = {"a", "b"};
+  const auto ids = add_prefix_family(lib, spec);
+  lib.finalize();
+  EXPECT_EQ(lib.model_size(ids[0]), 120u);  // all layers specific
+  EXPECT_EQ(lib.shared_part(ids[0]).count(), 0u);
+}
+
+// -------------------------------------------------------- Special-case library
+
+TEST(SpecialCase, DefaultBuild) {
+  Rng rng(1);
+  SpecialCaseConfig config;
+  config.models_per_family = 10;
+  const auto lib = build_special_case_library(config, rng);
+  EXPECT_EQ(lib.num_models(), 30u);
+  // Each family contributes at most (distinct depths) shared prefix segments;
+  // the total must be bounded by the freeze-range widths (13+25+21).
+  EXPECT_LE(lib.shared_blocks().size(), 59u);
+  EXPECT_GT(lib.shared_blocks().size(), 0u);
+}
+
+TEST(SpecialCase, SharingIsSubstantial) {
+  Rng rng(2);
+  SpecialCaseConfig config;
+  config.models_per_family = 30;
+  const auto lib = build_special_case_library(config, rng);
+  const auto stats = lib.stats();
+  // Bottom-layer freezing across 90 downstream models must save well over
+  // half of the naive storage.
+  EXPECT_GT(stats.sharing_ratio, 0.5);
+}
+
+TEST(SpecialCase, SharedPartsAreNestedPrefixesPerFamily) {
+  Rng rng(3);
+  SpecialCaseConfig config;
+  config.models_per_family = 8;
+  const auto lib = build_special_case_library(config, rng);
+  // Within a family, any two shared parts must be inclusion-comparable.
+  for (ModelId a = 0; a < lib.num_models(); ++a) {
+    for (ModelId b = a + 1; b < lib.num_models(); ++b) {
+      if (lib.model(a).family != lib.model(b).family) continue;
+      const auto& pa = lib.shared_part(a);
+      const auto& pb = lib.shared_part(b);
+      EXPECT_TRUE(pa.is_subset_of(pb) || pb.is_subset_of(pa));
+    }
+  }
+}
+
+TEST(SpecialCase, ClosureIsProductOfChains) {
+  Rng rng(4);
+  SpecialCaseConfig config;
+  config.models_per_family = 6;
+  const auto lib = build_special_case_library(config, rng);
+  // Count distinct depths per family via distinct shared-part sizes.
+  std::map<std::string, std::set<std::size_t>> parts_per_family;
+  for (ModelId i = 0; i < lib.num_models(); ++i) {
+    if (lib.shared_part(i).any()) {
+      parts_per_family[lib.model(i).family].insert(lib.shared_part(i).count());
+    }
+  }
+  std::size_t expected = 1;
+  for (const auto& [fam, parts] : parts_per_family) {
+    (void)fam;
+    expected *= parts.size() + 1;
+  }
+  EXPECT_EQ(lib.shared_combination_closure().size(), expected);
+}
+
+TEST(SpecialCase, ModelSizesMatchArchitectures) {
+  Rng rng(5);
+  SpecialCaseConfig config;
+  config.models_per_family = 4;
+  config.head_classes = 5;
+  const auto lib = build_special_case_library(config, rng);
+  for (ModelId i = 0; i < lib.num_models(); ++i) {
+    const std::string& family = lib.model(i).family;
+    const ResNetArch arch = family == "resnet18"   ? ResNetArch::kResNet18
+                            : family == "resnet34" ? ResNetArch::kResNet34
+                                                   : ResNetArch::kResNet50;
+    EXPECT_EQ(lib.model_size(i), 4u * resnet_param_count(arch, 5))
+        << lib.model(i).name;
+  }
+}
+
+TEST(SpecialCase, ConfigValidation) {
+  Rng rng(6);
+  SpecialCaseConfig config;
+  config.models_per_family = 0;
+  EXPECT_THROW((void)build_special_case_library(config, rng), std::invalid_argument);
+  config = SpecialCaseConfig{};
+  config.archs.clear();
+  EXPECT_THROW((void)build_special_case_library(config, rng), std::invalid_argument);
+}
+
+// -------------------------------------------------------- General-case library
+
+TEST(GeneralCase, DefaultBuildIs300Models) {
+  Rng rng(7);
+  const GeneralCaseConfig config;
+  const auto lib = build_general_case_library(config, rng);
+  // 20 superclasses x 5 classes x 3 architectures.
+  EXPECT_EQ(lib.num_models(), 300u);
+}
+
+TEST(GeneralCase, SharedBlocksGrowWithScale) {
+  Rng rng(8);
+  GeneralCaseConfig small = reduced_general_case_config();
+  const auto lib_small = build_general_case_library(small, rng);
+  Rng rng2(8);
+  const GeneralCaseConfig full;
+  const auto lib_full = build_general_case_library(full, rng2);
+  EXPECT_GT(lib_full.shared_blocks().size(), lib_small.shared_blocks().size());
+  // This is the paper's general-case signature: β scales with the library.
+  EXPECT_GT(lib_full.shared_blocks().size(), 50u);
+}
+
+TEST(GeneralCase, LineagesDoNotShareAcrossRoots) {
+  Rng rng(9);
+  const auto lib = build_general_case_library(reduced_general_case_config(), rng);
+  for (ModelId a = 0; a < lib.num_models(); ++a) {
+    for (ModelId b = a + 1; b < lib.num_models(); ++b) {
+      if (lib.model(a).family == lib.model(b).family) continue;
+      EXPECT_FALSE(lib.shared_part(a).intersects(lib.shared_part(b)))
+          << lib.model(a).name << " vs " << lib.model(b).name;
+    }
+  }
+}
+
+TEST(GeneralCase, ConfigValidation) {
+  Rng rng(10);
+  GeneralCaseConfig config;
+  config.min_freeze_fraction = 0.9;
+  config.max_freeze_fraction = 0.5;
+  EXPECT_THROW((void)build_general_case_library(config, rng), std::invalid_argument);
+  config = GeneralCaseConfig{};
+  config.lineages.clear();
+  config.standalone_superclasses.clear();
+  EXPECT_THROW((void)build_general_case_library(config, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ LoRA library
+
+TEST(Lora, StructureAndSharing) {
+  Rng rng(11);
+  LoraLibraryConfig config;
+  config.num_foundations = 2;
+  config.adapters_per_foundation = 5;
+  const auto lib = build_lora_library(config, rng);
+  EXPECT_EQ(lib.num_models(), 10u);
+  EXPECT_EQ(lib.shared_blocks().size(), 2u);  // the two foundations
+  const auto stats = lib.stats();
+  // >99% of parameters are shared (PEFT regime).
+  EXPECT_GT(stats.sharing_ratio, 0.7);
+  // Any two models of the same foundation share exactly the foundation block.
+  EXPECT_EQ(lib.dedup_size({0, 1}),
+            lib.model_size(0) + lib.specific_size(1));
+}
+
+TEST(Lora, ConfigValidation) {
+  Rng rng(12);
+  LoraLibraryConfig config;
+  config.adapter_fraction = 1.5;
+  EXPECT_THROW((void)build_lora_library(config, rng), std::invalid_argument);
+  config = LoraLibraryConfig{};
+  config.num_foundations = 0;
+  EXPECT_THROW((void)build_lora_library(config, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Accuracy curve
+
+TEST(AccuracyModel, CalibratedEndpoints) {
+  const auto curves = paper_fig1_curves();
+  ASSERT_EQ(curves.size(), 2u);
+  const auto& animal = curves[0];
+  const auto& transport = curves[1];
+  EXPECT_EQ(animal.task, "animal");
+  // Zero frozen layers: full fine-tuning accuracy.
+  EXPECT_DOUBLE_EQ(animal.accuracy(0.0), animal.full_finetune_accuracy);
+  // At the paper's reference depth (97 layers = 90%): 5.2% / 4.05% drops.
+  EXPECT_NEAR(animal.full_finetune_accuracy - animal.accuracy(97.0), 0.052, 1e-9);
+  EXPECT_NEAR(transport.full_finetune_accuracy - transport.accuracy(97.0), 0.0405,
+              1e-9);
+  // Average degradation ~4.7% as quoted in §I.
+  const double avg = ((animal.full_finetune_accuracy - animal.accuracy(97.0)) +
+                      (transport.full_finetune_accuracy - transport.accuracy(97.0))) /
+                     2.0;
+  EXPECT_NEAR(avg, 0.047, 0.002);
+}
+
+TEST(AccuracyModel, MonotoneDegradation) {
+  for (const auto& curve : paper_fig1_curves()) {
+    double prev = curve.accuracy(0);
+    for (int f = 1; f <= 97; ++f) {
+      const double acc = curve.accuracy(f);
+      EXPECT_LE(acc, prev + 1e-12);
+      prev = acc;
+    }
+  }
+}
+
+TEST(AccuracyModel, FlatStart) {
+  // The curve must be flat near zero (shape > 1): the first 40% of layers
+  // cost less than 0.5% accuracy.
+  for (const auto& curve : paper_fig1_curves()) {
+    EXPECT_LT(curve.full_finetune_accuracy - curve.accuracy(40.0), 0.005);
+  }
+}
+
+TEST(AccuracyModel, NegativeDepthRejected) {
+  EXPECT_THROW((void)paper_fig1_curves()[0].accuracy(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trimcaching::model

@@ -1,0 +1,256 @@
+// Tests for the serialization module, the extra placement baselines, and
+// the reactive LRU mode of the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/core/baselines.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/io/serialization.h"
+#include "src/model/special_case_generator.h"
+#include "src/sim/event_sim.h"
+#include "src/sim/scenario.h"
+#include "tests/test_util.h"
+
+namespace trimcaching {
+namespace {
+
+using support::Rng;
+
+// -------------------------------------------------------------- serialization
+
+class SerializationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationTest, LibraryRoundTrip) {
+  Rng rng(GetParam());
+  const auto lib = testutil::random_library(rng, 12, 15);
+  const auto text = io::serialize_library(lib);
+  const auto parsed = io::parse_library(text);
+  ASSERT_EQ(parsed.num_models(), lib.num_models());
+  ASSERT_EQ(parsed.num_blocks(), lib.num_blocks());
+  for (ModelId i = 0; i < lib.num_models(); ++i) {
+    EXPECT_EQ(parsed.model(i).blocks, lib.model(i).blocks);
+    EXPECT_EQ(parsed.model_size(i), lib.model_size(i));
+    EXPECT_EQ(parsed.specific_size(i), lib.specific_size(i));
+  }
+  EXPECT_EQ(parsed.shared_blocks(), lib.shared_blocks());
+  // Serialization is stable: a second round trip is byte-identical.
+  EXPECT_EQ(io::serialize_library(parsed), text);
+}
+
+TEST_P(SerializationTest, PlacementRoundTrip) {
+  const auto world = testutil::random_world(GetParam(), 3, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  const auto placement = core::trimcaching_gen(problem).placement;
+  const auto parsed = io::parse_placement(io::serialize_placement(placement));
+  ASSERT_EQ(parsed.num_servers(), placement.num_servers());
+  ASSERT_EQ(parsed.num_models(), placement.num_models());
+  for (ServerId m = 0; m < placement.num_servers(); ++m) {
+    EXPECT_EQ(parsed.models_on(m), placement.models_on(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(Serialization, ResNetLibraryRoundTrip) {
+  Rng rng(3);
+  model::SpecialCaseConfig config;
+  config.models_per_family = 5;
+  const auto lib = model::build_special_case_library(config, rng);
+  const auto parsed = io::parse_library(io::serialize_library(lib));
+  EXPECT_EQ(parsed.stats().dedup_total, lib.stats().dedup_total);
+  EXPECT_EQ(parsed.stats().num_shared_blocks, lib.stats().num_shared_blocks);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  Rng rng(4);
+  const auto lib = testutil::random_library(rng, 6, 8);
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "trimcaching_lib_test.txt";
+  io::write_library(path, lib);
+  const auto loaded = io::read_library(path);
+  EXPECT_EQ(loaded.num_models(), lib.num_models());
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)io::read_library(path), std::runtime_error);
+}
+
+TEST(Serialization, ParserRejectsCorruptInput) {
+  EXPECT_THROW((void)io::parse_library(""), std::invalid_argument);
+  EXPECT_THROW((void)io::parse_library("wrong-magic v1\n"), std::invalid_argument);
+  EXPECT_THROW((void)io::parse_library("trimcaching-library v2\n"),
+               std::invalid_argument);
+  // Block id out of range.
+  EXPECT_THROW((void)io::parse_library("trimcaching-library v1\n"
+                                       "blocks 1\n"
+                                       "100 b0\n"
+                                       "models 1\n"
+                                       "fam m0 1 5\n"),
+               std::invalid_argument);
+  // Truncated model list.
+  EXPECT_THROW((void)io::parse_library("trimcaching-library v1\n"
+                                       "blocks 1\n"
+                                       "100 b0\n"
+                                       "models 2\n"
+                                       "fam m0 1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)io::parse_placement("trimcaching-placement v1\n"
+                                         "servers 1 models 2\n"
+                                         "server 3 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)io::parse_placement("trimcaching-placement v1\n"
+                                         "servers 1 models 2\n"
+                                         "server 0 1 9\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialization, SanitizesWhitespaceNames) {
+  model::ModelLibrary lib;
+  const BlockId b = lib.add_block(1000, "has space");
+  lib.add_model("tab\tname", "fam ily", {b});
+  lib.finalize();
+  const auto parsed = io::parse_library(io::serialize_library(lib));
+  EXPECT_EQ(parsed.block(0).name, "has_space");
+  EXPECT_EQ(parsed.model(0).name, "tab_name");
+  EXPECT_EQ(parsed.model(0).family, "fam_ily");
+}
+
+TEST(Serialization, UnfinalizedLibraryRejected) {
+  model::ModelLibrary lib;
+  lib.add_block(10, "b");
+  EXPECT_THROW((void)io::serialize_library(lib), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ baselines
+
+class BaselinesTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselinesTest, FeasibleAndConsistent) {
+  const auto world = testutil::random_world(GetParam(), 3, 10, 12, 14, 35.0);
+  const auto problem = world.problem();
+  Rng rng(GetParam() + 5);
+  const auto popular = core::top_popularity_caching(problem);
+  const auto random = core::random_placement(problem, rng);
+  for (const auto* result : {&popular, &random}) {
+    for (ServerId m = 0; m < problem.num_servers(); ++m) {
+      EXPECT_LE(problem.library().dedup_size(result->placement.models_on(m)),
+                problem.capacity(m));
+    }
+    EXPECT_NEAR(result->hit_ratio,
+                core::expected_hit_ratio(problem, result->placement), 1e-12);
+  }
+}
+
+TEST_P(BaselinesTest, GenDominatesBothBaselines) {
+  const auto world = testutil::random_world(GetParam() + 40, 3, 10, 12, 14, 30.0);
+  const auto problem = world.problem();
+  Rng rng(GetParam() + 9);
+  const auto gen = core::trimcaching_gen(problem);
+  EXPECT_GE(gen.hit_ratio, core::top_popularity_caching(problem).hit_ratio - 1e-9);
+  EXPECT_GE(gen.hit_ratio, core::random_placement(problem, rng).hit_ratio - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselinesTest, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Baselines, TopPopularityFillsEveryServerIdentically) {
+  const auto world = testutil::random_world(11, 3, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  const auto result = core::top_popularity_caching(problem);
+  // All servers have the same capacity and see the same ranking.
+  for (ServerId m = 1; m < problem.num_servers(); ++m) {
+    EXPECT_EQ(result.placement.models_on(m), result.placement.models_on(0));
+  }
+}
+
+// --------------------------------------------------------------- LRU-mode DES
+
+class LruModeTest : public ::testing::Test {
+ protected:
+  LruModeTest() {
+    sim::ScenarioConfig config;
+    config.num_servers = 4;
+    config.num_users = 10;
+    config.library_size = 20;
+    config.special.models_per_family = 10;
+    config.capacity_bytes = support::megabytes(400);
+    Rng rng(88);
+    scenario_ = std::make_unique<sim::Scenario>(sim::build_scenario(config, rng));
+    problem_ = std::make_unique<core::PlacementProblem>(scenario_->problem());
+    placement_ = std::make_unique<core::PlacementSolution>(
+        core::trimcaching_gen(*problem_).placement);
+    empty_ = std::make_unique<core::PlacementSolution>(problem_->num_servers(),
+                                                       problem_->num_models());
+  }
+
+  sim::EventSimConfig lru_config(double rate = 0.2, double duration = 1000.0) const {
+    sim::EventSimConfig config;
+    config.cache_policy = sim::CachePolicy::kLruOnMiss;
+    config.arrival_rate_per_user = rate;
+    config.duration_s = duration;
+    return config;
+  }
+
+  std::unique_ptr<sim::Scenario> scenario_;
+  std::unique_ptr<core::PlacementProblem> problem_;
+  std::unique_ptr<core::PlacementSolution> placement_;
+  std::unique_ptr<core::PlacementSolution> empty_;
+};
+
+TEST_F(LruModeTest, ColdStartFetchesFromCloud) {
+  Rng rng(1);
+  const auto result =
+      sim::simulate_downloads(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), rng);
+  EXPECT_GT(result.cloud_fetches, 0u);
+  EXPECT_EQ(result.requests, result.hits + result.late + result.unserved);
+}
+
+TEST_F(LruModeTest, WarmStartFetchesLess) {
+  Rng rng_a(2), rng_b(2);
+  const auto cold =
+      sim::simulate_downloads(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), rng_a);
+  const auto warm =
+      sim::simulate_downloads(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, lru_config(), rng_b);
+  EXPECT_LE(warm.cloud_fetches, cold.cloud_fetches);
+  EXPECT_GE(warm.empirical_hit_ratio, cold.empirical_hit_ratio - 0.05);
+}
+
+TEST_F(LruModeTest, StaticModeReportsNoCloudFetches) {
+  Rng rng(3);
+  sim::EventSimConfig config;
+  config.arrival_rate_per_user = 0.2;
+  config.duration_s = 500.0;
+  const auto result = sim::simulate_downloads(
+      scenario_->topology, scenario_->library, scenario_->requests, *placement_,
+      config, rng);
+  EXPECT_EQ(result.cloud_fetches, 0u);
+}
+
+TEST_F(LruModeTest, PlannedBeatsColdReactive) {
+  Rng rng_a(4), rng_b(4);
+  sim::EventSimConfig planned;
+  planned.arrival_rate_per_user = 0.2;
+  planned.duration_s = 1000.0;
+  const auto static_result = sim::simulate_downloads(
+      scenario_->topology, scenario_->library, scenario_->requests, *placement_,
+      planned, rng_a);
+  const auto reactive =
+      sim::simulate_downloads(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), rng_b);
+  EXPECT_GE(static_result.empirical_hit_ratio, reactive.empirical_hit_ratio - 0.02);
+}
+
+TEST_F(LruModeTest, InvalidCloudRateRejected) {
+  Rng rng(5);
+  auto config = lru_config();
+  config.cloud_rate_bps = 0.0;
+  EXPECT_THROW(
+      (void)sim::simulate_downloads(scenario_->topology, scenario_->library,
+                                    scenario_->requests, *empty_, config, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trimcaching

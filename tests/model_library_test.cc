@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/model/model_library.h"
+#include "src/support/units.h"
+
+namespace trimcaching::model {
+namespace {
+
+using support::Bytes;
+using support::DynamicBitset;
+using support::megabytes;
+
+/// The Fig. 3-style toy library used across these tests:
+///   shared1 (20 MB) in models 0,1 ; shared2 (10 MB) in models 1,2 ;
+///   each model has a private block (5/6/7 MB).
+ModelLibrary toy_library() {
+  ModelLibrary lib;
+  const BlockId shared1 = lib.add_block(megabytes(20), "shared1");
+  const BlockId shared2 = lib.add_block(megabytes(10), "shared2");
+  const BlockId p0 = lib.add_block(megabytes(5), "p0");
+  const BlockId p1 = lib.add_block(megabytes(6), "p1");
+  const BlockId p2 = lib.add_block(megabytes(7), "p2");
+  lib.add_model("m0", "fam", {shared1, p0});
+  lib.add_model("m1", "fam", {shared1, shared2, p1});
+  lib.add_model("m2", "fam", {shared2, p2});
+  lib.finalize();
+  return lib;
+}
+
+TEST(ModelLibrary, Counts) {
+  const auto lib = toy_library();
+  EXPECT_EQ(lib.num_models(), 3u);
+  EXPECT_EQ(lib.num_blocks(), 5u);
+}
+
+TEST(ModelLibrary, ModelSizes) {
+  const auto lib = toy_library();
+  EXPECT_EQ(lib.model_size(0), megabytes(25));
+  EXPECT_EQ(lib.model_size(1), megabytes(36));
+  EXPECT_EQ(lib.model_size(2), megabytes(17));
+}
+
+TEST(ModelLibrary, SharingClassification) {
+  const auto lib = toy_library();
+  EXPECT_TRUE(lib.is_shared_block(0));
+  EXPECT_TRUE(lib.is_shared_block(1));
+  EXPECT_FALSE(lib.is_shared_block(2));
+  EXPECT_FALSE(lib.is_shared_block(3));
+  EXPECT_FALSE(lib.is_shared_block(4));
+  EXPECT_EQ(lib.shared_blocks(), std::vector<BlockId>({0, 1}));
+}
+
+TEST(ModelLibrary, ModelsWithBlock) {
+  const auto lib = toy_library();
+  EXPECT_EQ(lib.models_with_block(0), std::vector<ModelId>({0, 1}));
+  EXPECT_EQ(lib.models_with_block(1), std::vector<ModelId>({1, 2}));
+  EXPECT_EQ(lib.models_with_block(2), std::vector<ModelId>({0}));
+}
+
+TEST(ModelLibrary, SharedParts) {
+  const auto lib = toy_library();
+  EXPECT_EQ(lib.shared_part(0).to_indices(), std::vector<std::size_t>({0}));
+  EXPECT_EQ(lib.shared_part(1).to_indices(), std::vector<std::size_t>({0, 1}));
+  EXPECT_EQ(lib.shared_part(2).to_indices(), std::vector<std::size_t>({1}));
+  EXPECT_EQ(lib.shared_part_size(1), megabytes(30));
+  EXPECT_EQ(lib.specific_size(1), megabytes(6));
+}
+
+TEST(ModelLibrary, DedupVsNaive) {
+  const auto lib = toy_library();
+  // m0 + m1 share shared1: dedup = 20+10+5+6 = 41 MB, naive = 25+36 = 61 MB.
+  EXPECT_EQ(lib.dedup_size({0, 1}), megabytes(41));
+  EXPECT_EQ(lib.naive_size({0, 1}), megabytes(61));
+  // All three: union of all blocks = 48 MB.
+  EXPECT_EQ(lib.dedup_size({0, 1, 2}), megabytes(48));
+  // Dedup of one model is its own size.
+  EXPECT_EQ(lib.dedup_size({2}), lib.model_size(2));
+}
+
+TEST(ModelLibrary, CombinationSize) {
+  const auto lib = toy_library();
+  DynamicBitset combo(2);
+  combo.set(0);
+  EXPECT_EQ(lib.combination_size(combo), megabytes(20));
+  combo.set(1);
+  EXPECT_EQ(lib.combination_size(combo), megabytes(30));
+  DynamicBitset wrong(3);
+  EXPECT_THROW((void)lib.combination_size(wrong), std::invalid_argument);
+}
+
+TEST(ModelLibrary, ClosureOfToyLibrary) {
+  const auto lib = toy_library();
+  // Parts: {s1}, {s1,s2}, {s2}. Closure: {}, {s1}, {s2}, {s1,s2} -> 4.
+  const auto closure = lib.shared_combination_closure();
+  EXPECT_EQ(closure.size(), 4u);
+  // Every element must be a union of parts (sanity: contains the empty set).
+  const auto empty_count = std::count_if(
+      closure.begin(), closure.end(), [](const DynamicBitset& b) { return b.none(); });
+  EXPECT_EQ(empty_count, 1);
+}
+
+TEST(ModelLibrary, ClosureCapThrows) {
+  // 12 independent pairs of models each sharing a distinct block -> closure
+  // would be 2^12; cap at 100 must throw.
+  ModelLibrary lib;
+  for (int g = 0; g < 12; ++g) {
+    const BlockId shared = lib.add_block(megabytes(1), "s");
+    const BlockId a = lib.add_block(megabytes(1), "a");
+    const BlockId b = lib.add_block(megabytes(1), "b");
+    lib.add_model("ma" + std::to_string(g), "f", {shared, a});
+    lib.add_model("mb" + std::to_string(g), "f", {shared, b});
+  }
+  lib.finalize();
+  EXPECT_THROW((void)lib.shared_combination_closure(100), std::runtime_error);
+  EXPECT_EQ(lib.shared_combination_closure(5000).size(), 4096u);
+}
+
+TEST(ModelLibrary, SubsetReindexes) {
+  const auto lib = toy_library();
+  const auto sub = lib.subset({0, 2});
+  EXPECT_EQ(sub.num_models(), 2u);
+  // Blocks of m0 (shared1, p0) and m2 (shared2, p2) -> 4 blocks, none shared
+  // anymore (each now belongs to a single model).
+  EXPECT_EQ(sub.num_blocks(), 4u);
+  EXPECT_EQ(sub.shared_blocks().size(), 0u);
+  EXPECT_EQ(sub.model_size(0), megabytes(25));
+  EXPECT_EQ(sub.model_size(1), megabytes(17));
+}
+
+TEST(ModelLibrary, SubsetPreservesSharingWhenBothKept) {
+  const auto lib = toy_library();
+  const auto sub = lib.subset({0, 1});
+  EXPECT_EQ(sub.shared_blocks().size(), 1u);  // shared1 kept shared
+  EXPECT_EQ(sub.dedup_size({0, 1}), megabytes(41));
+}
+
+TEST(ModelLibrary, SampleSubset) {
+  const auto lib = toy_library();
+  support::Rng rng(2);
+  const auto sub = lib.sample_subset(2, rng);
+  EXPECT_EQ(sub.num_models(), 2u);
+  EXPECT_THROW((void)lib.sample_subset(0, rng), std::invalid_argument);
+  EXPECT_THROW((void)lib.sample_subset(4, rng), std::invalid_argument);
+}
+
+TEST(ModelLibrary, Stats) {
+  const auto lib = toy_library();
+  const auto stats = lib.stats();
+  EXPECT_EQ(stats.num_models, 3u);
+  EXPECT_EQ(stats.num_blocks, 5u);
+  EXPECT_EQ(stats.num_shared_blocks, 2u);
+  EXPECT_EQ(stats.naive_total, megabytes(78));
+  EXPECT_EQ(stats.dedup_total, megabytes(48));
+  EXPECT_NEAR(stats.sharing_ratio, 1.0 - 48.0 / 78.0, 1e-12);
+}
+
+TEST(ModelLibrary, LifecycleErrors) {
+  ModelLibrary lib;
+  EXPECT_THROW((void)lib.add_block(0, "zero"), std::invalid_argument);
+  const BlockId b = lib.add_block(megabytes(1), "b");
+  EXPECT_THROW((void)lib.add_model("m", "f", {}), std::invalid_argument);
+  EXPECT_THROW((void)lib.add_model("m", "f", {b, b}), std::invalid_argument);
+  EXPECT_THROW((void)lib.add_model("m", "f", {static_cast<BlockId>(5)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)lib.model_size(0), std::logic_error);  // not finalized
+  lib.add_model("m", "f", {b});
+  lib.finalize();
+  EXPECT_THROW(lib.finalize(), std::logic_error);
+  EXPECT_THROW((void)lib.add_block(megabytes(1), "late"), std::logic_error);
+  EXPECT_THROW((void)lib.add_model("late", "f", {b}), std::logic_error);
+}
+
+TEST(ModelLibrary, EmptyLibraryCannotFinalize) {
+  ModelLibrary lib;
+  EXPECT_THROW(lib.finalize(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace trimcaching::model

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/model/resnet_zoo.h"
+
+namespace trimcaching::model {
+namespace {
+
+// The paper's freeze-depth ranges pin down the layer-counting convention:
+// every conv + every batch-norm + the fc head. These counts must match or
+// the §VII-A ranges would be out of bounds.
+TEST(ResNetZoo, LayerCounts) {
+  EXPECT_EQ(resnet_layer_count(ResNetArch::kResNet18), 41u);
+  EXPECT_EQ(resnet_layer_count(ResNetArch::kResNet34), 73u);
+  EXPECT_EQ(resnet_layer_count(ResNetArch::kResNet50), 107u);
+}
+
+TEST(ResNetZoo, FreezeRangesLeaveHeadTrainable) {
+  for (const auto arch :
+       {ResNetArch::kResNet18, ResNetArch::kResNet34, ResNetArch::kResNet50}) {
+    const auto [lo, hi] = paper_freeze_range(arch);
+    EXPECT_GT(lo, 0u);
+    EXPECT_LT(lo, hi);
+    EXPECT_LT(hi, resnet_layer_count(arch));
+  }
+}
+
+// Reference parameter counts with a 1000-class head (the torchvision
+// ImageNet models): ResNet-18 = 11,689,512; ResNet-34 = 21,797,672;
+// ResNet-50 = 25,557,032.
+TEST(ResNetZoo, ImagenetParameterCounts) {
+  EXPECT_EQ(resnet_param_count(ResNetArch::kResNet18, 1000), 11'689'512u);
+  EXPECT_EQ(resnet_param_count(ResNetArch::kResNet34, 1000), 21'797'672u);
+  EXPECT_EQ(resnet_param_count(ResNetArch::kResNet50, 1000), 25'557'032u);
+}
+
+TEST(ResNetZoo, HeadScalesWithClasses) {
+  const auto base = resnet_param_count(ResNetArch::kResNet18, 10);
+  const auto more = resnet_param_count(ResNetArch::kResNet18, 110);
+  // 100 extra classes cost 100 * (512 + 1) parameters on ResNet-18.
+  EXPECT_EQ(more - base, 100u * 513u);
+}
+
+TEST(ResNetZoo, LayersOrderedBottomUp) {
+  const auto layers = resnet_layers(ResNetArch::kResNet50, 100);
+  ASSERT_EQ(layers.size(), 107u);
+  EXPECT_EQ(layers.front().name, "conv1");
+  EXPECT_EQ(layers[1].name, "bn1");
+  EXPECT_EQ(layers.back().name, "fc");
+  // conv1 is 7x7x3x64.
+  EXPECT_EQ(layers.front().params, 9408u);
+  // fc head: 2048 * 100 + 100.
+  EXPECT_EQ(layers.back().params, 204'900u);
+}
+
+TEST(ResNetZoo, EveryLayerNonEmpty) {
+  for (const auto arch :
+       {ResNetArch::kResNet18, ResNetArch::kResNet34, ResNetArch::kResNet50}) {
+    for (const auto& layer : resnet_layers(arch, 100)) {
+      EXPECT_GT(layer.params, 0u) << to_string(arch) << " " << layer.name;
+    }
+  }
+}
+
+TEST(ResNetZoo, Names) {
+  EXPECT_EQ(to_string(ResNetArch::kResNet18), "resnet18");
+  EXPECT_EQ(to_string(ResNetArch::kResNet34), "resnet34");
+  EXPECT_EQ(to_string(ResNetArch::kResNet50), "resnet50");
+}
+
+TEST(ResNetZoo, ZeroClassesRejected) {
+  EXPECT_THROW((void)resnet_layers(ResNetArch::kResNet18, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trimcaching::model

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/core/storage.h"
+#include "tests/test_util.h"
+
+namespace trimcaching::core {
+namespace {
+
+using support::megabytes;
+
+model::ModelLibrary shared_pair_library() {
+  model::ModelLibrary lib;
+  const BlockId shared = lib.add_block(megabytes(20), "shared");
+  const BlockId a = lib.add_block(megabytes(5), "a");
+  const BlockId b = lib.add_block(megabytes(6), "b");
+  lib.add_model("m0", "f", {shared, a});
+  lib.add_model("m1", "f", {shared, b});
+  lib.finalize();
+  return lib;
+}
+
+// -------------------------------------------------------------- ServerStorage
+
+TEST(ServerStorage, IncrementalCostDeduplicates) {
+  const auto lib = shared_pair_library();
+  ServerStorage storage(lib, megabytes(40));
+  EXPECT_EQ(storage.incremental_cost(0), megabytes(25));
+  storage.add(0);
+  EXPECT_EQ(storage.used(), megabytes(25));
+  // m1 shares the 20 MB block: only its 6 MB specific part is new.
+  EXPECT_EQ(storage.incremental_cost(1), megabytes(6));
+  EXPECT_TRUE(storage.fits(1));
+  storage.add(1);
+  EXPECT_EQ(storage.used(), megabytes(31));
+  // Re-adding costs nothing.
+  EXPECT_EQ(storage.incremental_cost(0), 0u);
+}
+
+TEST(ServerStorage, CapacityEnforced) {
+  const auto lib = shared_pair_library();
+  ServerStorage storage(lib, megabytes(24));
+  EXPECT_FALSE(storage.fits(0));  // 25 MB > 24 MB
+  EXPECT_THROW(storage.add(0), std::logic_error);
+  EXPECT_EQ(storage.used(), 0u);
+}
+
+TEST(ServerStorage, MatchesDedupStorageFunction) {
+  const auto lib = shared_pair_library();
+  ServerStorage storage(lib, megabytes(100));
+  storage.add(0);
+  storage.add(1);
+  EXPECT_EQ(storage.used(), dedup_storage(lib, {0, 1}));
+  EXPECT_EQ(storage.cached_blocks().count(), 3u);
+}
+
+// ------------------------------------------------------- Objective / coverage
+
+class ObjectiveTest : public ::testing::Test {
+ protected:
+  ObjectiveTest() : world_(testutil::random_world(17, 3, 8, 10, 12, 60.0)) {}
+  testutil::World world_;
+};
+
+TEST_F(ObjectiveTest, EmptyPlacementScoresZero) {
+  const auto problem = world_.problem();
+  PlacementSolution empty(problem.num_servers(), problem.num_models());
+  EXPECT_DOUBLE_EQ(expected_hit_ratio(problem, empty), 0.0);
+}
+
+TEST_F(ObjectiveTest, FullPlacementReachesCeiling) {
+  const auto problem = world_.problem();
+  PlacementSolution full(problem.num_servers(), problem.num_models());
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (ModelId i = 0; i < problem.num_models(); ++i) full.place(m, i);
+  }
+  EXPECT_NEAR(expected_hit_ratio(problem, full),
+              problem.reachable_mass() / problem.total_mass(), 1e-12);
+}
+
+TEST_F(ObjectiveTest, IncrementalMatchesScratch) {
+  const auto problem = world_.problem();
+  support::Rng rng(3);
+  CoverageState coverage(problem);
+  PlacementSolution placement(problem.num_servers(), problem.num_models());
+  for (int step = 0; step < 12; ++step) {
+    const auto m = static_cast<ServerId>(rng.index(problem.num_servers()));
+    const auto i = static_cast<ModelId>(rng.index(problem.num_models()));
+    coverage.add(m, i);
+    placement.place(m, i);
+    EXPECT_NEAR(coverage.hit_ratio(), expected_hit_ratio(problem, placement), 1e-12);
+  }
+}
+
+TEST_F(ObjectiveTest, MarginalGainMatchesDifference) {
+  const auto problem = world_.problem();
+  CoverageState coverage(problem);
+  PlacementSolution placement(problem.num_servers(), problem.num_models());
+  coverage.add(0, 0);
+  placement.place(0, 0);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (ModelId i = 0; i < problem.num_models(); ++i) {
+      PlacementSolution next = placement;
+      next.place(m, i);
+      const double scratch_gain =
+          expected_hit_ratio(problem, next) - coverage.hit_ratio();
+      EXPECT_NEAR(coverage.marginal_gain(m, i), scratch_gain, 1e-12);
+    }
+  }
+}
+
+TEST_F(ObjectiveTest, MarginalGainZeroAfterAdd) {
+  const auto problem = world_.problem();
+  CoverageState coverage(problem);
+  coverage.add(1, 2);
+  EXPECT_DOUBLE_EQ(coverage.marginal_mass(1, 2), 0.0);
+}
+
+TEST_F(ObjectiveTest, EligibleConsistentWithHitLists) {
+  const auto problem = world_.problem();
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (ModelId i = 0; i < problem.num_models(); ++i) {
+      for (const HitEntry& entry : problem.hit_list(m, i)) {
+        EXPECT_TRUE(problem.eligible(m, entry.user, i));
+        EXPECT_GT(entry.mass, 0.0);
+        EXPECT_DOUBLE_EQ(entry.mass,
+                         problem.requests().probability(entry.user, i));
+      }
+    }
+  }
+}
+
+TEST_F(ObjectiveTest, ReachableMassBoundsTotal) {
+  const auto problem = world_.problem();
+  EXPECT_LE(problem.reachable_mass(), problem.total_mass() + 1e-12);
+  EXPECT_GE(problem.reachable_mass(), 0.0);
+}
+
+// ------------------------------------------------------------ PlacementSolution
+
+TEST(PlacementSolution, PlaceIsIdempotent) {
+  PlacementSolution p(2, 3);
+  p.place(1, 2);
+  p.place(1, 2);
+  EXPECT_EQ(p.total_placements(), 1u);
+  EXPECT_TRUE(p.placed(1, 2));
+  EXPECT_FALSE(p.placed(0, 2));
+  EXPECT_EQ(p.models_on(1), std::vector<ModelId>({2}));
+  EXPECT_EQ(p.holders_of(2), std::vector<ServerId>({1}));
+}
+
+TEST(PlacementSolution, BoundsChecked) {
+  PlacementSolution p(2, 3);
+  EXPECT_THROW(p.place(2, 0), std::out_of_range);
+  EXPECT_THROW(p.place(0, 3), std::out_of_range);
+  EXPECT_THROW((void)p.placed(2, 0), std::out_of_range);
+  EXPECT_THROW((void)p.models_on(2), std::out_of_range);
+  EXPECT_THROW((void)p.holders_of(3), std::out_of_range);
+  EXPECT_THROW(PlacementSolution(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trimcaching::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/core/storage.h"
+#include "src/core/submodular.h"
+#include "src/core/transform.h"
+#include "tests/test_util.h"
+
+namespace trimcaching::core {
+namespace {
+
+using support::DynamicBitset;
+using support::Rng;
+
+// ------------------------------------------------------- property machinery
+
+TEST(SubmodularChecker, DetectsModularFunction) {
+  // f(S) = |S| is both submodular and supermodular; monotone.
+  Rng rng(1);
+  const SetFunction cardinality = [](const DynamicBitset& s) {
+    return static_cast<double>(s.count());
+  };
+  EXPECT_TRUE(check_submodular(cardinality, 10, 200, rng).holds());
+  EXPECT_TRUE(check_supermodular(cardinality, 10, 200, rng).holds());
+  EXPECT_TRUE(check_monotone(cardinality, 10, 200, rng).holds());
+}
+
+TEST(SubmodularChecker, DetectsViolations) {
+  // f(S) = |S|^2 is supermodular but NOT submodular.
+  Rng rng(2);
+  const SetFunction square = [](const DynamicBitset& s) {
+    const double c = static_cast<double>(s.count());
+    return c * c;
+  };
+  EXPECT_FALSE(check_submodular(square, 10, 500, rng).holds());
+  EXPECT_TRUE(check_supermodular(square, 10, 500, rng).holds());
+  // sqrt(|S|) is submodular but not supermodular.
+  const SetFunction root = [](const DynamicBitset& s) {
+    return std::sqrt(static_cast<double>(s.count()));
+  };
+  EXPECT_TRUE(check_submodular(root, 10, 500, rng).holds());
+  EXPECT_FALSE(check_supermodular(root, 10, 500, rng).holds());
+}
+
+TEST(SubmodularChecker, EmptyGroundSetRejected) {
+  Rng rng(3);
+  const SetFunction f = [](const DynamicBitset&) { return 0.0; };
+  EXPECT_THROW((void)check_submodular(f, 0, 10, rng), std::invalid_argument);
+}
+
+// ---------------------------------------- Proposition 1 on concrete instances
+
+class Proposition1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Proposition1, ObjectiveIsMonotoneSubmodular) {
+  const auto world = testutil::random_world(GetParam(), 3, 8, 8, 10, 40.0);
+  const auto problem = world.problem();
+  const std::size_t universe = problem.num_servers() * problem.num_models();
+  const SetFunction hit_ratio = [&problem](const DynamicBitset& s) {
+    PlacementSolution placement(problem.num_servers(), problem.num_models());
+    s.for_each([&](std::size_t cell) {
+      placement.place(static_cast<ServerId>(cell / problem.num_models()),
+                      static_cast<ModelId>(cell % problem.num_models()));
+    });
+    return expected_hit_ratio(problem, placement);
+  };
+  Rng rng(GetParam() * 31 + 1);
+  EXPECT_TRUE(check_submodular(hit_ratio, universe, 150, rng).holds());
+  Rng rng2(GetParam() * 31 + 2);
+  EXPECT_TRUE(check_monotone(hit_ratio, universe, 150, rng2).holds());
+}
+
+TEST_P(Proposition1, StorageConstraintIsSubmodular) {
+  Rng lib_rng(GetParam());
+  const auto lib = testutil::random_library(lib_rng, 10, 12);
+  const SetFunction storage = [&lib](const DynamicBitset& s) {
+    std::vector<ModelId> models;
+    s.for_each([&](std::size_t i) { models.push_back(static_cast<ModelId>(i)); });
+    return static_cast<double>(lib.dedup_size(models));
+  };
+  Rng rng(GetParam() * 77 + 5);
+  EXPECT_TRUE(check_submodular(storage, lib.num_models(), 300, rng).holds());
+  Rng rng2(GetParam() * 77 + 6);
+  EXPECT_TRUE(check_monotone(storage, lib.num_models(), 300, rng2).holds());
+}
+
+// Proposition 2's transformed objective U(Y) is supermodular in the block
+// variables of a single server (the product form of x_{m,i}).
+TEST_P(Proposition1, TransformedObjectiveIsSupermodularPerServer) {
+  const auto world = testutil::random_world(GetParam() + 50, 1, 8, 8, 10, 40.0);
+  const auto problem = world.problem();
+  const auto& lib = problem.library();
+  const SetFunction u_of_blocks = [&problem, &lib](const DynamicBitset& blocks) {
+    BlockPlacement y;
+    y.per_server.push_back(blocks);
+    return expected_hit_ratio_blocks(problem, y);
+  };
+  Rng rng(GetParam() * 13 + 7);
+  EXPECT_TRUE(check_supermodular(u_of_blocks, lib.num_blocks(), 200, rng).holds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition1, ::testing::Range<std::uint64_t>(0, 8));
+
+// -------------------------------------------------------------- transformation
+
+class TransformRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformRoundTrip, BlockStorageEqualsDedupStorage) {
+  const auto world = testutil::random_world(GetParam(), 3, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  Rng rng(GetParam() + 9);
+  PlacementSolution x(problem.num_servers(), problem.num_models());
+  for (int step = 0; step < 10; ++step) {
+    x.place(static_cast<ServerId>(rng.index(problem.num_servers())),
+            static_cast<ModelId>(rng.index(problem.num_models())));
+  }
+  const BlockPlacement y = block_placement_from(problem.library(), x);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_EQ(block_storage(problem.library(), y.per_server[m]),
+              problem.library().dedup_size(x.models_on(m)));
+  }
+}
+
+TEST_P(TransformRoundTrip, RoundTripNeverLosesModels) {
+  const auto world = testutil::random_world(GetParam() + 30, 3, 8, 10, 12, 40.0);
+  const auto problem = world.problem();
+  Rng rng(GetParam() + 17);
+  PlacementSolution x(problem.num_servers(), problem.num_models());
+  for (int step = 0; step < 8; ++step) {
+    x.place(static_cast<ServerId>(rng.index(problem.num_servers())),
+            static_cast<ModelId>(rng.index(problem.num_models())));
+  }
+  const BlockPlacement y = block_placement_from(problem.library(), x);
+  const PlacementSolution x2 = models_available_under(problem.library(), y);
+  // Every placed model is still available (other models may become available
+  // for free if their blocks happen to be covered — that's the P1.2 view).
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    for (const ModelId i : x.models_on(m)) EXPECT_TRUE(x2.placed(m, i));
+  }
+  EXPECT_GE(expected_hit_ratio_blocks(problem, y),
+            expected_hit_ratio(problem, x) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Transform, EmptyBlockPlacementRejected) {
+  const auto world = testutil::random_world(3, 2, 4, 6, 8, 30.0);
+  BlockPlacement y;
+  EXPECT_THROW((void)models_available_under(world.library, y), std::invalid_argument);
+  support::DynamicBitset wrong(world.library.num_blocks() + 1);
+  EXPECT_THROW((void)block_storage(world.library, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace trimcaching::core

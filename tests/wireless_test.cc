@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/units.h"
+#include "src/wireless/channel.h"
+#include "src/wireless/geometry.h"
+#include "src/wireless/topology.h"
+
+namespace trimcaching::wireless {
+namespace {
+
+using support::Rng;
+
+// ------------------------------------------------------------------- Geometry
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, AreaContainsAndClamp) {
+  Area area{100.0};
+  EXPECT_TRUE(area.contains({0, 0}));
+  EXPECT_TRUE(area.contains({100, 100}));
+  EXPECT_FALSE(area.contains({-1, 50}));
+  const Point p = area.clamp({-5, 120});
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 100.0);
+}
+
+TEST(Geometry, UniformPointsInsideArea) {
+  Area area{500.0};
+  Rng rng(1);
+  const auto pts = uniform_points(area, 200, rng);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const auto& p : pts) EXPECT_TRUE(area.contains(p));
+}
+
+// -------------------------------------------------------------------- Channel
+
+TEST(Channel, PathGainDecreasesWithDistance) {
+  ChannelParams params;
+  EXPECT_GT(path_gain(params, 10.0), path_gain(params, 20.0));
+  // alpha0 = 4: doubling distance costs 16x.
+  EXPECT_NEAR(path_gain(params, 10.0) / path_gain(params, 20.0), 16.0, 1e-9);
+}
+
+TEST(Channel, PathGainClampedNearField) {
+  ChannelParams params;
+  EXPECT_DOUBLE_EQ(path_gain(params, 0.0), path_gain(params, params.min_distance_m));
+}
+
+TEST(Channel, ShannonRateMonotone) {
+  ChannelParams params;
+  const double r_near = shannon_rate(params, 1e8, 10.0, 50.0);
+  const double r_far = shannon_rate(params, 1e8, 10.0, 200.0);
+  EXPECT_GT(r_near, r_far);
+  EXPECT_GT(r_far, 0.0);
+  // More power helps.
+  EXPECT_GT(shannon_rate(params, 1e8, 20.0, 50.0), r_near);
+}
+
+TEST(Channel, PaperScaleRateIsGbps) {
+  // §VII-A numbers: ~160 MHz and ~8 W per user at 100 m should give Gbps-range.
+  ChannelParams params;
+  const double rate = shannon_rate(params, 160e6, 8.0, 100.0);
+  EXPECT_GT(rate, 1e9);
+  EXPECT_LT(rate, 1e10);
+}
+
+TEST(Channel, FadingGainScalesSnr) {
+  ChannelParams params;
+  const double base = shannon_rate(params, 1e8, 10.0, 100.0, 1.0);
+  EXPECT_GT(base, shannon_rate(params, 1e8, 10.0, 100.0, 0.1));
+  EXPECT_LT(base, shannon_rate(params, 1e8, 10.0, 100.0, 10.0));
+  EXPECT_DOUBLE_EQ(shannon_rate(params, 1e8, 10.0, 100.0, 0.0), 0.0);
+}
+
+TEST(Channel, RayleighGainIsExponentialMeanOne) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 50000;
+  for (int t = 0; t < n; ++t) sum += sample_rayleigh_power_gain(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Channel, ValidateRejectsBadParams) {
+  ChannelParams params;
+  params.alpha0 = 0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = ChannelParams{};
+  params.noise_psd_w_hz = -1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- Topology
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  /// 2 servers on a 1000 m line; u0 near s0, u1 near s1, u2 covered by none,
+  /// u3 covered by both (midpoint, 200 m from each server).
+  NetworkTopology make() {
+    RadioConfig radio;
+    radio.coverage_radius_m = 275.0;
+    std::vector<Point> servers = {{300, 500}, {700, 500}};
+    std::vector<Point> users = {{310, 500}, {690, 500}, {500, 0}, {500, 500}};
+    std::vector<support::Bytes> caps(2, support::gigabytes(1.0));
+    return NetworkTopology(Area{1000.0}, radio, servers, users, caps);
+  }
+};
+
+TEST_F(TopologyTest, Association) {
+  const auto topo = make();
+  EXPECT_EQ(topo.servers_covering(0), std::vector<ServerId>({0}));
+  EXPECT_EQ(topo.servers_covering(1), std::vector<ServerId>({1}));
+  EXPECT_TRUE(topo.servers_covering(2).empty());
+  EXPECT_EQ(topo.servers_covering(3), std::vector<ServerId>({0, 1}));
+  EXPECT_EQ(topo.users_of(0), std::vector<UserId>({0, 3}));
+  EXPECT_TRUE(topo.is_associated(0, 0));
+  EXPECT_FALSE(topo.is_associated(1, 0));
+}
+
+TEST_F(TopologyTest, PerUserSharesSplitByActiveUsers) {
+  const auto topo = make();
+  // Server 0 has 2 associated users, p_A = 0.5: each gets B/(0.5*2) = B.
+  EXPECT_DOUBLE_EQ(topo.per_user_bandwidth_hz(0), topo.radio().total_bandwidth_hz);
+  EXPECT_DOUBLE_EQ(topo.per_user_power_w(0), topo.radio().total_power_w);
+}
+
+TEST_F(TopologyTest, RatesOnlyForAssociatedPairs) {
+  const auto topo = make();
+  EXPECT_GT(topo.avg_rate_bps(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.avg_rate_bps(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.avg_rate_bps(0, 2), 0.0);
+  // Nearer user gets a higher rate from the same server.
+  EXPECT_GT(topo.avg_rate_bps(0, 0), topo.avg_rate_bps(0, 3));
+}
+
+TEST_F(TopologyTest, DirectDeliveryMatchesEq4) {
+  const auto topo = make();
+  const support::Bytes payload = support::megabytes(100);
+  const double expected = support::bits(payload) / topo.avg_rate_bps(0, 0);
+  EXPECT_NEAR(topo.delivery_seconds(0, 0, payload), expected, 1e-12);
+}
+
+TEST_F(TopologyTest, RelayedDeliveryMatchesEq5) {
+  const auto topo = make();
+  const support::Bytes payload = support::megabytes(100);
+  // Server 1 delivering to user 0 must relay through server 0.
+  const double expected = support::bits(payload) / topo.radio().backhaul_bps +
+                          support::bits(payload) / topo.avg_rate_bps(0, 0);
+  EXPECT_NEAR(topo.delivery_seconds(1, 0, payload), expected, 1e-12);
+  // Relay is slower than direct.
+  EXPECT_GT(topo.delivery_seconds(1, 0, payload), topo.delivery_seconds(0, 0, payload));
+}
+
+TEST_F(TopologyTest, UncoveredUserUnreachable) {
+  const auto topo = make();
+  EXPECT_TRUE(std::isinf(topo.delivery_seconds(0, 2, support::megabytes(1))));
+  EXPECT_TRUE(std::isinf(topo.delivery_seconds(1, 2, support::megabytes(1))));
+}
+
+TEST_F(TopologyTest, DualCoveredUserPrefersBestRelay) {
+  const auto topo = make();
+  const support::Bytes payload = support::megabytes(50);
+  // User 3 is covered by both servers; direct from either is possible.
+  EXPECT_LT(topo.delivery_seconds(0, 3, payload), 10.0);
+  EXPECT_LT(topo.delivery_seconds(1, 3, payload), 10.0);
+}
+
+TEST_F(TopologyTest, UpdateUserPositionsRebuilds) {
+  auto topo = make();
+  // Move user 2 next to server 0.
+  std::vector<Point> users = {{310, 500}, {690, 500}, {320, 500}, {500, 500}};
+  topo.update_user_positions(users);
+  EXPECT_EQ(topo.servers_covering(2), std::vector<ServerId>({0}));
+  EXPECT_GT(topo.avg_rate_bps(0, 2), 0.0);
+  // Server 0 now has 3 associated users -> smaller per-user share.
+  EXPECT_DOUBLE_EQ(topo.per_user_bandwidth_hz(0),
+                   topo.radio().total_bandwidth_hz / (0.5 * 3));
+}
+
+TEST_F(TopologyTest, UpdateUserCountChangeRejected) {
+  auto topo = make();
+  EXPECT_THROW(topo.update_user_positions({{0, 0}}), std::invalid_argument);
+}
+
+TEST_F(TopologyTest, FadedRateReducesWithDeepFade) {
+  const auto topo = make();
+  EXPECT_LT(topo.faded_rate_bps(0, 0, 0.01), topo.avg_rate_bps(0, 0));
+  EXPECT_DOUBLE_EQ(topo.faded_rate_bps(1, 0, 1.0), 0.0);  // not associated
+}
+
+TEST(Topology, ValidationErrors) {
+  RadioConfig radio;
+  std::vector<Point> servers = {{0, 0}};
+  std::vector<Point> users = {{1, 1}};
+  EXPECT_THROW(NetworkTopology(Area{100.0}, radio, {}, users, {}),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkTopology(Area{100.0}, radio, servers, users, {}),
+               std::invalid_argument);
+  radio.active_probability = 0.0;
+  EXPECT_THROW(NetworkTopology(Area{100.0}, radio, servers, users,
+                               {support::gigabytes(1)}),
+               std::invalid_argument);
+}
+
+TEST(Topology, SampleTopologyShapes) {
+  RadioConfig radio;
+  Rng rng(4);
+  const auto topo =
+      sample_topology(Area{1000.0}, radio, 10, 20, support::gigabytes(1), rng);
+  EXPECT_EQ(topo.num_servers(), 10u);
+  EXPECT_EQ(topo.num_users(), 20u);
+  EXPECT_EQ(topo.capacity(3), support::gigabytes(1));
+}
+
+}  // namespace
+}  // namespace trimcaching::wireless

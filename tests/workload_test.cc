@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/workload/request_model.h"
+#include "src/workload/zipf.h"
+
+namespace trimcaching::workload {
+namespace {
+
+using support::Rng;
+
+// ----------------------------------------------------------------------- Zipf
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution zipf(30, 0.8);
+  double sum = 0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) sum += zipf.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfDecreasing) {
+  const ZipfDistribution zipf(100, 1.2);
+  for (std::size_t r = 1; r < zipf.size(); ++r) {
+    EXPECT_LT(zipf.pmf(r), zipf.pmf(r - 1));
+  }
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfDistribution zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-12);
+}
+
+TEST(Zipf, RatioMatchesPowerLaw) {
+  const ZipfDistribution zipf(50, 1.0);
+  EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(9), 10.0, 1e-9);
+}
+
+TEST(Zipf, SamplerMatchesPmf) {
+  const ZipfDistribution zipf(5, 1.0);
+  Rng rng(13);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int t = 0; t < n; ++t) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.pmf(r), 0.01);
+  }
+}
+
+TEST(Zipf, InvalidArgs) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(5, -0.1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Request model
+
+TEST(RequestModel, PerUserMassIsOne) {
+  Rng rng(1);
+  const auto rm = RequestModel::generate(7, 20, RequestConfig{}, rng);
+  for (UserId k = 0; k < 7; ++k) {
+    double sum = 0;
+    for (ModelId i = 0; i < 20; ++i) sum += rm.probability(k, i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_NEAR(rm.total_mass(), 7.0, 1e-9);
+}
+
+TEST(RequestModel, SparsityLimitsInterestSet) {
+  Rng rng(2);
+  RequestConfig config;
+  config.models_per_user = 9;
+  const auto rm = RequestModel::generate(5, 30, config, rng);
+  for (UserId k = 0; k < 5; ++k) {
+    int nonzero = 0;
+    for (ModelId i = 0; i < 30; ++i) {
+      if (rm.probability(k, i) > 0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, 9);
+  }
+}
+
+TEST(RequestModel, DeadlinesInConfiguredRange) {
+  Rng rng(3);
+  RequestConfig config;
+  const auto rm = RequestModel::generate(4, 10, config, rng);
+  for (UserId k = 0; k < 4; ++k) {
+    for (ModelId i = 0; i < 10; ++i) {
+      EXPECT_GE(rm.deadline_s(k, i), config.deadline_min_s);
+      EXPECT_LE(rm.deadline_s(k, i), config.deadline_max_s);
+      EXPECT_GE(rm.inference_s(k, i), config.inference_min_s);
+      EXPECT_LE(rm.inference_s(k, i), config.inference_max_s);
+      // Inference must never consume the whole deadline with defaults.
+      EXPECT_LT(rm.inference_s(k, i), rm.deadline_s(k, i));
+    }
+  }
+}
+
+TEST(RequestModel, GlobalPopularityOrderShared) {
+  Rng rng(4);
+  RequestConfig config;
+  config.per_user_popularity = false;
+  const auto rm = RequestModel::generate(6, 15, config, rng);
+  // With a global order, every user has identical probabilities.
+  for (UserId k = 1; k < 6; ++k) {
+    for (ModelId i = 0; i < 15; ++i) {
+      EXPECT_DOUBLE_EQ(rm.probability(k, i), rm.probability(0, i));
+    }
+  }
+}
+
+TEST(RequestModel, PerUserPopularityDiffers) {
+  Rng rng(5);
+  RequestConfig config;
+  config.per_user_popularity = true;
+  config.zipf_exponent = 1.2;
+  const auto rm = RequestModel::generate(4, 20, config, rng);
+  bool any_diff = false;
+  for (ModelId i = 0; i < 20 && !any_diff; ++i) {
+    if (rm.probability(0, i) != rm.probability(1, i)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RequestModel, InvalidConfigRejected) {
+  Rng rng(6);
+  RequestConfig config;
+  config.models_per_user = 50;
+  EXPECT_THROW((void)RequestModel::generate(3, 30, config, rng), std::invalid_argument);
+  config = RequestConfig{};
+  config.deadline_min_s = 2.0;  // > max
+  EXPECT_THROW((void)RequestModel::generate(3, 30, config, rng), std::invalid_argument);
+  EXPECT_THROW((void)RequestModel::generate(0, 30, RequestConfig{}, rng),
+               std::invalid_argument);
+}
+
+TEST(RequestModel, OutOfRangeAccessThrows) {
+  Rng rng(7);
+  const auto rm = RequestModel::generate(2, 3, RequestConfig{}, rng);
+  EXPECT_THROW((void)rm.probability(2, 0), std::out_of_range);
+  EXPECT_THROW((void)rm.probability(0, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace trimcaching::workload

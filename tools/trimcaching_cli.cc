@@ -1,0 +1,148 @@
+// Command-line front end: sample a scenario, run one or more placement
+// algorithms, and report hit ratios (expected, Rayleigh-fading, and
+// optionally the contention-aware discrete-event replay).
+//
+//   trimcaching_cli servers=10 users=20 capacity_gb=1.0 library=special \
+//                   requested=30 algo=all seed=1 fading=500 arrivals=0.05
+//
+// Keys (all optional):
+//   servers, users       deployment sizes            (10, 20)
+//   area_m               square side in meters       (1000)
+//   capacity_gb          per-server storage          (1.0)
+//   library              special | general | lora    (special)
+//   models               library size, 0 = full      (0)
+//   requested            models requested per user   (30)
+//   zipf                 request skew exponent       (0.8)
+//   algo                 spec | gen | independent | all   (all)
+//   local_search         refine with 1-swap search   (false)
+//   seed                 RNG seed                    (1)
+//   fading               fading realizations, 0=off  (300)
+//   arrivals             per-user req/s for the DES replay, 0=off (0)
+#include <iostream>
+#include <set>
+
+#include "src/core/independent_caching.h"
+#include "src/core/local_search.h"
+#include "src/core/trimcaching_gen.h"
+#include "src/core/trimcaching_spec.h"
+#include "src/io/serialization.h"
+#include "src/sim/evaluator.h"
+#include "src/sim/event_sim.h"
+#include "src/sim/scenario.h"
+#include "src/support/options.h"
+
+namespace {
+
+using namespace trimcaching;
+
+void report(const std::string& name, const sim::Scenario& scenario,
+            const core::PlacementSolution& placement, const support::Options& options,
+            support::Rng& rng) {
+  const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                 scenario.requests);
+  std::cout << name << ":\n  expected hit ratio: "
+            << evaluator.expected_hit_ratio(placement) << "\n";
+  const std::size_t fading = options.get_size("fading", 300);
+  if (fading > 0) {
+    const auto summary = evaluator.fading_hit_ratio(placement, fading, rng);
+    std::cout << "  fading hit ratio:   " << summary.mean << " +- " << summary.stddev
+              << " (" << fading << " realizations)\n";
+  }
+  const double arrivals = options.get_double("arrivals", 0.0);
+  if (arrivals > 0) {
+    sim::EventSimConfig des;
+    des.arrival_rate_per_user = arrivals;
+    const auto replay = sim::simulate_downloads(scenario.topology, scenario.library,
+                                                scenario.requests, placement, des, rng);
+    std::cout << "  DES replay:         hit " << replay.empirical_hit_ratio << " ("
+              << replay.requests << " requests, mean download "
+              << replay.mean_download_s << " s, p95 " << replay.p95_download_s
+              << " s, concurrency " << replay.mean_concurrency << ")\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto options = support::Options::parse(argc, argv);
+    options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
+                           "models", "requested", "zipf", "algo", "local_search",
+                           "seed", "fading", "arrivals", "save_library",
+                           "save_placement"});
+
+    sim::ScenarioConfig config;
+    config.num_servers = options.get_size("servers", 10);
+    config.num_users = options.get_size("users", 20);
+    config.area_side_m = options.get_double("area_m", 1000.0);
+    config.capacity_bytes = support::gigabytes(options.get_double("capacity_gb", 1.0));
+    config.library_size = options.get_size("models", 0);
+    config.requests.models_per_user = options.get_size("requested", 30);
+    config.requests.zipf_exponent = options.get_double("zipf", 0.8);
+    const std::string library = options.get_string("library", "special");
+    if (library == "special") {
+      config.library_kind = sim::LibraryKind::kSpecialCase;
+    } else if (library == "general") {
+      config.library_kind = sim::LibraryKind::kGeneralCase;
+    } else if (library == "lora") {
+      config.library_kind = sim::LibraryKind::kLora;
+      config.requests.models_per_user = 0;
+      config.requests.deadline_min_s = 6.0;
+      config.requests.deadline_max_s = 12.0;
+    } else {
+      throw std::invalid_argument("library must be special|general|lora");
+    }
+
+    support::Rng rng(options.get_size("seed", 1));
+    const sim::Scenario scenario = sim::build_scenario(config, rng);
+    const core::PlacementProblem problem = scenario.problem();
+    const auto lib_stats = scenario.library.stats();
+    std::cout << "scenario: M=" << config.num_servers << " K=" << config.num_users
+              << " I=" << scenario.library.num_models() << " ("
+              << lib_stats.num_shared_blocks << " shared blocks, sharing ratio "
+              << lib_stats.sharing_ratio << ")\n\n";
+
+    if (options.has("save_library")) {
+      const std::string path = options.get_string("save_library", "");
+      io::write_library(path, scenario.library);
+      std::cout << "library written to " << path << "\n";
+    }
+
+    const std::string algo = options.get_string("algo", "all");
+    const bool refine = options.get_bool("local_search", false);
+    auto maybe_refine = [&](core::PlacementSolution placement) {
+      if (!refine) return placement;
+      auto improved = core::local_search(problem, placement);
+      std::cout << "  (local search: +" << improved.swaps << " swaps, +"
+                << improved.additions << " additions)\n";
+      return std::move(improved.placement);
+    };
+
+    if (algo == "spec" || algo == "all") {
+      const auto result = core::trimcaching_spec(problem);
+      report("TrimCaching Spec", scenario, maybe_refine(result.placement), options, rng);
+    }
+    if (algo == "gen" || algo == "all") {
+      const auto result = core::trimcaching_gen(problem);
+      const auto placement = maybe_refine(result.placement);
+      if (options.has("save_placement")) {
+        const std::string path = options.get_string("save_placement", "");
+        io::write_placement(path, placement);
+        std::cout << "Gen placement written to " << path << "\n";
+      }
+      report("TrimCaching Gen", scenario, placement, options, rng);
+    }
+    if (algo == "independent" || algo == "all") {
+      const auto result = core::independent_caching(problem);
+      report("Independent Caching", scenario, maybe_refine(result.placement), options,
+             rng);
+    }
+    if (algo != "spec" && algo != "gen" && algo != "independent" && algo != "all") {
+      throw std::invalid_argument("algo must be spec|gen|independent|all");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
