@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "src/core/objective.h"
-#include "src/core/trimcaching_gen.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/event_sim.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
@@ -28,7 +28,9 @@ int main() {
   support::Rng rng(55);
   const sim::Scenario scenario = sim::build_scenario(config, rng);
   const core::PlacementProblem problem = scenario.problem();
-  const auto placement = core::trimcaching_gen(problem).placement;
+  core::SolverContext context(55);
+  const auto placement =
+      core::SolverRegistry::instance().make("gen")->run(problem, context).placement;
   const double snapshot = core::expected_hit_ratio(problem, placement);
 
   support::Table table({"arrivals_per_user_s", "empirical_hit", "snapshot_hit",

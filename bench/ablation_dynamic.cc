@@ -9,7 +9,7 @@
 //   * reactive warm — caches start from the Gen placement, LRU on miss.
 #include <iostream>
 
-#include "src/core/trimcaching_gen.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/event_sim.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
@@ -29,7 +29,9 @@ int main() {
   support::Rng rng(66);
   const sim::Scenario scenario = sim::build_scenario(config, rng);
   const core::PlacementProblem problem = scenario.problem();
-  const auto placement = core::trimcaching_gen(problem).placement;
+  core::SolverContext context(66);
+  const auto placement =
+      core::SolverRegistry::instance().make("gen")->run(problem, context).placement;
   const core::PlacementSolution empty(problem.num_servers(), problem.num_models());
 
   struct Variant {

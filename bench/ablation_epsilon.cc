@@ -3,10 +3,11 @@
 // Sweeps ε of the profit-rounding DP (Proposition 4's (1-ε) guarantee) and
 // compares against the exact weight-quantized DP on a fixed set of special-
 // case scenarios: hit ratio, placement runtime, and combinations visited.
-#include <chrono>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/support/stats.h"
@@ -29,21 +30,14 @@ int main() {
 
   struct Variant {
     std::string label;
-    core::SpecSolverConfig solver;
+    std::string spec;  ///< registry spec string
   };
   std::vector<Variant> variants;
   for (const double eps : {0.5, 0.2, 0.1, 0.05}) {
-    core::SpecSolverConfig solver;
-    solver.mode = core::DpMode::kProfitRounding;
-    solver.epsilon = eps;
-    variants.push_back({"profit eps=" + support::Table::cell(eps, 2), solver});
+    variants.push_back({"profit eps=" + support::Table::cell(eps, 2),
+                        "spec:mode=profit,eps=" + support::Table::cell(eps, 2)});
   }
-  {
-    core::SpecSolverConfig solver;
-    solver.mode = core::DpMode::kWeightQuantized;
-    solver.weight_states = 8192;
-    variants.push_back({"weight-DP (8192 states)", solver});
-  }
+  variants.push_back({"weight-DP (8192 states)", "spec:mode=weight,states=8192"});
 
   support::Table table({"variant", "hit_ratio", "std", "runtime_s", "combinations"});
   support::Rng master(13);
@@ -53,17 +47,15 @@ int main() {
     scenarios.push_back(sim::build_scenario(config, rng));
   }
   for (const auto& variant : variants) {
+    const auto solver = core::SolverRegistry::instance().make(variant.spec);
     support::RunningStats ratio, runtime, combos;
     for (const auto& scenario : scenarios) {
       const auto problem = scenario.problem();
-      core::SpecConfig spec;
-      spec.solver = variant.solver;
-      const auto start = std::chrono::steady_clock::now();
-      const auto result = core::trimcaching_spec(problem, spec);
-      const auto stop = std::chrono::steady_clock::now();
-      ratio.add(result.hit_ratio);
-      runtime.add(std::chrono::duration<double>(stop - start).count());
-      combos.add(static_cast<double>(result.combinations_visited));
+      core::SolverContext context(13);
+      const auto outcome = solver->run(problem, context);
+      ratio.add(outcome.hit_ratio);
+      runtime.add(outcome.wall_seconds);
+      combos.add(static_cast<double>(outcome.iterations));
     }
     table.add_row({variant.label, support::Table::cell(ratio.mean(), 4),
                    support::Table::cell(ratio.stddev(), 4),

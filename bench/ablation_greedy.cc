@@ -1,16 +1,16 @@
-// Ablation: greedy engineering choices.
+// Ablation: greedy engineering choices, all driven through the solver
+// registry (one spec string per variant).
 //
 //  (1) Lazy (Minoux) vs naive re-scan drivers of TrimCaching Gen: identical
 //      hit ratios, far fewer marginal-gain evaluations.
 //  (2) Server visiting order of the successive greedy (Algorithm 1): natural
 //      index order (the paper) vs most-reachable-mass-first.
-#include <chrono>
+//  (3) Scoring rule and 1-swap local-search refinement ("+ls" composition).
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "src/core/independent_caching.h"
-#include "src/core/local_search.h"
-#include "src/core/trimcaching_gen.h"
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/support/stats.h"
@@ -37,84 +37,47 @@ int main() {
     scenarios.push_back(sim::build_scenario(config, rng));
   }
 
-  // --- (1) lazy vs naive -------------------------------------------------
-  {
-    support::Table table({"driver", "hit_ratio", "gain_evals", "runtime_s"});
-    for (const bool lazy : {true, false}) {
+  const auto& registry = core::SolverRegistry::instance();
+  auto run_variants = [&](const std::string& experiment,
+                          const std::string& description,
+                          const std::vector<std::pair<std::string, std::string>>&
+                              variants /* label, spec */) {
+    support::Table table(
+        {"variant", "hit_ratio", "std", "gain_evals", "runtime_s"});
+    for (const auto& [label, spec] : variants) {
+      const auto solver = registry.make(spec);
       support::RunningStats ratio, evals, runtime;
       for (const auto& scenario : scenarios) {
         const auto problem = scenario.problem();
-        const auto start = std::chrono::steady_clock::now();
-        const auto result =
-            core::trimcaching_gen(problem, core::GenConfig{.lazy = lazy});
-        const auto stop = std::chrono::steady_clock::now();
-        ratio.add(result.hit_ratio);
-        evals.add(static_cast<double>(result.gain_evaluations));
-        runtime.add(std::chrono::duration<double>(stop - start).count());
+        core::SolverContext context(29);
+        const auto outcome = solver->run(problem, context);
+        ratio.add(outcome.hit_ratio);
+        evals.add(static_cast<double>(outcome.gain_evaluations));
+        runtime.add(outcome.wall_seconds);
       }
-      table.add_row({lazy ? "lazy (Minoux)" : "naive rescan",
-                     support::Table::cell(ratio.mean(), 4),
+      table.add_row({label, support::Table::cell(ratio.mean(), 4),
+                     support::Table::cell(ratio.stddev(), 4),
                      support::Table::cell(evals.mean(), 0),
                      support::Table::cell(runtime.mean(), 6)});
+      std::cout << "[" << experiment << "] " << label << " done\n";
     }
-    sim::emit_experiment("ablation_greedy_lazy",
-                         "TrimCaching Gen: lazy vs naive greedy driver", table);
-  }
+    sim::emit_experiment(experiment, description, table);
+  };
 
-  // --- (2) Spec server order ---------------------------------------------
-  {
-    support::Table table({"server_order", "hit_ratio", "std"});
-    for (const auto order : {core::SpecConfig::ServerOrder::kNatural,
-                             core::SpecConfig::ServerOrder::kByReachableMassDesc}) {
-      support::RunningStats ratio;
-      for (const auto& scenario : scenarios) {
-        const auto problem = scenario.problem();
-        core::SpecConfig spec;
-        spec.order = order;
-        ratio.add(core::trimcaching_spec(problem, spec).hit_ratio);
-      }
-      table.add_row({order == core::SpecConfig::ServerOrder::kNatural
-                         ? "natural (paper)"
-                         : "most-reachable-mass first",
-                     support::Table::cell(ratio.mean(), 4),
-                     support::Table::cell(ratio.stddev(), 4)});
-    }
-    sim::emit_experiment("ablation_greedy_order",
-                         "Algorithm 1: server visiting order", table);
-  }
+  run_variants("ablation_greedy_lazy",
+               "TrimCaching Gen: lazy vs naive greedy driver",
+               {{"lazy (Minoux)", "gen"}, {"naive rescan", "gen_naive"}});
 
-  // --- (3) scoring rule + 1-swap local search ------------------------------
-  {
-    support::Table table({"variant", "hit_ratio", "std"});
-    struct Row {
-      std::string label;
-      support::RunningStats stats;
-    };
-    std::vector<Row> rows;
-    rows.push_back({"Gen (max gain, paper)", {}});
-    rows.push_back({"Gen (gain per byte)", {}});
-    rows.push_back({"Gen + local search", {}});
-    rows.push_back({"Independent + local search", {}});
-    for (const auto& scenario : scenarios) {
-      const auto problem = scenario.problem();
-      const auto gen = core::trimcaching_gen(problem);
-      rows[0].stats.add(gen.hit_ratio);
-      rows[1].stats.add(
-          core::trimcaching_gen(problem, core::GenConfig{.lazy = true,
-                                                         .rule = core::GreedyRule::kGainPerByte})
-              .hit_ratio);
-      rows[2].stats.add(core::local_search(problem, gen.placement).hit_ratio);
-      const auto indep = core::independent_caching(problem);
-      rows[3].stats.add(core::local_search(problem, indep.placement).hit_ratio);
-    }
-    for (auto& row : rows) {
-      table.add_row({row.label, support::Table::cell(row.stats.mean(), 4),
-                     support::Table::cell(row.stats.stddev(), 4)});
-    }
-    sim::emit_experiment(
-        "ablation_greedy_rules",
-        "Scoring rules and 1-swap local search on top of the greedy placements",
-        table);
-  }
+  run_variants("ablation_greedy_order", "Algorithm 1: server visiting order",
+               {{"natural (paper)", "spec"},
+                {"most-reachable-mass first", "spec:order=mass"}});
+
+  run_variants(
+      "ablation_greedy_rules",
+      "Scoring rules and 1-swap local search on top of the greedy placements",
+      {{"Gen (max gain, paper)", "gen"},
+       {"Gen (gain per byte)", "gen:rule=per_byte"},
+       {"Gen + local search", "gen+ls"},
+       {"Independent + local search", "independent+ls"}});
   return 0;
 }

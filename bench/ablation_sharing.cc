@@ -37,8 +37,7 @@ int main() {
     const auto lib = sim::build_library(config, lib_rng);
     const double sharing = lib.stats().sharing_ratio;
 
-    const auto stats = sim::run_comparison(
-        config, {sim::Algorithm::kGen, sim::Algorithm::kIndependent}, mc);
+    const auto stats = sim::run_comparison(config, {"gen", "independent"}, mc);
     table.add_row({support::Table::cell(fraction, 3),
                    support::Table::cell(sharing, 3),
                    support::Table::cell(stats[0].fading_hit_ratio.mean, 4),

@@ -15,6 +15,6 @@ int main() {
       "fig4a_capacity_special",
       "Special case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 4a)",
       "Q_GB", points,
-      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      {benchsweep::spec_fast(), "gen", "independent"});
   return 0;
 }

@@ -15,6 +15,6 @@ int main() {
       "Special case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
       "(paper Fig. 4b)",
       "M", points,
-      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      {benchsweep::spec_fast(), "gen", "independent"});
   return 0;
 }

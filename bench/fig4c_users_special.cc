@@ -16,6 +16,6 @@ int main() {
       "Special case: cache hit ratio vs number of users K; Q=1GB, M=10 "
       "(paper Fig. 4c)",
       "K", points,
-      {sim::Algorithm::kSpec, sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      {benchsweep::spec_fast(), "gen", "independent"});
   return 0;
 }

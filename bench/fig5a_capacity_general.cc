@@ -13,6 +13,6 @@ int main() {
   benchsweep::run_sweep(
       "fig5a_capacity_general",
       "General case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 5a)",
-      "Q_GB", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      "Q_GB", points, {"gen", "independent"});
   return 0;
 }

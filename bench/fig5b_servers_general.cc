@@ -14,6 +14,6 @@ int main() {
       "fig5b_servers_general",
       "General case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
       "(paper Fig. 5b)",
-      "M", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      "M", points, {"gen", "independent"});
   return 0;
 }

@@ -14,6 +14,6 @@ int main() {
       "fig5c_users_general",
       "General case: cache hit ratio vs number of users K; Q=1GB, M=10 "
       "(paper Fig. 5c)",
-      "K", points, {sim::Algorithm::kGen, sim::Algorithm::kIndependent});
+      "K", points, {"gen", "independent"});
   return 0;
 }

@@ -71,19 +71,12 @@ int main() {
   // The paper's ε = 0 means exact per-server sub-problems; the near-exact
   // weight-indexed DP realizes that without the profit blow-up of a
   // vanishing rounding step.
-  mc.spec.solver.mode = core::DpMode::kWeightQuantized;
-  mc.spec.solver.weight_states = 65536;
-  mc.exact.max_decision_vars = 40;
+  const std::string spec_exact = "spec:mode=weight,states=65536";
 
   // Pass 1: exhaustive enumeration (the paper's optimal baseline).
-  sim::MonteCarloConfig mc_exhaustive = mc;
-  mc_exhaustive.exact.branch_and_bound = false;
-  const auto exhaustive =
-      sim::run_comparison(config, {sim::Algorithm::kOptimal}, mc_exhaustive);
+  const auto exhaustive = sim::run_comparison(config, {"exact:bnb=0"}, mc);
   // Pass 2: branch-and-bound and the two TrimCaching algorithms.
-  const auto stats = sim::run_comparison(
-      config,
-      {sim::Algorithm::kOptimal, sim::Algorithm::kSpec, sim::Algorithm::kGen}, mc);
+  const auto stats = sim::run_comparison(config, {"exact", spec_exact, "gen"}, mc);
 
   const double naive_runtime = projected_naive_seconds(config, mc.seed);
   support::Table table(
@@ -100,15 +93,17 @@ int main() {
       exhaustive[0].fading_hit_ratio.stddev, exhaustive[0].runtime_seconds.mean);
   add("Optimal (B&B, ours)", stats[0].fading_hit_ratio.mean,
       stats[0].fading_hit_ratio.stddev, stats[0].runtime_seconds.mean);
-  add(sim::to_string(sim::Algorithm::kSpec), stats[1].fading_hit_ratio.mean,
+  add(stats[1].title, stats[1].fading_hit_ratio.mean,
       stats[1].fading_hit_ratio.stddev, stats[1].runtime_seconds.mean);
-  add(sim::to_string(sim::Algorithm::kGen), stats[2].fading_hit_ratio.mean,
+  add(stats[2].title, stats[2].fading_hit_ratio.mean,
       stats[2].fading_hit_ratio.stddev, stats[2].runtime_seconds.mean);
   sim::emit_experiment(
       "fig6a_optimality",
       "Reduced-scale special case: Spec/Gen vs optimal (paper Fig. 6a; 400 m, "
       "M=2, K=6, Q=0.1 GB, 9 requested models per user, eps=0)",
       table);
+  sim::emit_solver_metrics("fig6a_optimality",
+                           {{"reduced", stats}, {"exhaustive", exhaustive}});
 
   std::cout << "optimality gaps (expected-ratio): Spec "
             << (stats[0].expected_hit_ratio.mean - stats[1].expected_hit_ratio.mean)

@@ -1,10 +1,13 @@
 // Shared driver for the Fig. 4 / Fig. 5 parameter sweeps: run each scenario
 // point through the Monte-Carlo comparison and emit one row per point with
-// mean ± stddev hit ratios (fading-evaluated, as in the paper) per algorithm.
+// mean ± stddev hit ratios (fading-evaluated, as in the paper) per solver.
+// Solvers are named by registry spec string (core/solver_registry.h), so a
+// new policy shows up in every figure by adding its name to one list.
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/experiment.h"
@@ -18,41 +21,39 @@ struct SweepPoint {
   sim::ScenarioConfig config;
 };
 
-/// Monte-Carlo budget for the figure sweeps. At paper scale (300-model
-/// library) the successive greedy uses the exact weight-quantized DP for its
-/// sub-problems: the profit-rounding DP of Algorithm 2 is only needed for
-/// its theoretical guarantee and is exercised at full fidelity by
+/// TrimCaching Spec spec-string for the figure sweeps. At paper scale
+/// (300-model library) the successive greedy uses the exact weight-quantized
+/// DP for its sub-problems: the profit-rounding DP of Algorithm 2 is only
+/// needed for its theoretical guarantee and is exercised at full fidelity by
 /// fig6a_optimality, ablation_epsilon and the unit tests; the weight DP
 /// solves the same sub-problems (>= as well) orders of magnitude faster.
-inline sim::MonteCarloConfig sweep_mc_config() {
-  sim::MonteCarloConfig mc = sim::default_mc_config();
-  mc.spec.solver.mode = core::DpMode::kWeightQuantized;
-  mc.spec.solver.weight_states = 2048;
-  return mc;
-}
+inline std::string spec_fast() { return "spec:mode=weight,states=2048"; }
 
 inline void run_sweep(const std::string& name, const std::string& description,
                       const std::string& x_label,
                       const std::vector<SweepPoint>& points,
-                      const std::vector<sim::Algorithm>& algorithms,
-                      const sim::MonteCarloConfig& mc = sweep_mc_config()) {
+                      const std::vector<std::string>& solver_specs,
+                      const sim::MonteCarloConfig& mc = sim::default_mc_config()) {
   std::vector<std::string> header = {x_label};
-  for (const auto algorithm : algorithms) {
-    header.push_back(sim::to_string(algorithm) + " mean");
+  for (const auto& spec : solver_specs) {
+    header.push_back(core::SolverRegistry::title_of(spec) + " mean");
     header.push_back("std");
   }
   support::Table table(header);
+  std::vector<std::pair<std::string, std::vector<sim::SolverStats>>> metrics;
   for (const auto& point : points) {
     std::vector<std::string> row = {point.label};
-    const auto stats = sim::run_comparison(point.config, algorithms, mc);
+    auto stats = sim::run_comparison(point.config, solver_specs, mc);
     for (const auto& s : stats) {
       row.push_back(support::Table::cell(s.fading_hit_ratio.mean, 4));
       row.push_back(support::Table::cell(s.fading_hit_ratio.stddev, 4));
     }
     table.add_row(std::move(row));
+    metrics.emplace_back(point.label, std::move(stats));
     std::cout << "[" << name << "] " << x_label << "=" << point.label << " done\n";
   }
   sim::emit_experiment(name, description, table);
+  sim::emit_solver_metrics(name, metrics);
 }
 
 /// The paper's default scenario for Figs. 4-5 (§VII-A): 1 km², 275 m

@@ -8,9 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "src/core/independent_caching.h"
-#include "src/core/trimcaching_gen.h"
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/scenario.h"
 
@@ -32,29 +30,33 @@ int main() {
   const sim::Evaluator evaluator(scenario.topology, scenario.library,
                                  scenario.requests);
 
-  const auto spec = core::trimcaching_spec(problem);
-  const auto gen = core::trimcaching_gen(problem);
-  const auto indep = core::independent_caching(problem);
+  // One loop over registry names covers every policy we want to compare —
+  // add a name here and the comparison (and per-cell plan below) follows.
+  const auto& registry = core::SolverRegistry::instance();
+  std::vector<core::SolverOutcome> outcomes;
+  std::vector<std::string> titles;
+  for (const std::string spec : {"spec", "gen", "independent"}) {
+    const auto solver = registry.make(spec);
+    core::SolverContext context(7);
+    outcomes.push_back(solver->run(problem, context));
+    titles.push_back(solver->title());
+  }
 
   std::cout << std::fixed << std::setprecision(4);
   std::cout << "policy comparison (expected hit ratio / fading hit ratio):\n";
-  const struct {
-    const char* name;
-    const core::PlacementSolution* placement;
-  } rows[] = {{"TrimCaching Spec ", &spec.placement},
-              {"TrimCaching Gen  ", &gen.placement},
-              {"Independent      ", &indep.placement}};
-  for (const auto& row : rows) {
+  for (std::size_t p = 0; p < outcomes.size(); ++p) {
     support::Rng fading_rng(17);
-    std::cout << "  " << row.name << " "
-              << evaluator.expected_hit_ratio(*row.placement) << "  /  "
-              << evaluator.fading_hit_ratio(*row.placement, 300, fading_rng).mean
+    const auto& placement = outcomes[p].placement;
+    std::cout << "  " << titles[p] << "  "
+              << evaluator.expected_hit_ratio(placement) << "  /  "
+              << evaluator.fading_hit_ratio(placement, 300, fading_rng).mean
               << "\n";
   }
 
-  std::cout << "\nwinning plan (TrimCaching Spec), per cell:\n";
+  const auto& winner = outcomes.front();  // TrimCaching Spec
+  std::cout << "\nwinning plan (" << titles.front() << "), per cell:\n";
   for (ServerId m = 0; m < problem.num_servers(); ++m) {
-    const auto& models = spec.placement.models_on(m);
+    const auto& models = winner.placement.models_on(m);
     const auto dedup = scenario.library.dedup_size(models);
     const auto naive = scenario.library.naive_size(models);
     std::cout << "  cell " << m << ": " << models.size() << " models in "

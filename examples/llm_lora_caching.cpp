@@ -7,8 +7,7 @@
 // catalogue; independent caching fits only a couple of models.
 #include <iostream>
 
-#include "src/core/independent_caching.h"
-#include "src/core/trimcaching_gen.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/scenario.h"
 
@@ -38,8 +37,10 @@ int main() {
             << " GB deduplicated (sharing ratio " << stats.sharing_ratio << ")\n";
 
   const core::PlacementProblem problem = scenario.problem();
-  const auto gen = core::trimcaching_gen(problem);
-  const auto indep = core::independent_caching(problem);
+  const auto& registry = core::SolverRegistry::instance();
+  core::SolverContext context(41);
+  const auto gen = registry.make("gen")->run(problem, context);
+  const auto indep = registry.make("independent")->run(problem, context);
 
   std::cout << "TrimCaching Gen hit ratio:    " << gen.hit_ratio << "\n"
             << "Independent caching hit ratio: " << indep.hit_ratio << "\n";

@@ -7,7 +7,7 @@
 // placement, objective evaluation, fading Monte-Carlo, and cache contents.
 #include <iostream>
 
-#include "src/core/trimcaching_gen.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/scenario.h"
 
@@ -32,10 +32,15 @@ int main() {
             << "dedup saves " << stats.sharing_ratio * 100 << "% of "
             << support::as_gigabytes(stats.naive_total) << " GB\n";
 
-  // 3. Solve the placement problem with the general-case greedy.
+  // 3. Solve the placement problem. Every algorithm hides behind the one
+  //    Solver interface; ask the registry for any of them by name
+  //    ("spec", "gen", "independent", "gen+ls", ...).
   const core::PlacementProblem problem = scenario.problem();
-  const core::GenResult result = core::trimcaching_gen(problem);
-  std::cout << "expected cache hit ratio (Eq. 2): " << result.hit_ratio << "\n";
+  const auto solver = core::SolverRegistry::instance().make("gen");
+  core::SolverContext context(2024);
+  const core::SolverOutcome result = solver->run(problem, context);
+  std::cout << "expected cache hit ratio (Eq. 2): " << result.hit_ratio << " ("
+            << solver->title() << ", " << result.wall_seconds << " s)\n";
 
   // 4. Evaluate under Rayleigh fading, as the paper does.
   const sim::Evaluator evaluator(scenario.topology, scenario.library,

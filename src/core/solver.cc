@@ -1,0 +1,35 @@
+#include "src/core/solver.h"
+
+#include <stdexcept>
+
+namespace trimcaching::core {
+
+void SolverContext::set_deadline_after(double seconds) {
+  if (seconds < 0) {
+    throw std::invalid_argument("SolverContext: negative deadline");
+  }
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(seconds));
+}
+
+bool SolverContext::expired() const {
+  return deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_;
+}
+
+SolverOutcome Solver::refine(const PlacementProblem& /*problem*/,
+                             const PlacementSolution& /*initial*/,
+                             SolverContext& /*context*/) const {
+  throw std::logic_error("Solver '" + name() + "' cannot refine a placement");
+}
+
+SolverOutcome Solver::run(const PlacementProblem& problem,
+                          SolverContext& context) const {
+  const auto start = std::chrono::steady_clock::now();
+  SolverOutcome outcome = solve(problem, context);
+  const auto stop = std::chrono::steady_clock::now();
+  outcome.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return outcome;
+}
+
+}  // namespace trimcaching::core

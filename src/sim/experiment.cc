@@ -37,4 +37,22 @@ void emit_experiment(const std::string& name, const std::string& description,
   }
 }
 
+void emit_solver_metrics(
+    const std::string& experiment,
+    const std::vector<std::pair<std::string, std::vector<SolverStats>>>& per_point) {
+  support::Table table({"point", "solver", "title", "runtime_mean_s", "runtime_std_s",
+                        "gain_evals_mean", "iterations_mean"});
+  for (const auto& [label, stats] : per_point) {
+    for (const auto& s : stats) {
+      table.add_row({label, s.spec, s.title,
+                     support::Table::cell(s.runtime_seconds.mean, 6),
+                     support::Table::cell(s.runtime_seconds.stddev, 6),
+                     support::Table::cell(s.gain_evaluations.mean, 0),
+                     support::Table::cell(s.iterations.mean, 0)});
+    }
+  }
+  emit_experiment(experiment + "_solver_metrics",
+                  "Per-solver wall-clock and work counters for " + experiment, table);
+}
+
 }  // namespace trimcaching::sim

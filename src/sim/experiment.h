@@ -3,6 +3,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/sim/monte_carlo.h"
 #include "src/support/table.h"
@@ -21,5 +23,14 @@ namespace trimcaching::sim {
 /// create the directory only warn).
 void emit_experiment(const std::string& name, const std::string& description,
                      const support::Table& table);
+
+/// Emits "<experiment>_solver_metrics.csv": one row per (sweep point, solver)
+/// with the per-solver wall-clock and work counters of run_comparison, so
+/// benchmark trajectories can track solver runtime regressions alongside the
+/// figure's hit-ratio CSV. `per_point` pairs a point label with that point's
+/// solver stats.
+void emit_solver_metrics(
+    const std::string& experiment,
+    const std::vector<std::pair<std::string, std::vector<SolverStats>>>& per_point);
 
 }  // namespace trimcaching::sim

@@ -1,52 +1,30 @@
 #include "src/sim/monte_carlo.h"
 
-#include <chrono>
+#include <memory>
 #include <stdexcept>
 
-#include "src/core/independent_caching.h"
 #include "src/sim/evaluator.h"
 
 namespace trimcaching::sim {
 
-std::string to_string(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kSpec: return "TrimCaching Spec";
-    case Algorithm::kGen: return "TrimCaching Gen";
-    case Algorithm::kGenNaive: return "TrimCaching Gen (naive)";
-    case Algorithm::kIndependent: return "Independent Caching";
-    case Algorithm::kOptimal: return "Optimal (B&B)";
-  }
-  throw std::invalid_argument("to_string: unknown algorithm");
-}
-
-namespace {
-
-core::PlacementSolution run_algorithm(Algorithm algorithm,
-                                      const core::PlacementProblem& problem,
-                                      const MonteCarloConfig& mc) {
-  switch (algorithm) {
-    case Algorithm::kSpec: return core::trimcaching_spec(problem, mc.spec).placement;
-    case Algorithm::kGen: return core::trimcaching_gen(problem, mc.gen).placement;
-    case Algorithm::kGenNaive:
-      return core::trimcaching_gen(problem, core::GenConfig{.lazy = false}).placement;
-    case Algorithm::kIndependent: return core::independent_caching(problem).placement;
-    case Algorithm::kOptimal: return core::exact_optimal(problem, mc.exact).placement;
-  }
-  throw std::invalid_argument("run_algorithm: unknown algorithm");
-}
-
-}  // namespace
-
-std::vector<AlgorithmStats> run_comparison(const ScenarioConfig& scenario_config,
-                                           const std::vector<Algorithm>& algorithms,
-                                           const MonteCarloConfig& mc) {
-  if (algorithms.empty()) throw std::invalid_argument("run_comparison: no algorithms");
+std::vector<SolverStats> run_comparison(const ScenarioConfig& scenario_config,
+                                        const std::vector<std::string>& solver_specs,
+                                        const MonteCarloConfig& mc) {
+  if (solver_specs.empty()) throw std::invalid_argument("run_comparison: no solvers");
   if (mc.topologies == 0) throw std::invalid_argument("run_comparison: no topologies");
 
+  // Instantiate everything up front so a typo in any spec fails before the
+  // first (possibly expensive) topology is solved.
+  std::vector<std::unique_ptr<core::Solver>> solvers;
+  solvers.reserve(solver_specs.size());
+  for (const auto& spec : solver_specs) {
+    solvers.push_back(core::SolverRegistry::instance().make(spec));
+  }
+
   struct Accumulator {
-    support::RunningStats fading, expected, runtime;
+    support::RunningStats fading, expected, runtime, gain_evals, iterations;
   };
-  std::vector<Accumulator> acc(algorithms.size());
+  std::vector<Accumulator> acc(solvers.size());
 
   support::Rng master(mc.seed);
   for (std::size_t t = 0; t < mc.topologies; ++t) {
@@ -55,33 +33,40 @@ std::vector<AlgorithmStats> run_comparison(const ScenarioConfig& scenario_config
     const core::PlacementProblem problem = scenario.problem();
     const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
 
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      const auto start = std::chrono::steady_clock::now();
-      const core::PlacementSolution placement =
-          run_algorithm(algorithms[a], problem, mc);
-      const auto stop = std::chrono::steady_clock::now();
-      acc[a].runtime.add(std::chrono::duration<double>(stop - start).count());
-      acc[a].expected.add(evaluator.expected_hit_ratio(placement));
-      // Same fading stream for every algorithm: differences in the fading
-      // column reflect the placements, not the channel draws.
-      support::Rng fading_rng = topo_rng.fork(1000);
+    // One fading stream per topology, copied for every solver: fork()
+    // advances the parent engine, so forking inside the loop would hand each
+    // solver different channel draws. With a shared copy, differences in the
+    // fading column reflect the placements, not the channel.
+    const support::Rng fading_seed = topo_rng.fork(1000);
+    for (std::size_t a = 0; a < solvers.size(); ++a) {
+      core::SolverContext context(topo_rng.fork(2000 + a));
+      const core::SolverOutcome outcome = solvers[a]->run(problem, context);
+      acc[a].runtime.add(outcome.wall_seconds);
+      acc[a].gain_evals.add(static_cast<double>(outcome.gain_evaluations));
+      acc[a].iterations.add(static_cast<double>(outcome.iterations));
+      acc[a].expected.add(evaluator.expected_hit_ratio(outcome.placement));
+      support::Rng fading_rng = fading_seed;
       acc[a].fading.add(
-          evaluator.fading_hit_ratio(placement, mc.fading_realizations, fading_rng)
+          evaluator.fading_hit_ratio(outcome.placement, mc.fading_realizations,
+                                     fading_rng)
               .mean);
     }
   }
 
-  std::vector<AlgorithmStats> out;
-  out.reserve(algorithms.size());
-  for (std::size_t a = 0; a < algorithms.size(); ++a) {
-    AlgorithmStats stats;
-    stats.algorithm = algorithms[a];
+  std::vector<SolverStats> out;
+  out.reserve(solvers.size());
+  for (std::size_t a = 0; a < solvers.size(); ++a) {
+    SolverStats stats;
+    stats.spec = solver_specs[a];
+    stats.title = solvers[a]->title();
     auto summarize = [](const support::RunningStats& rs) {
       return support::Summary{rs.mean(), rs.stddev(), rs.min(), rs.max(), rs.count()};
     };
     stats.fading_hit_ratio = summarize(acc[a].fading);
     stats.expected_hit_ratio = summarize(acc[a].expected);
     stats.runtime_seconds = summarize(acc[a].runtime);
+    stats.gain_evaluations = summarize(acc[a].gain_evals);
+    stats.iterations = summarize(acc[a].iterations);
     out.push_back(stats);
   }
   return out;

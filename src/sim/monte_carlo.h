@@ -1,44 +1,44 @@
-// Monte-Carlo experiment driver: averages algorithm performance over random
+// Monte-Carlo experiment driver: averages solver performance over random
 // network topologies (the paper averages 100 topologies x >10³ Rayleigh
 // realizations; benches default to a reduced budget, switchable to paper
 // scale via TRIMCACHING_FULL=1, see experiment.h).
+//
+// Solvers are requested by registry spec string ("spec", "gen:lazy=0",
+// "independent+ls", ...) — see core/solver_registry.h. Per-solver options
+// ride in the spec, so one driver serves every figure and ablation.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "src/core/exact_solver.h"
-#include "src/core/trimcaching_gen.h"
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/scenario.h"
 #include "src/support/stats.h"
 
 namespace trimcaching::sim {
 
-enum class Algorithm { kSpec, kGen, kGenNaive, kIndependent, kOptimal };
-
-[[nodiscard]] std::string to_string(Algorithm algorithm);
-
 struct MonteCarloConfig {
   std::size_t topologies = 10;
   std::size_t fading_realizations = 200;
   std::uint64_t seed = 1;
-  core::SpecConfig spec{};
-  core::GenConfig gen{};
-  core::ExactConfig exact{};
 };
 
-struct AlgorithmStats {
-  Algorithm algorithm = Algorithm::kGen;
+struct SolverStats {
+  std::string spec;   ///< the registry spec string this row was produced from
+  std::string title;  ///< the solver's human-readable title
   support::Summary fading_hit_ratio;    ///< fading-averaged ratio per topology
   support::Summary expected_hit_ratio;  ///< Eq. 2 ratio per topology
-  support::Summary runtime_seconds;     ///< placement computation time
+  support::Summary runtime_seconds;     ///< placement wall-clock per topology
+  support::Summary gain_evaluations;    ///< marginal-gain evaluations per topology
+  support::Summary iterations;          ///< solver-specific work counter
 };
 
-/// Runs every algorithm on the same sequence of sampled scenarios and
-/// returns per-algorithm statistics (in the order given).
-[[nodiscard]] std::vector<AlgorithmStats> run_comparison(
-    const ScenarioConfig& scenario_config, const std::vector<Algorithm>& algorithms,
-    const MonteCarloConfig& mc);
+/// Runs every requested solver on the same sequence of sampled scenarios and
+/// returns per-solver statistics (in the order given). Throws
+/// std::invalid_argument on unknown solver specs, empty spec lists, or a
+/// zero topology budget.
+[[nodiscard]] std::vector<SolverStats> run_comparison(
+    const ScenarioConfig& scenario_config,
+    const std::vector<std::string>& solver_specs, const MonteCarloConfig& mc);
 
 }  // namespace trimcaching::sim

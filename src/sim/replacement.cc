@@ -2,8 +2,7 @@
 
 #include <stdexcept>
 
-#include "src/core/trimcaching_gen.h"
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
 
 namespace trimcaching::sim {
@@ -28,8 +27,15 @@ std::vector<MobilityTracePoint> run_mobility_study(const ScenarioConfig& scenari
   }
   Scenario scenario = build_scenario(scenario_config, rng);
   const core::PlacementProblem problem = scenario.problem();
-  const core::PlacementSolution spec = core::trimcaching_spec(problem).placement;
-  const core::PlacementSolution gen = core::trimcaching_gen(problem).placement;
+  // Independent contexts: a stochastic first solver must not perturb the
+  // second solver's RNG stream.
+  const auto& registry = core::SolverRegistry::instance();
+  core::SolverContext first_context(rng.fork(501));
+  core::SolverContext second_context(rng.fork(502));
+  const core::PlacementSolution spec =
+      registry.make(config.first_solver)->run(problem, first_context).placement;
+  const core::PlacementSolution gen =
+      registry.make(config.second_solver)->run(problem, second_context).placement;
 
   std::vector<mobility::MobilityClass> classes = mobility::assign_classes(
       scenario_config.num_users, config.pedestrian_fraction, config.bike_fraction,
@@ -65,8 +71,10 @@ ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_conf
     throw std::invalid_argument("run_replacement_study: threshold out of (0,1)");
   }
   Scenario scenario = build_scenario(scenario_config, rng);
+  const auto solver = core::SolverRegistry::instance().make(policy.solver);
+  core::SolverContext context(rng.fork(502));
   core::PlacementSolution placement =
-      core::trimcaching_gen(scenario.problem()).placement;
+      solver->run(scenario.problem(), context).placement;
 
   std::vector<mobility::MobilityClass> classes = mobility::assign_classes(
       scenario_config.num_users, config.pedestrian_fraction, config.bike_fraction,
@@ -91,7 +99,7 @@ ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_conf
     double ratio = evaluate(evaluator, placement, config, rng);
     bool replaced = false;
     if (ratio < (1.0 - policy.degradation_threshold) * reference) {
-      placement = core::trimcaching_gen(scenario.problem()).placement;
+      placement = solver->run(scenario.problem(), context).placement;
       ratio = evaluate(evaluator, placement, config, rng);
       reference = ratio;
       replaced = true;

@@ -3,6 +3,7 @@
 // placement when the performance degrades to a certain threshold").
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "src/mobility/mobility.h"
@@ -21,16 +22,22 @@ struct MobilityStudyConfig {
   double vehicle_fraction = 1.0 / 3.0;
   /// 0 = evaluate with average rates (fast); otherwise Rayleigh realizations.
   std::size_t fading_realizations = 0;
+  /// Registry specs (core/solver_registry.h) of the two placements tracked
+  /// by the study; the defaults reproduce the paper's Fig. 7 pairing.
+  std::string first_solver = "spec";
+  std::string second_solver = "gen";
 };
 
 struct MobilityTracePoint {
   double minutes = 0.0;
+  /// Hit ratios of the two tracked placements (first_solver / second_solver;
+  /// Spec and Gen under the default config).
   double spec_hit_ratio = 0.0;
   double gen_hit_ratio = 0.0;
 };
 
-/// Computes Spec and Gen placements on the initial snapshot, then holds them
-/// fixed while users move, recording the achieved hit ratio over time.
+/// Computes both configured placements on the initial snapshot, then holds
+/// them fixed while users move, recording the achieved hit ratio over time.
 [[nodiscard]] std::vector<MobilityTracePoint> run_mobility_study(
     const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
     support::Rng& rng);
@@ -39,6 +46,8 @@ struct ReplacementPolicy {
   /// Re-place when the current ratio falls below (1 - threshold) x the
   /// ratio measured right after the last placement.
   double degradation_threshold = 0.10;
+  /// Registry spec of the solver used for (re-)placements.
+  std::string solver = "gen";
 };
 
 struct ReplacementTracePoint {
@@ -53,7 +62,7 @@ struct ReplacementStudyResult {
 };
 
 /// Same mobility trace, but with the §IV-A policy active (placements are
-/// recomputed with TrimCaching Gen whenever the threshold trips).
+/// recomputed with the policy's solver whenever the threshold trips).
 [[nodiscard]] ReplacementStudyResult run_replacement_study(
     const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
     const ReplacementPolicy& policy, support::Rng& rng);

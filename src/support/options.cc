@@ -4,19 +4,31 @@
 
 namespace trimcaching::support {
 
+void Options::insert_token(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("Options: expected key=value, got '" + token + "'");
+  }
+  const std::string key = token.substr(0, eq);
+  if (!values_.emplace(key, token.substr(eq + 1)).second) {
+    throw std::invalid_argument("Options: duplicate key '" + key + "'");
+  }
+}
+
 Options Options::parse(int argc, const char* const* argv) {
   Options options;
-  for (int a = 1; a < argc; ++a) {
-    const std::string token = argv[a];
-    const auto eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("Options: expected key=value, got '" + token + "'");
-    }
-    const std::string key = token.substr(0, eq);
-    const std::string value = token.substr(eq + 1);
-    if (!options.values_.emplace(key, value).second) {
-      throw std::invalid_argument("Options: duplicate key '" + key + "'");
-    }
+  for (int a = 1; a < argc; ++a) options.insert_token(argv[a]);
+  return options;
+}
+
+Options Options::parse_pairs(const std::string& text, char separator) {
+  Options options;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find(separator, start);
+    if (end == std::string::npos) end = text.size();
+    options.insert_token(text.substr(start, end - start));
+    start = end + 1;
   }
   return options;
 }

@@ -20,6 +20,11 @@ class Options {
   /// Throws std::invalid_argument on malformed tokens or duplicate keys.
   static Options parse(int argc, const char* const* argv);
 
+  /// Parses a separator-joined key=value list, e.g. "lazy=0,rule=per_byte".
+  /// An empty string yields an empty option set. Used by the solver registry
+  /// for the option tail of "name:k=v,k=v" specs.
+  static Options parse_pairs(const std::string& text, char separator = ',');
+
   [[nodiscard]] bool has(const std::string& key) const;
 
   /// Typed getters; fall back to `fallback` when the key is absent and throw
@@ -38,6 +43,9 @@ class Options {
   }
 
  private:
+  /// Validates and inserts one "key=value" token; shared by both parsers.
+  void insert_token(const std::string& token);
+
   std::map<std::string, std::string> values_;
 };
 

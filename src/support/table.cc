@@ -48,10 +48,20 @@ std::string Table::to_text() const {
 
 std::string Table::to_csv() const {
   std::ostringstream os;
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c > 0) os << ',';
-      os << row[c];
+      os << escape(row[c]);
     }
     os << '\n';
   };

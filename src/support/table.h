@@ -21,7 +21,9 @@ class Table {
   /// Renders with space-padded, right-aligned columns.
   [[nodiscard]] std::string to_text() const;
 
-  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  /// Renders as RFC-4180 CSV; cells containing commas, quotes, or newlines
+  /// (e.g. solver spec strings like "spec:mode=weight,states=2048") are
+  /// quoted.
   [[nodiscard]] std::string to_csv() const;
 
   /// Writes the CSV rendering to `path`, creating parent-less files only.

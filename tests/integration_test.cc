@@ -32,7 +32,7 @@ TEST(Integration, HitRatioIncreasesWithCapacity) {
   for (const double q_mb : {200.0, 500.0, 1200.0}) {
     ScenarioConfig config = paperish_config();
     config.capacity_bytes = support::megabytes(q_mb);
-    const auto stats = run_comparison(config, {Algorithm::kGen}, quick_mc(77));
+    const auto stats = run_comparison(config, {"gen"}, quick_mc(77));
     const double ratio = stats[0].expected_hit_ratio.mean;
     EXPECT_GE(ratio, prev - 0.03) << "Q=" << q_mb;  // small MC noise allowance
     prev = ratio;
@@ -45,8 +45,8 @@ TEST(Integration, HitRatioIncreasesWithServers) {
   few.num_servers = 4;
   ScenarioConfig many = paperish_config();
   many.num_servers = 12;
-  const auto few_stats = run_comparison(few, {Algorithm::kGen}, quick_mc(78));
-  const auto many_stats = run_comparison(many, {Algorithm::kGen}, quick_mc(78));
+  const auto few_stats = run_comparison(few, {"gen"}, quick_mc(78));
+  const auto many_stats = run_comparison(many, {"gen"}, quick_mc(78));
   EXPECT_GT(many_stats[0].expected_hit_ratio.mean,
             few_stats[0].expected_hit_ratio.mean - 0.02);
 }
@@ -54,7 +54,7 @@ TEST(Integration, HitRatioIncreasesWithServers) {
 TEST(Integration, SpecAndGenDominateIndependent) {
   const auto stats =
       run_comparison(paperish_config(),
-                     {Algorithm::kSpec, Algorithm::kGen, Algorithm::kIndependent},
+                     {"spec", "gen", "independent"},
                      quick_mc(79));
   const double spec = stats[0].expected_hit_ratio.mean;
   const double gen = stats[1].expected_hit_ratio.mean;
@@ -68,7 +68,7 @@ TEST(Integration, SpecAndGenDominateIndependent) {
 
 TEST(Integration, SpecAtLeastAsGoodAsGenOnSpecialCase) {
   const auto stats = run_comparison(paperish_config(),
-                                    {Algorithm::kSpec, Algorithm::kGen}, quick_mc(80));
+                                    {"spec", "gen"}, quick_mc(80));
   // Averaged over topologies Spec should not lose to Gen in the special case
   // (per-topology ties are common when capacity is loose).
   EXPECT_GE(stats[0].expected_hit_ratio.mean,
@@ -80,7 +80,7 @@ TEST(Integration, GeneralCaseGenBeatsIndependent) {
   config.library_kind = LibraryKind::kGeneralCase;
   config.library_size = 18;
   const auto stats =
-      run_comparison(config, {Algorithm::kGen, Algorithm::kIndependent}, quick_mc(81));
+      run_comparison(config, {"gen", "independent"}, quick_mc(81));
   EXPECT_GE(stats[0].expected_hit_ratio.mean,
             stats[1].expected_hit_ratio.mean - 1e-9);
 }
@@ -90,8 +90,8 @@ TEST(Integration, MoreUsersLowerHitRatio) {
   few.num_users = 8;
   ScenarioConfig many = paperish_config();
   many.num_users = 40;
-  const auto few_stats = run_comparison(few, {Algorithm::kGen}, quick_mc(82));
-  const auto many_stats = run_comparison(many, {Algorithm::kGen}, quick_mc(82));
+  const auto few_stats = run_comparison(few, {"gen"}, quick_mc(82));
+  const auto many_stats = run_comparison(many, {"gen"}, quick_mc(82));
   // Bandwidth dilution: more users -> lower per-user rates -> fewer hits.
   EXPECT_LT(many_stats[0].expected_hit_ratio.mean,
             few_stats[0].expected_hit_ratio.mean + 0.02);

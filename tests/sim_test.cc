@@ -136,13 +136,12 @@ TEST_F(EvaluatorTest, InvalidArgs) {
 
 // ----------------------------------------------------------------- MonteCarlo
 
-TEST(MonteCarlo, ComparisonRunsAllAlgorithms) {
+TEST(MonteCarlo, ComparisonRunsAllSolvers) {
   ScenarioConfig config = small_config();
   MonteCarloConfig mc;
   mc.topologies = 3;
   mc.fading_realizations = 30;
-  const auto stats = run_comparison(
-      config, {Algorithm::kSpec, Algorithm::kGen, Algorithm::kIndependent}, mc);
+  const auto stats = run_comparison(config, {"spec", "gen", "independent"}, mc);
   ASSERT_EQ(stats.size(), 3u);
   for (const auto& s : stats) {
     EXPECT_EQ(s.fading_hit_ratio.count, 3u);
@@ -153,21 +152,24 @@ TEST(MonteCarlo, ComparisonRunsAllAlgorithms) {
   // Dedup-aware algorithms dominate the baseline on sharing-heavy libraries.
   EXPECT_GE(stats[0].expected_hit_ratio.mean, stats[2].expected_hit_ratio.mean - 0.02);
   EXPECT_GE(stats[1].expected_hit_ratio.mean, stats[2].expected_hit_ratio.mean - 0.02);
-}
-
-TEST(MonteCarlo, AlgorithmNames) {
-  EXPECT_EQ(to_string(Algorithm::kSpec), "TrimCaching Spec");
-  EXPECT_EQ(to_string(Algorithm::kGen), "TrimCaching Gen");
-  EXPECT_EQ(to_string(Algorithm::kIndependent), "Independent Caching");
-  EXPECT_EQ(to_string(Algorithm::kOptimal), "Optimal (B&B)");
+  // The stats echo the spec and the registry's display title.
+  EXPECT_EQ(stats[0].spec, "spec");
+  EXPECT_EQ(stats[0].title, "TrimCaching Spec");
+  EXPECT_EQ(stats[1].title, "TrimCaching Gen");
+  EXPECT_EQ(stats[2].title, "Independent Caching");
+  // The greedy solvers report their marginal-gain work.
+  EXPECT_GT(stats[1].gain_evaluations.mean, 0.0);
 }
 
 TEST(MonteCarlo, InvalidConfigRejected) {
   MonteCarloConfig mc;
   mc.topologies = 0;
-  EXPECT_THROW((void)run_comparison(small_config(), {Algorithm::kGen}, mc),
+  EXPECT_THROW((void)run_comparison(small_config(), {"gen"}, mc),
                std::invalid_argument);
   EXPECT_THROW((void)run_comparison(small_config(), {}, MonteCarloConfig{}),
+               std::invalid_argument);
+  // Unknown solver specs fail up front, before any topology is sampled.
+  EXPECT_THROW((void)run_comparison(small_config(), {"wat"}, MonteCarloConfig{}),
                std::invalid_argument);
 }
 

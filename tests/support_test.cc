@@ -252,6 +252,14 @@ TEST(Table, TextAndCsv) {
   EXPECT_EQ(t.to_csv(), "a,bb\n1,2\n33,4\n");
 }
 
+TEST(Table, CsvQuotesCellsWithSeparators) {
+  Table t({"solver", "x"});
+  t.add_row({"spec:mode=weight,states=2048", "1"});
+  t.add_row({"say \"hi\"", "2"});
+  EXPECT_EQ(t.to_csv(),
+            "solver,x\n\"spec:mode=weight,states=2048\",1\n\"say \"\"hi\"\"\",2\n");
+}
+
 TEST(Table, RowWidthMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);

@@ -1,9 +1,11 @@
 // Command-line front end: sample a scenario, run one or more placement
-// algorithms, and report hit ratios (expected, Rayleigh-fading, and
-// optionally the contention-aware discrete-event replay).
+// solvers from the registry, and report hit ratios (expected, Rayleigh-
+// fading, and optionally the contention-aware discrete-event replay).
 //
-//   trimcaching_cli servers=10 users=20 capacity_gb=1.0 library=special \
-//                   requested=30 algo=all seed=1 fading=500 arrivals=0.05
+//   trimcaching_cli servers=10 users=20 capacity_gb=1.0 library=special
+//   trimcaching_cli requested=30 algo=all seed=1 fading=500 arrivals=0.05
+//   trimcaching_cli algo=list                 # print every registered solver
+//   trimcaching_cli algo="spec+ls;gen:lazy=0" # ';'-separated spec strings
 //
 // Keys (all optional):
 //   servers, users       deployment sizes            (10, 20)
@@ -13,18 +15,18 @@
 //   models               library size, 0 = full      (0)
 //   requested            models requested per user   (30)
 //   zipf                 request skew exponent       (0.8)
-//   algo                 spec | gen | independent | all   (all)
-//   local_search         refine with 1-swap search   (false)
+//   algo                 list | all | ';'-separated registry specs (all)
+//                        "all" = the paper's trio spec;gen;independent;
+//                        specs take options, e.g. gen:lazy=0,rule=per_byte
+//   local_search         refine with 1-swap search, i.e. append "+ls" (false)
+//   time_budget_s        per-solver deadline in seconds, 0 = none (0)
 //   seed                 RNG seed                    (1)
 //   fading               fading realizations, 0=off  (300)
 //   arrivals             per-user req/s for the DES replay, 0=off (0)
 #include <iostream>
-#include <set>
+#include <vector>
 
-#include "src/core/independent_caching.h"
-#include "src/core/local_search.h"
-#include "src/core/trimcaching_gen.h"
-#include "src/core/trimcaching_spec.h"
+#include "src/core/solver_registry.h"
 #include "src/io/serialization.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/event_sim.h"
@@ -35,16 +37,40 @@ namespace {
 
 using namespace trimcaching;
 
-void report(const std::string& name, const sim::Scenario& scenario,
-            const core::PlacementSolution& placement, const support::Options& options,
+std::vector<std::string> split_specs(const std::string& text) {
+  std::vector<std::string> specs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto sep = text.find(';', start);
+    const std::string token =
+        text.substr(start, sep == std::string::npos ? sep : sep - start);
+    if (!token.empty()) specs.push_back(token);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return specs;
+}
+
+void report(const core::Solver& solver, const core::SolverOutcome& outcome,
+            const sim::Scenario& scenario, const support::Options& options,
             support::Rng& rng) {
   const sim::Evaluator evaluator(scenario.topology, scenario.library,
                                  scenario.requests);
-  std::cout << name << ":\n  expected hit ratio: "
-            << evaluator.expected_hit_ratio(placement) << "\n";
+  std::cout << solver.title() << " [" << solver.name() << "]:\n"
+            << "  expected hit ratio: "
+            << evaluator.expected_hit_ratio(outcome.placement) << "\n"
+            << "  placement time:     " << outcome.wall_seconds << " s";
+  if (outcome.gain_evaluations > 0) {
+    std::cout << " (" << outcome.gain_evaluations << " gain evaluations)";
+  }
+  if (outcome.iterations > 0) std::cout << " (" << outcome.iterations << " steps)";
+  std::cout << "\n";
+  if (outcome.optimality_bound) {
+    std::cout << "  optimality bound:   " << *outcome.optimality_bound << "\n";
+  }
   const std::size_t fading = options.get_size("fading", 300);
   if (fading > 0) {
-    const auto summary = evaluator.fading_hit_ratio(placement, fading, rng);
+    const auto summary = evaluator.fading_hit_ratio(outcome.placement, fading, rng);
     std::cout << "  fading hit ratio:   " << summary.mean << " +- " << summary.stddev
               << " (" << fading << " realizations)\n";
   }
@@ -52,8 +78,9 @@ void report(const std::string& name, const sim::Scenario& scenario,
   if (arrivals > 0) {
     sim::EventSimConfig des;
     des.arrival_rate_per_user = arrivals;
-    const auto replay = sim::simulate_downloads(scenario.topology, scenario.library,
-                                                scenario.requests, placement, des, rng);
+    const auto replay =
+        sim::simulate_downloads(scenario.topology, scenario.library,
+                                scenario.requests, outcome.placement, des, rng);
     std::cout << "  DES replay:         hit " << replay.empirical_hit_ratio << " ("
               << replay.requests << " requests, mean download "
               << replay.mean_download_s << " s, p95 " << replay.p95_download_s
@@ -68,8 +95,32 @@ int main(int argc, char** argv) {
     const auto options = support::Options::parse(argc, argv);
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
                            "models", "requested", "zipf", "algo", "local_search",
-                           "seed", "fading", "arrivals", "save_library",
-                           "save_placement"});
+                           "time_budget_s", "seed", "fading", "arrivals",
+                           "save_library", "save_placement"});
+
+    const auto& registry = core::SolverRegistry::instance();
+    const std::string algo = options.get_string("algo", "all");
+    if (algo == "list") {
+      std::cout << "registered solvers (compose with '+', options after ':'):\n";
+      for (const auto& info : registry.list()) {
+        std::cout << "  " << info.name << "\n      " << info.summary << "\n";
+      }
+      return 0;
+    }
+
+    std::vector<std::string> specs =
+        algo == "all" ? std::vector<std::string>{"spec", "gen", "independent"}
+                      : split_specs(algo);
+    if (specs.empty()) {
+      throw std::invalid_argument("algo: no solver specs given (try algo=list)");
+    }
+    if (options.get_bool("local_search", false)) {
+      for (auto& spec : specs) spec += "+ls";
+    }
+    // Validate every spec before doing any expensive work; an unknown name
+    // throws with the full list of registered solvers.
+    std::vector<std::unique_ptr<core::Solver>> solvers;
+    for (const auto& spec : specs) solvers.push_back(registry.make(spec));
 
     sim::ScenarioConfig config;
     config.num_servers = options.get_size("servers", 10);
@@ -108,37 +159,30 @@ int main(int argc, char** argv) {
       std::cout << "library written to " << path << "\n";
     }
 
-    const std::string algo = options.get_string("algo", "all");
-    const bool refine = options.get_bool("local_search", false);
-    auto maybe_refine = [&](core::PlacementSolution placement) {
-      if (!refine) return placement;
-      auto improved = core::local_search(problem, placement);
-      std::cout << "  (local search: +" << improved.swaps << " swaps, +"
-                << improved.additions << " additions)\n";
-      return std::move(improved.placement);
-    };
-
-    if (algo == "spec" || algo == "all") {
-      const auto result = core::trimcaching_spec(problem);
-      report("TrimCaching Spec", scenario, maybe_refine(result.placement), options, rng);
-    }
-    if (algo == "gen" || algo == "all") {
-      const auto result = core::trimcaching_gen(problem);
-      const auto placement = maybe_refine(result.placement);
-      if (options.has("save_placement")) {
-        const std::string path = options.get_string("save_placement", "");
-        io::write_placement(path, placement);
-        std::cout << "Gen placement written to " << path << "\n";
+    // save_placement captures the Gen placement when "gen" is among the
+    // requested solvers (the historical behavior under algo=all), otherwise
+    // the first requested solver's.
+    std::size_t save_index = 0;
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      if (solvers[s]->name() == "gen") {
+        save_index = s;
+        break;
       }
-      report("TrimCaching Gen", scenario, placement, options, rng);
     }
-    if (algo == "independent" || algo == "all") {
-      const auto result = core::independent_caching(problem);
-      report("Independent Caching", scenario, maybe_refine(result.placement), options,
-             rng);
-    }
-    if (algo != "spec" && algo != "gen" && algo != "independent" && algo != "all") {
-      throw std::invalid_argument("algo must be spec|gen|independent|all");
+    const double time_budget = options.get_double("time_budget_s", 0.0);
+    for (std::size_t s = 0; s < solvers.size(); ++s) {
+      core::SolverContext context(rng.fork(3000 + s));
+      if (time_budget > 0) context.set_deadline_after(time_budget);
+      context.trace = [](std::string_view event) {
+        std::cout << "  [solver] " << event << "\n";
+      };
+      const auto outcome = solvers[s]->run(problem, context);
+      if (s == save_index && options.has("save_placement")) {
+        const std::string path = options.get_string("save_placement", "");
+        io::write_placement(path, outcome.placement);
+        std::cout << solvers[s]->name() << " placement written to " << path << "\n";
+      }
+      report(*solvers[s], outcome, scenario, options, rng);
     }
     return 0;
   } catch (const std::exception& e) {
