@@ -9,13 +9,14 @@
 #include "src/sim/monte_carlo.h"
 #include "src/support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
 
   support::Table table({"adapter_fraction", "sharing_ratio", "gen_hit", "indep_hit",
                         "absolute_gain"});
-  sim::MonteCarloConfig mc = sim::default_mc_config();
+  sim::MonteCarloConfig mc = sim::bench_mc_config(argc, argv);
   mc.topologies = sim::full_scale_requested() ? 30 : 6;
+  sim::announce_mc(mc);
 
   for (const double fraction : {0.5, 0.2, 0.1, 0.02, 0.005}) {
     sim::ScenarioConfig config;

@@ -1,0 +1,92 @@
+// Machine-readable perf output shared by the bench binaries.
+//
+// Emits a single JSON document per run — BENCH_micro.json from
+// micro_kernels, BENCH_runtime.json from the fig6b runtime sweep — so the
+// perf trajectory across commits can be tracked by tooling instead of by
+// grepping console tables:
+//
+//   {
+//     "schema": 1,
+//     "git_rev": "c1c30dc",
+//     "hardware_threads": 8,
+//     "benchmarks": [
+//       {"name": "...", "wall_seconds": 0.012, "throughput": 83.3,
+//        "threads": 8, "speedup_vs_serial": 3.9},
+//       ...
+//     ]
+//   }
+//
+// `throughput` is items/second (benchmark-defined; 0 when not meaningful)
+// and `speedup_vs_serial` is emitted only when positive.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/parallel.h"
+
+namespace trimcaching::bench {
+
+struct JsonRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;       ///< items per second; 0 = not meaningful
+  std::size_t threads = 1;       ///< thread count the measurement used
+  double speedup_vs_serial = 0;  ///< > 0 only when a serial baseline was timed
+};
+
+/// Git revision baked in at configure time (CMake), "unknown" otherwise.
+inline const char* git_revision() {
+#ifdef TRIMCACHING_GIT_REV
+  return TRIMCACHING_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Writes the records to `path`; failures only warn (perf output must never
+/// fail a bench run).
+inline void write_bench_json(const std::string& path,
+                             const std::vector<JsonRecord>& records) {
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\n  \"schema\": 1,\n  \"git_rev\": \"" << json_escape(git_revision())
+      << "\",\n  \"hardware_threads\": " << trimcaching::support::hardware_threads()
+      << ",\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << json_escape(r.name)
+        << "\", \"wall_seconds\": " << r.wall_seconds
+        << ", \"throughput\": " << r.throughput << ", \"threads\": " << r.threads;
+    if (r.speedup_vs_serial > 0) {
+      out << ", \"speedup_vs_serial\": " << r.speedup_vs_serial;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::ofstream file(path);
+  if (!file || !(file << out.str())) {
+    std::cerr << "warning: could not write " << path << "\n";
+    return;
+  }
+  std::cout << "[written " << path << "]\n";
+}
+
+}  // namespace trimcaching::bench

@@ -3,7 +3,7 @@
 // Expected shape: monotone in Q; Spec >= Gen >= Independent.
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const double q_gb : {0.5, 0.75, 1.0, 1.25, 1.5}) {
@@ -15,6 +15,7 @@ int main() {
       "fig4a_capacity_special",
       "Special case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 4a)",
       "Q_GB", points,
-      {benchsweep::spec_fast(), "gen", "independent"});
+      {benchsweep::spec_fast(), "gen", "independent"},
+      sim::bench_mc_config(argc, argv));
   return 0;
 }

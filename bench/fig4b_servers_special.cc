@@ -2,7 +2,7 @@
 // M ∈ {6, 8, 10, 12, 14}, with Q = 1 GB and I = 30.
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const std::size_t servers : {6u, 8u, 10u, 12u, 14u}) {
@@ -15,6 +15,7 @@ int main() {
       "Special case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
       "(paper Fig. 4b)",
       "M", points,
-      {benchsweep::spec_fast(), "gen", "independent"});
+      {benchsweep::spec_fast(), "gen", "independent"},
+      sim::bench_mc_config(argc, argv));
   return 0;
 }

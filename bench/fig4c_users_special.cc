@@ -3,7 +3,7 @@
 // Expected shape: decreasing in K (bandwidth dilution), TrimCaching on top.
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const std::size_t users : {10u, 20u, 30u, 40u, 50u}) {
@@ -16,6 +16,7 @@ int main() {
       "Special case: cache hit ratio vs number of users K; Q=1GB, M=10 "
       "(paper Fig. 4c)",
       "K", points,
-      {benchsweep::spec_fast(), "gen", "independent"});
+      {benchsweep::spec_fast(), "gen", "independent"},
+      sim::bench_mc_config(argc, argv));
   return 0;
 }

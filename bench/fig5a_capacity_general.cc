@@ -2,7 +2,7 @@
 // Spec is exponential here (§VI), so only Gen vs Independent (as the paper).
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const double q_gb : {0.5, 0.75, 1.0, 1.25, 1.5}) {
@@ -13,6 +13,6 @@ int main() {
   benchsweep::run_sweep(
       "fig5a_capacity_general",
       "General case: cache hit ratio vs capacity Q (GB); M=10, I=30 (paper Fig. 5a)",
-      "Q_GB", points, {"gen", "independent"});
+      "Q_GB", points, {"gen", "independent"}, sim::bench_mc_config(argc, argv));
   return 0;
 }

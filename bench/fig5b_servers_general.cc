@@ -2,7 +2,7 @@
 // Q = 1 GB, I = 30.
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const std::size_t servers : {6u, 8u, 10u, 12u, 14u}) {
@@ -14,6 +14,6 @@ int main() {
       "fig5b_servers_general",
       "General case: cache hit ratio vs number of edge servers M; Q=1GB, I=30 "
       "(paper Fig. 5b)",
-      "M", points, {"gen", "independent"});
+      "M", points, {"gen", "independent"}, sim::bench_mc_config(argc, argv));
   return 0;
 }

@@ -2,7 +2,7 @@
 // Q = 1 GB, M = 10.
 #include "bench/sweep_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
   std::vector<benchsweep::SweepPoint> points;
   for (const std::size_t users : {10u, 20u, 30u, 40u, 50u}) {
@@ -14,6 +14,6 @@ int main() {
       "fig5c_users_general",
       "General case: cache hit ratio vs number of users K; Q=1GB, M=10 "
       "(paper Fig. 5c)",
-      "K", points, {"gen", "independent"});
+      "K", points, {"gen", "independent"}, sim::bench_mc_config(argc, argv));
   return 0;
 }

@@ -53,7 +53,7 @@ double projected_naive_seconds(const trimcaching::sim::ScenarioConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
 
   sim::ScenarioConfig config;
@@ -66,8 +66,9 @@ int main() {
   config.special.models_per_family = 4;
   config.requests.models_per_user = 9;
 
-  sim::MonteCarloConfig mc = sim::default_mc_config();
+  sim::MonteCarloConfig mc = sim::bench_mc_config(argc, argv);
   mc.topologies = sim::full_scale_requested() ? 30 : 6;
+  sim::announce_mc(mc);
   // The paper's ε = 0 means exact per-server sub-problems; the near-exact
   // weight-indexed DP realizes that without the profit blow-up of a
   // vanishing rounding step.

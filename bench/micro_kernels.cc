@@ -1,14 +1,21 @@
 // google-benchmark microbenchmarks of the hot kernels: Zipf sampling,
 // library closure enumeration, the per-server DP solver (both modes), the
-// marginal-gain engine, greedy placement and the fading evaluator.
+// marginal-gain engine, greedy placement, the fading evaluator (EvalPlan
+// arena, serial and thread-sharded) and the Monte-Carlo comparison driver.
+//
+// Provides its own main: results are mirrored into BENCH_micro.json
+// (bench/bench_json.h) for the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/core/dp_rounding.h"
 #include "src/core/objective.h"
 #include "src/core/trimcaching_gen.h"
 #include "src/core/trimcaching_spec.h"
 #include "src/model/special_case_generator.h"
+#include "src/sim/eval_plan.h"
 #include "src/sim/evaluator.h"
+#include "src/sim/monte_carlo.h"
 #include "src/sim/scenario.h"
 #include "src/workload/zipf.h"
 
@@ -159,19 +166,95 @@ void BM_SpecScalingInLibrary(benchmark::State& state) {
 }
 BENCHMARK(BM_SpecScalingInLibrary)->Arg(30)->Arg(90)->Arg(180)->Arg(300)->Complexity();
 
+// Fading Monte-Carlo over the EvalPlan arena; second arg = thread count.
 void BM_FadingEvaluation(benchmark::State& state) {
   const auto& scenario = shared_scenario();
   const core::PlacementProblem problem = scenario.problem();
   const auto placement = core::trimcaching_gen(problem).placement;
   const sim::Evaluator evaluator(scenario.topology, scenario.library,
                                  scenario.requests);
-  support::Rng rng(5);
+  const support::Rng rng(5);
+  const auto threads = static_cast<std::size_t>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         evaluator.fading_hit_ratio(placement, static_cast<std::size_t>(state.range(0)),
-                                   rng));
+                                   rng, threads));
   }
 }
-BENCHMARK(BM_FadingEvaluation)->Arg(10)->Arg(100);
+BENCHMARK(BM_FadingEvaluation)
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 8});
+
+void BM_EvalPlanBuild(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  for (auto _ : state) {
+    const sim::EvalPlan plan(scenario.topology, scenario.library, scenario.requests);
+    benchmark::DoNotOptimize(plan.num_rows());
+  }
+}
+BENCHMARK(BM_EvalPlanBuild);
+
+// Whole comparison driver (topology-sharded); arg = thread count.
+void BM_RunComparison(benchmark::State& state) {
+  sim::ScenarioConfig config = bench_config(12);
+  config.library_size = 20;
+  sim::MonteCarloConfig mc;
+  mc.topologies = 4;
+  mc.fading_realizations = 50;
+  mc.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_comparison(config, {"gen", "independent"}, mc));
+  }
+}
+BENCHMARK(BM_RunComparison)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// benchmark v1.8 replaced Run::error_occurred with Run::skipped; detect the
+// old field so the reporter builds against both API generations (fallback:
+// treat nothing as failed — a failed run then merely shows up in the JSON).
+template <typename R>
+auto run_failed(const R& run, int) -> decltype(static_cast<bool>(run.error_occurred)) {
+  return run.error_occurred;
+}
+template <typename R>
+bool run_failed(const R&, long) {
+  return false;
+}
+
+// Mirrors every iteration run into BENCH_micro.json next to the console
+// output. google-benchmark's own `threads` field stays 1 here (we
+// parallelize inside the kernels, not via benchmark's ThreadRange).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run_failed(run, 0)) continue;
+      bench::JsonRecord record;
+      record.name = run.benchmark_name();
+      record.wall_seconds = run.iterations > 0
+                                ? run.real_accumulated_time /
+                                      static_cast<double>(run.iterations)
+                                : run.real_accumulated_time;
+      record.throughput =
+          record.wall_seconds > 0 ? 1.0 / record.wall_seconds : 0.0;
+      record.threads = static_cast<std::size_t>(run.threads);
+      records.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<bench::JsonRecord> records;
+};
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  trimcaching::bench::write_bench_json("BENCH_micro.json", reporter.records);
+  return 0;
+}

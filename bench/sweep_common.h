@@ -34,6 +34,7 @@ inline void run_sweep(const std::string& name, const std::string& description,
                       const std::vector<SweepPoint>& points,
                       const std::vector<std::string>& solver_specs,
                       const sim::MonteCarloConfig& mc = sim::default_mc_config()) {
+  sim::announce_mc(mc);
   std::vector<std::string> header = {x_label};
   for (const auto& spec : solver_specs) {
     header.push_back(core::SolverRegistry::title_of(spec) + " mean");

@@ -1,0 +1,144 @@
+#include "src/sim/eval_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/support/parallel.h"
+#include "src/support/units.h"
+#include "src/wireless/channel.h"
+
+namespace trimcaching::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+EvalPlan::EvalPlan(const wireless::NetworkTopology& topology,
+                   const model::ModelLibrary& library,
+                   const workload::RequestModel& requests) {
+  if (requests.num_users() != topology.num_users() ||
+      requests.num_models() != library.num_models()) {
+    throw std::invalid_argument("EvalPlan: dimension mismatch");
+  }
+  num_users_ = topology.num_users();
+  num_servers_ = topology.num_servers();
+  num_models_ = library.num_models();
+  revision_ = topology.revision();
+  backhaul_bps_ = topology.radio().backhaul_bps;
+  total_mass_ = requests.total_mass();
+
+  // Link spans come straight from the topology's flat CSR views.
+  link_offsets_ = topology.covering_offsets();
+  link_server_ = topology.covering_flat();
+  link_bandwidth_hz_ = topology.link_bandwidth_hz();
+  link_mean_snr_ = topology.link_mean_snr();
+  avg_inv_rate_.resize(link_server_.size());
+  const auto& avg_rate = topology.link_avg_rate_bps();
+  for (std::size_t l = 0; l < avg_rate.size(); ++l) {
+    avg_inv_rate_[l] = avg_rate[l] > 0 ? 1.0 / avg_rate[l] : kInf;
+  }
+
+  // Request rows, pre-filtered to the pairs that can ever score.
+  row_offsets_.assign(num_users_ + 1, 0);
+  std::vector<double> payload_bits(num_models_);
+  for (ModelId i = 0; i < num_models_; ++i) {
+    payload_bits[i] = support::bits(library.model_size(i));
+  }
+  for (UserId k = 0; k < num_users_; ++k) {
+    for (ModelId i = 0; i < num_models_; ++i) {
+      const double p = requests.probability(k, i);
+      if (p <= 0.0) continue;
+      const double budget = requests.deadline_s(k, i) - requests.inference_s(k, i);
+      if (budget <= 0.0) continue;
+      rows_.push_back(Row{i, p, payload_bits[i], budget});
+    }
+    row_offsets_[k + 1] = rows_.size();
+  }
+}
+
+void EvalPlan::check_placement(const core::PlacementSolution& placement) const {
+  if (placement.num_servers() != num_servers_ ||
+      placement.num_models() != num_models_) {
+    throw std::invalid_argument("EvalPlan: placement dimension mismatch");
+  }
+}
+
+double EvalPlan::hit_ratio(const core::PlacementSolution& placement,
+                           const double* inv_rate) const {
+  double hit_mass = 0.0;
+  for (UserId k = 0; k < num_users_; ++k) {
+    const std::size_t link_begin = link_offsets_[k];
+    const std::size_t link_end = link_offsets_[k + 1];
+    double best_inv = kInf;
+    for (std::size_t l = link_begin; l < link_end; ++l) {
+      best_inv = std::min(best_inv, inv_rate[l]);
+    }
+    for (std::size_t r = row_offsets_[k]; r < row_offsets_[k + 1]; ++r) {
+      const Row& row = rows_[r];
+      const std::size_t num_holders = placement.holders_of(row.model).size();
+      if (num_holders == 0) continue;
+      // Direct download from a covering holder (Eq. 4).
+      bool hit = false;
+      std::size_t covering_holders = 0;
+      for (std::size_t l = link_begin; l < link_end; ++l) {
+        if (!placement.placed(link_server_[l], row.model)) continue;
+        ++covering_holders;
+        if (row.payload_bits * inv_rate[l] <= row.budget_s) {
+          hit = true;
+          break;
+        }
+      }
+      // Relay through the fastest covering server (Eq. 5) — only holders
+      // outside M_k take the backhaul path.
+      if (!hit && num_holders > covering_holders && best_inv < kInf) {
+        const double latency =
+            row.payload_bits / backhaul_bps_ + row.payload_bits * best_inv;
+        hit = latency <= row.budget_s;
+      }
+      if (hit) hit_mass += row.probability;
+    }
+  }
+  return total_mass_ > 0 ? hit_mass / total_mass_ : 0.0;
+}
+
+double EvalPlan::expected_hit_ratio(const core::PlacementSolution& placement) const {
+  check_placement(placement);
+  return hit_ratio(placement, avg_inv_rate_.data());
+}
+
+support::Summary EvalPlan::fading_hit_ratio(const core::PlacementSolution& placement,
+                                            std::size_t realizations,
+                                            const support::Rng& rng,
+                                            std::size_t threads) const {
+  if (realizations == 0) {
+    throw std::invalid_argument("fading_hit_ratio: zero realizations");
+  }
+  check_placement(placement);
+
+  const std::size_t links = num_links();
+  std::vector<double> ratios(realizations);
+  support::parallel_for(realizations, threads, [&](std::size_t r) {
+    // Per-thread reusable scratch: no allocation after warmup.
+    static thread_local std::vector<double> inv_rate;
+    inv_rate.resize(links);
+    support::Rng real_rng = rng.at(kFadingStream, r);
+    for (std::size_t l = 0; l < links; ++l) {
+      const double gain = wireless::sample_rayleigh_power_gain(real_rng);
+      const double bw = link_bandwidth_hz_[l];
+      const double rate =
+          bw > 0 ? bw * std::log2(1.0 + link_mean_snr_[l] * gain) : 0.0;
+      inv_rate[l] = rate > 0 ? 1.0 / rate : kInf;
+    }
+    ratios[r] = hit_ratio(placement, inv_rate.data());
+  });
+
+  // Index-order reduction: identical bits for every thread count.
+  support::RunningStats stats;
+  for (const double ratio : ratios) stats.add(ratio);
+  return support::Summary{stats.mean(), stats.stddev(), stats.min(), stats.max(),
+                          stats.count()};
+}
+
+}  // namespace trimcaching::sim

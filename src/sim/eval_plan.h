@@ -1,0 +1,105 @@
+// EvalPlan: the flat evaluation arena behind sim::Evaluator.
+//
+// The paper's headline numbers average each placement over >= 10^3 Rayleigh
+// fading realizations (§VII-A), which made the evaluator the scaling
+// bottleneck: the legacy path chased topology objects and allocated a fresh
+// nested gain matrix per realization. An EvalPlan is built once per topology
+// snapshot and lowers everything the hit test needs into CSR-style arrays:
+//
+//   * per user, a contiguous *link span* over the covering servers (M_k)
+//     carrying precomputed bandwidth share, mean SNR, and average inverse
+//     rate — a realization's rate is just bw * log2(1 + snr * |h|^2);
+//   * per user, a contiguous span of *request rows* (model, probability,
+//     payload bits, deadline slack), pre-filtered to p > 0 and positive
+//     slack.
+//
+// Both expected_hit_ratio (Eq. 2) and fading_hit_ratio then reduce to tight
+// loops over these arrays with one reusable per-thread inverse-rate scratch
+// buffer — no per-realization allocation.
+//
+// Determinism contract: realization r draws its gains from
+// rng.at(kFadingStream, r), a counter-based stream that depends only on the
+// base Rng's seed — never on call order or thread count. Hence
+// fading_hit_ratio(threads = N) is bit-identical to threads = 1, and every
+// caller handing the same base Rng to several placements compares them under
+// identical channel draws. Realization means are reduced in index order.
+//
+// Mobility: the plan is a snapshot. When the topology's user positions
+// change, build a new plan (sim::Evaluator does this automatically by
+// watching NetworkTopology::revision()).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+#include "src/support/ids.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+
+/// Stream tag for the counter-based per-realization fading derivation.
+inline constexpr std::uint64_t kFadingStream = 0xFADEull;
+
+class EvalPlan {
+ public:
+  /// Snapshots the topology's current association/gain structure. Throws
+  /// std::invalid_argument on dimension mismatches.
+  EvalPlan(const wireless::NetworkTopology& topology,
+           const model::ModelLibrary& library,
+           const workload::RequestModel& requests);
+
+  [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
+  [[nodiscard]] std::size_t num_links() const noexcept { return link_server_.size(); }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  /// The NetworkTopology::revision() this plan was built from.
+  [[nodiscard]] std::uint64_t topology_revision() const noexcept { return revision_; }
+
+  /// Expected hit ratio under average rates (Eq. 2 on this snapshot).
+  [[nodiscard]] double expected_hit_ratio(const core::PlacementSolution& placement) const;
+
+  /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
+  /// up to `threads` pool workers (0 = hardware concurrency, 1 = inline).
+  /// Bit-identical for any thread count; does not advance `rng`.
+  [[nodiscard]] support::Summary fading_hit_ratio(
+      const core::PlacementSolution& placement, std::size_t realizations,
+      const support::Rng& rng, std::size_t threads = 1) const;
+
+ private:
+  struct Row {
+    ModelId model;
+    double probability;
+    double payload_bits;
+    double budget_s;  ///< deadline minus on-device inference (slack)
+  };
+
+  /// Hit ratio for one realized per-link inverse-rate array.
+  [[nodiscard]] double hit_ratio(const core::PlacementSolution& placement,
+                                 const double* inv_rate) const;
+
+  void check_placement(const core::PlacementSolution& placement) const;
+
+  std::size_t num_users_ = 0;
+  std::size_t num_servers_ = 0;
+  std::size_t num_models_ = 0;
+  std::uint64_t revision_ = 0;
+  double backhaul_bps_ = 0.0;
+  double total_mass_ = 0.0;
+
+  // Link spans: user k owns [link_offsets_[k], link_offsets_[k+1]).
+  std::vector<std::size_t> link_offsets_;
+  std::vector<ServerId> link_server_;
+  std::vector<double> link_bandwidth_hz_;
+  std::vector<double> link_mean_snr_;
+  std::vector<double> avg_inv_rate_;  ///< 1 / C̄, +inf where the rate is 0
+
+  // Request rows: user k owns [row_offsets_[k], row_offsets_[k+1]).
+  std::vector<std::size_t> row_offsets_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace trimcaching::sim

@@ -1,11 +1,6 @@
 #include "src/sim/evaluator.h"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
-
-#include "src/support/units.h"
-#include "src/wireless/channel.h"
 
 namespace trimcaching::sim {
 
@@ -19,82 +14,22 @@ Evaluator::Evaluator(const wireless::NetworkTopology& topology,
   }
 }
 
-double Evaluator::hit_ratio_with_gains(
-    const core::PlacementSolution& placement,
-    const std::vector<std::vector<double>>& per_user_gains) const {
-  const std::size_t num_users = topology_->num_users();
-  const std::size_t num_models = library_->num_models();
-  const double backhaul = topology_->radio().backhaul_bps;
-
-  double hit_mass = 0.0;
-  for (UserId k = 0; k < num_users; ++k) {
-    const auto& covering = topology_->servers_covering(k);
-    // Realized inverse downlink rates for the covering servers.
-    std::vector<double> inv_rate(covering.size(),
-                                 std::numeric_limits<double>::infinity());
-    double best_inv = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < covering.size(); ++c) {
-      const double rate =
-          topology_->faded_rate_bps(covering[c], k, per_user_gains[k][c]);
-      if (rate > 0) {
-        inv_rate[c] = 1.0 / rate;
-        best_inv = std::min(best_inv, inv_rate[c]);
-      }
-    }
-    for (ModelId i = 0; i < num_models; ++i) {
-      const double p = requests_->probability(k, i);
-      if (p <= 0.0) continue;
-      const double budget = requests_->deadline_s(k, i) - requests_->inference_s(k, i);
-      if (budget <= 0.0) continue;
-      const double payload_bits = support::bits(library_->model_size(i));
-      double best_latency = std::numeric_limits<double>::infinity();
-      for (const ServerId holder : placement.holders_of(i)) {
-        const auto it = std::lower_bound(covering.begin(), covering.end(), holder);
-        if (it != covering.end() && *it == holder) {
-          // Direct download (Eq. 4).
-          const std::size_t c = static_cast<std::size_t>(it - covering.begin());
-          best_latency = std::min(best_latency, payload_bits * inv_rate[c]);
-        } else if (best_inv < std::numeric_limits<double>::infinity()) {
-          // Relayed through the fastest covering server (Eq. 5).
-          best_latency =
-              std::min(best_latency, payload_bits / backhaul + payload_bits * best_inv);
-        }
-      }
-      if (best_latency <= budget) hit_mass += p;
-    }
+const EvalPlan& Evaluator::plan() const {
+  if (!plan_ || plan_->topology_revision() != topology_->revision()) {
+    plan_ = std::make_unique<EvalPlan>(*topology_, *library_, *requests_);
   }
-  const double mass = requests_->total_mass();
-  return mass > 0 ? hit_mass / mass : 0.0;
+  return *plan_;
 }
 
 double Evaluator::expected_hit_ratio(const core::PlacementSolution& placement) const {
-  std::vector<std::vector<double>> unit_gains(topology_->num_users());
-  for (UserId k = 0; k < topology_->num_users(); ++k) {
-    unit_gains[k].assign(topology_->servers_covering(k).size(), 1.0);
-  }
-  return hit_ratio_with_gains(placement, unit_gains);
+  return plan().expected_hit_ratio(placement);
 }
 
 support::Summary Evaluator::fading_hit_ratio(const core::PlacementSolution& placement,
                                              std::size_t realizations,
-                                             support::Rng& rng) const {
-  if (realizations == 0) {
-    throw std::invalid_argument("fading_hit_ratio: zero realizations");
-  }
-  support::RunningStats stats;
-  std::vector<std::vector<double>> gains(topology_->num_users());
-  for (std::size_t r = 0; r < realizations; ++r) {
-    for (UserId k = 0; k < topology_->num_users(); ++k) {
-      const std::size_t n = topology_->servers_covering(k).size();
-      gains[k].resize(n);
-      for (std::size_t c = 0; c < n; ++c) {
-        gains[k][c] = wireless::sample_rayleigh_power_gain(rng);
-      }
-    }
-    stats.add(hit_ratio_with_gains(placement, gains));
-  }
-  return support::Summary{stats.mean(), stats.stddev(), stats.min(), stats.max(),
-                          stats.count()};
+                                             const support::Rng& rng,
+                                             std::size_t threads) const {
+  return plan().fading_hit_ratio(placement, realizations, rng, threads);
 }
 
 }  // namespace trimcaching::sim

@@ -8,12 +8,19 @@
 // within T̄_{k,i} - t_{k,i} under the realized rates (direct, Eq. 4, or
 // relayed through the best covering server, Eq. 5).
 //
-// The evaluator reads the topology's *current* user positions, so it also
-// serves the mobility study: update the topology, evaluate again.
+// Evaluator is a thin façade over the flat EvalPlan arena (eval_plan.h): it
+// lazily builds a plan from the topology's *current* snapshot and rebuilds
+// it whenever NetworkTopology::revision() moves (mobility = rebuild the
+// plan), so the mobility studies keep their update-then-evaluate workflow.
+// The lazy cache makes the façade non-thread-safe: share an Evaluator
+// within one thread only (fading_hit_ratio itself fans out internally).
 #pragma once
+
+#include <memory>
 
 #include "src/core/placement.h"
 #include "src/model/model_library.h"
+#include "src/sim/eval_plan.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/wireless/topology.h"
@@ -31,21 +38,24 @@ class Evaluator {
   /// topology's current user positions).
   [[nodiscard]] double expected_hit_ratio(const core::PlacementSolution& placement) const;
 
-  /// Monte-Carlo hit ratio over Rayleigh fading realizations.
+  /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
+  /// up to `threads` workers (0 = hardware concurrency). Bit-identical for
+  /// any thread count; `rng` is not advanced — realization r draws from the
+  /// counter-based stream rng.at(kFadingStream, r), so evaluating several
+  /// placements against the same base Rng compares them under identical
+  /// channel draws.
   [[nodiscard]] support::Summary fading_hit_ratio(
       const core::PlacementSolution& placement, std::size_t realizations,
-      support::Rng& rng) const;
+      const support::Rng& rng, std::size_t threads = 1) const;
+
+  /// The plan for the topology's current snapshot (rebuilt after mobility).
+  [[nodiscard]] const EvalPlan& plan() const;
 
  private:
-  /// Hit ratio for one set of per-(m,k) fading gains; `gains` maps the
-  /// associated pair (m,k) to |h|²; pass 1.0 everywhere for the mean channel.
-  [[nodiscard]] double hit_ratio_with_gains(
-      const core::PlacementSolution& placement,
-      const std::vector<std::vector<double>>& per_user_gains) const;
-
   const wireless::NetworkTopology* topology_;
   const model::ModelLibrary* library_;
   const workload::RequestModel* requests_;
+  mutable std::unique_ptr<EvalPlan> plan_;
 };
 
 }  // namespace trimcaching::sim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/sim/monte_carlo.h"
+#include "src/support/options.h"
 #include "src/support/table.h"
 
 namespace trimcaching::sim {
@@ -17,6 +18,25 @@ namespace trimcaching::sim {
 
 /// Monte-Carlo budget honoring TRIMCACHING_FULL.
 [[nodiscard]] MonteCarloConfig default_mc_config();
+
+/// Parses and validates a `threads=` option: absent -> 0 (auto = hardware
+/// concurrency). Explicit values must be positive integers — zero, negative
+/// or non-numeric values throw std::invalid_argument — and are capped at
+/// the hardware concurrency (with a notice on stderr).
+[[nodiscard]] std::size_t threads_option(const support::Options& options);
+
+/// One-line run-header description of the resolved thread count, e.g.
+/// "threads: 8 (hardware 8)".
+[[nodiscard]] std::string describe_threads(std::size_t threads);
+
+/// Shared bench-binary entry: default_mc_config() plus a `threads=N`
+/// command-line option (the only key bench binaries accept). Print the run
+/// header with announce_mc() *after* any bench-specific budget overrides.
+[[nodiscard]] MonteCarloConfig bench_mc_config(int argc, const char* const* argv);
+
+/// Prints the "[mc] topologies=... fading_realizations=... threads: ..."
+/// run-header line for the final Monte-Carlo budget.
+void announce_mc(const MonteCarloConfig& mc);
 
 /// Prints a figure header, the table body, and writes `<name>.csv` next to
 /// the binary's working directory under results/ (best effort: failures to

@@ -6,6 +6,15 @@
 // Solvers are requested by registry spec string ("spec", "gen:lazy=0",
 // "independent+ls", ...) — see core/solver_registry.h. Per-solver options
 // ride in the spec, so one driver serves every figure and ablation.
+//
+// Parallelism & determinism: topologies are sharded over the support
+// thread pool (`threads`, 0 = hardware concurrency), and all randomness is
+// derived counter-based with Rng::at — topology t's scenario, solver seeds
+// and fading base depend only on (seed, t), never on execution order. Every
+// solver within a topology evaluates against the same fading base, so all
+// solvers see identical channel draws, and the returned SolverStats are
+// bit-identical for any thread count (wall-clock `runtime_seconds` is a
+// measurement, not a draw, and varies run to run).
 #pragma once
 
 #include <string>
@@ -21,11 +30,15 @@ struct MonteCarloConfig {
   std::size_t topologies = 10;
   std::size_t fading_realizations = 200;
   std::uint64_t seed = 1;
+  /// Topology-shard thread count: 0 = hardware concurrency, 1 = serial.
+  /// Results are bit-identical for every value.
+  std::size_t threads = 0;
 };
 
 struct SolverStats {
   std::string spec;   ///< the registry spec string this row was produced from
   std::string title;  ///< the solver's human-readable title
+  std::size_t threads = 1;  ///< resolved thread count the run used
   support::Summary fading_hit_ratio;    ///< fading-averaged ratio per topology
   support::Summary expected_hit_ratio;  ///< Eq. 2 ratio per topology
   support::Summary runtime_seconds;     ///< placement wall-clock per topology

@@ -9,12 +9,18 @@ namespace trimcaching::sim {
 
 namespace {
 
+// Per-slot fading base: fading_hit_ratio derives its realizations
+// counter-based from the base Rng (it no longer advances it), so each time
+// slot must get its own base for slot-to-slot channel independence. Within
+// a slot the base is shared, which scores competing placements under
+// identical channel draws.
 double evaluate(const Evaluator& evaluator, const core::PlacementSolution& placement,
-                const MobilityStudyConfig& config, support::Rng& rng) {
+                const MobilityStudyConfig& config, const support::Rng& slot_rng) {
   if (config.fading_realizations == 0) {
     return evaluator.expected_hit_ratio(placement);
   }
-  return evaluator.fading_hit_ratio(placement, config.fading_realizations, rng).mean;
+  return evaluator.fading_hit_ratio(placement, config.fading_realizations, slot_rng)
+      .mean;
 }
 
 }  // namespace
@@ -49,16 +55,21 @@ std::vector<MobilityTracePoint> run_mobility_study(const ScenarioConfig& scenari
                                    std::move(classes), rng);
 
   const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  const support::Rng fading_master = rng.fork(600);
   std::vector<MobilityTracePoint> trace;
-  trace.push_back(MobilityTracePoint{0.0, evaluate(evaluator, spec, config, rng),
-                                     evaluate(evaluator, gen, config, rng)});
+  {
+    const support::Rng slot_rng = fading_master.at(0, 0);
+    trace.push_back(MobilityTracePoint{0.0, evaluate(evaluator, spec, config, slot_rng),
+                                       evaluate(evaluator, gen, config, slot_rng)});
+  }
   for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
     mobility.step(config.slot_seconds, rng);
     if (slot % config.eval_every_slots != 0) continue;
     scenario.topology.update_user_positions(mobility.positions());
+    const support::Rng slot_rng = fading_master.at(0, slot);
     trace.push_back(MobilityTracePoint{
-        slot * config.slot_seconds / 60.0, evaluate(evaluator, spec, config, rng),
-        evaluate(evaluator, gen, config, rng)});
+        slot * config.slot_seconds / 60.0, evaluate(evaluator, spec, config, slot_rng),
+        evaluate(evaluator, gen, config, slot_rng)});
   }
   return trace;
 }
@@ -88,19 +99,23 @@ ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_conf
                                    std::move(classes), rng);
 
   const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  const support::Rng fading_master = rng.fork(600);
   ReplacementStudyResult result;
-  double reference = evaluate(evaluator, placement, config, rng);
+  double reference = evaluate(evaluator, placement, config, fading_master.at(0, 0));
   result.trace.push_back(ReplacementTracePoint{0.0, reference, false});
 
   for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
     mobility.step(config.slot_seconds, rng);
     if (slot % config.eval_every_slots != 0) continue;
     scenario.topology.update_user_positions(mobility.positions());
-    double ratio = evaluate(evaluator, placement, config, rng);
+    const support::Rng slot_rng = fading_master.at(0, slot);
+    double ratio = evaluate(evaluator, placement, config, slot_rng);
     bool replaced = false;
     if (ratio < (1.0 - policy.degradation_threshold) * reference) {
+      // Same slot base: the old and new placement are judged under the
+      // same channel draws.
       placement = solver->run(scenario.problem(), context).placement;
-      ratio = evaluate(evaluator, placement, config, rng);
+      ratio = evaluate(evaluator, placement, config, slot_rng);
       reference = ratio;
       replaced = true;
       ++result.replacements;

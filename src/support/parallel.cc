@@ -1,0 +1,141 @@
+#include "src/support/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trimcaching::support {
+
+namespace {
+
+thread_local bool tl_in_region = false;
+
+// Lazily-grown shared worker pool. Workers pull whole shard tasks; each
+// shard task pulls indices from the parallel_for call's atomic counter, so
+// load balancing is dynamic while outputs stay per-index deterministic.
+class ThreadPool {
+ public:
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// Grows the pool to at least `count` workers (never shrinks).
+  void ensure_workers(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (workers_.size() < count) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+bool inside_parallel_region() noexcept { return tl_in_region; }
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  threads = resolve_threads(threads);
+  if (n == 0) return;
+  if (threads <= 1 || n <= 1 || tl_in_region) {
+    // Inline path. Deliberately does NOT mark a region: a degenerate outer
+    // loop (n == 1 with threads > 1) must not steal parallelism from nested
+    // loops, and an explicit threads=1 outer loop already passes its thread
+    // count down. Only pool shards set the region flag.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t finished = 0;
+    std::exception_ptr error;
+  } state;
+
+  const std::size_t shards = std::min(threads, n);
+  auto shard = [&state, &body, n] {
+    tl_in_region = true;
+    try {
+      for (std::size_t i;
+           (i = state.next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        body(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.error) state.error = std::current_exception();
+      state.next.store(n);  // abandon unclaimed indices
+    }
+    tl_in_region = false;
+    {
+      // Notify under the lock: once the caller observes finished == shards
+      // it destroys `state`, so the notify must not touch it after unlock.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      ++state.finished;
+      state.done.notify_one();
+    }
+  };
+
+  auto& pool = ThreadPool::global();
+  pool.ensure_workers(shards);
+  for (std::size_t s = 0; s < shards; ++s) pool.submit(shard);
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state, shards] { return state.finished == shards; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace trimcaching::support

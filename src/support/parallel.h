@@ -1,0 +1,41 @@
+// Deterministic parallel runtime: a small shared thread pool plus a
+// parallel_for index loop.
+//
+// The engine guarantees *bit-identical* results for any thread count by
+// construction: callers shard work per index, every index writes only its
+// own output slot, and per-index randomness is derived counter-based with
+// Rng::at (never by drawing from a shared engine). parallel_for only
+// distributes indices; it imposes no ordering, so reductions must happen
+// sequentially over the filled output array afterwards.
+//
+// Nested parallel_for calls from inside a worker run serially in the
+// calling worker (no deadlock, no oversubscription): the outer level owns
+// the parallelism. Thread counts above the hardware concurrency are allowed
+// — the pool oversubscribes; results are unchanged, only the speedup caps.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace trimcaching::support {
+
+/// Hardware concurrency, at least 1.
+[[nodiscard]] std::size_t hardware_threads() noexcept;
+
+/// Resolves a requested thread count: 0 means "auto" (hardware_threads());
+/// any other value is taken as-is.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// Runs body(i) for every i in [0, n) using up to `threads` concurrent
+/// executors from the shared pool (threads == 0 -> hardware concurrency).
+/// Runs inline (serially) when threads <= 1, n <= 1, or when called from
+/// inside another parallel_for. The first exception thrown by `body` is
+/// rethrown in the caller after all indices finish or are abandoned.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// True while the calling thread is executing inside a parallel_for shard
+/// (used by the engine to keep nested loops serial).
+[[nodiscard]] bool inside_parallel_region() noexcept;
+
+}  // namespace trimcaching::support

@@ -13,7 +13,7 @@ namespace trimcaching::support {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed = 0x5eed) : seed_(seed), engine_(seed) {}
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi);
@@ -34,8 +34,21 @@ class Rng {
   [[nodiscard]] bool bernoulli(double p);
 
   /// A derived generator with an independent stream; `stream` diversifies
-  /// the seed so parallel components do not correlate.
+  /// the seed so parallel components do not correlate. Advances this
+  /// engine, so successive forks of the same stream id differ — use at()
+  /// when the derivation must not depend on call order.
   [[nodiscard]] Rng fork(std::uint64_t stream);
+
+  /// Counter-based derivation: a generator determined only by this Rng's
+  /// construction seed and the (stream, index) pair. Does NOT advance this
+  /// engine and is independent of how much it has been used, so
+  /// at(s, i) called from any thread, in any order, any number of times,
+  /// always yields the same stream — the foundation of the deterministic
+  /// parallel Monte-Carlo contract (sim/eval_plan.h).
+  [[nodiscard]] Rng at(std::uint64_t stream, std::uint64_t index) const;
+
+  /// The seed this Rng was constructed from (stable under use).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Fisher-Yates shuffle of `items`.
   template <typename T>
@@ -51,6 +64,7 @@ class Rng {
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -55,6 +55,27 @@ void NetworkTopology::rebuild() {
       avg_rate_[m * k_count + k] = shannon_rate(radio_.channel, bw, pw, d);
     }
   }
+
+  // Flat CSR views consumed by the evaluation engine.
+  covering_offsets_.assign(k_count + 1, 0);
+  covering_flat_.clear();
+  link_bandwidth_hz_.clear();
+  link_mean_snr_.clear();
+  link_avg_rate_.clear();
+  for (std::size_t k = 0; k < k_count; ++k) {
+    for (const ServerId m : covering_[k]) {
+      const double bw = per_user_bandwidth_hz(m);
+      const double pw = per_user_power_w(m);
+      const double d = distance(server_pos_[m], user_pos_[k]);
+      const double noise = radio_.channel.effective_noise_psd() * bw;
+      covering_flat_.push_back(m);
+      link_bandwidth_hz_.push_back(bw);
+      link_mean_snr_.push_back(bw > 0 ? pw * path_gain(radio_.channel, d) / noise : 0.0);
+      link_avg_rate_.push_back(avg_rate_[static_cast<std::size_t>(m) * k_count + k]);
+    }
+    covering_offsets_[k + 1] = covering_flat_.size();
+  }
+  ++revision_;
 }
 
 bool NetworkTopology::is_associated(ServerId m, UserId k) const {

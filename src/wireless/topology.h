@@ -59,6 +59,40 @@ class NetworkTopology {
   [[nodiscard]] const std::vector<ServerId>& servers_covering(UserId k) const {
     return covering_.at(k);
   }
+
+  // ---- Flat association/gain views (CSR over users) -----------------------
+  //
+  // The evaluation engine (sim::EvalPlan) consumes the coverage structure as
+  // contiguous arrays: user k's links occupy the span
+  // [covering_offsets()[k], covering_offsets()[k+1]) of the *_flat vectors.
+  // Per link the views carry the per-user bandwidth share, the mean SNR
+  // (so a fading realization's rate is bw * log2(1 + snr * |h|^2)), and the
+  // average rate C̄ (identical bits to avg_rate_bps).
+
+  /// CSR offsets, size num_users() + 1.
+  [[nodiscard]] const std::vector<std::size_t>& covering_offsets() const noexcept {
+    return covering_offsets_;
+  }
+  /// Covering server ids, concatenated per user (ascending within a user).
+  [[nodiscard]] const std::vector<ServerId>& covering_flat() const noexcept {
+    return covering_flat_;
+  }
+  /// Per-link bandwidth share B̄ in Hz.
+  [[nodiscard]] const std::vector<double>& link_bandwidth_hz() const noexcept {
+    return link_bandwidth_hz_;
+  }
+  /// Per-link mean SNR (fading gain 1).
+  [[nodiscard]] const std::vector<double>& link_mean_snr() const noexcept {
+    return link_mean_snr_;
+  }
+  /// Per-link average rate C̄ in bit/s.
+  [[nodiscard]] const std::vector<double>& link_avg_rate_bps() const noexcept {
+    return link_avg_rate_;
+  }
+
+  /// Monotone counter bumped by every association rebuild (construction and
+  /// update_user_positions); lets plan caches detect mobility staleness.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
   /// Users associated with server m (the paper's K_m), ascending order.
   [[nodiscard]] const std::vector<UserId>& users_of(ServerId m) const {
     return associated_.at(m);
@@ -109,6 +143,14 @@ class NetworkTopology {
   std::vector<std::vector<ServerId>> covering_;    // per user
   std::vector<std::vector<UserId>> associated_;    // per server
   std::vector<double> avg_rate_;                   // dense M x K, 0 if not associated
+
+  // Flat CSR mirrors of covering_ plus per-link channel constants.
+  std::vector<std::size_t> covering_offsets_;      // size K + 1
+  std::vector<ServerId> covering_flat_;
+  std::vector<double> link_bandwidth_hz_;
+  std::vector<double> link_mean_snr_;
+  std::vector<double> link_avg_rate_;
+  std::uint64_t revision_ = 0;
 };
 
 /// Samples a topology with uniformly-placed servers and users and identical

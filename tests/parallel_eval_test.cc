@@ -1,0 +1,176 @@
+// Determinism and equivalence contract of the parallel evaluation engine
+// (EvalPlan + thread-pool Monte-Carlo):
+//
+//   * EvalPlan-based expected_hit_ratio matches the legacy
+//     core::expected_hit_ratio on every solver's placement;
+//   * fading_hit_ratio is bit-identical for threads = 1 vs threads = 8;
+//   * run_comparison yields identical SolverStats for any thread count;
+//   * all solvers in one comparison see identical channel draws
+//     (regression for the old fragile copied-Rng fading sharing);
+//   * mobility invalidates the cached plan (revision watching).
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/core/solver_registry.h"
+#include "src/sim/eval_plan.h"
+#include "src/sim/evaluator.h"
+#include "src/sim/monte_carlo.h"
+#include "src/sim/scenario.h"
+#include "src/support/parallel.h"
+
+namespace trimcaching::sim {
+namespace {
+
+using support::Rng;
+
+ScenarioConfig small_config() {
+  ScenarioConfig config;
+  config.num_servers = 4;
+  config.num_users = 8;
+  config.library_size = 12;
+  config.special.models_per_family = 10;
+  config.capacity_bytes = support::megabytes(400);
+  return config;
+}
+
+const std::vector<std::string>& solver_specs() {
+  static const std::vector<std::string> specs = {"spec", "gen", "independent"};
+  return specs;
+}
+
+TEST(EvalPlan, MatchesLegacyExpectedHitRatioOnEverySolver) {
+  Rng rng(31);
+  const Scenario scenario = build_scenario(small_config(), rng);
+  const core::PlacementProblem problem = scenario.problem();
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  for (const auto& spec : solver_specs()) {
+    core::SolverContext context(rng.fork(7));
+    const auto outcome =
+        core::SolverRegistry::instance().make(spec)->run(problem, context);
+    EXPECT_NEAR(evaluator.expected_hit_ratio(outcome.placement),
+                core::expected_hit_ratio(problem, outcome.placement), 1e-12)
+        << spec;
+  }
+}
+
+TEST(EvalPlan, RowAndLinkArenaShape) {
+  Rng rng(32);
+  const Scenario scenario = build_scenario(small_config(), rng);
+  const EvalPlan plan(scenario.topology, scenario.library, scenario.requests);
+  EXPECT_EQ(plan.num_users(), scenario.topology.num_users());
+  std::size_t links = 0;
+  for (UserId k = 0; k < scenario.topology.num_users(); ++k) {
+    links += scenario.topology.servers_covering(k).size();
+  }
+  EXPECT_EQ(plan.num_links(), links);
+  // Rows are pre-filtered to p > 0 with positive deadline slack.
+  EXPECT_LE(plan.num_rows(),
+            scenario.requests.num_users() * scenario.requests.num_models());
+  EXPECT_GT(plan.num_rows(), 0u);
+  EXPECT_EQ(plan.topology_revision(), scenario.topology.revision());
+}
+
+TEST(EvalPlan, FadingBitIdenticalAcrossThreadCounts) {
+  Rng rng(33);
+  const Scenario scenario = build_scenario(small_config(), rng);
+  const core::PlacementProblem problem = scenario.problem();
+  core::SolverContext context(rng.fork(1));
+  const auto placement =
+      core::SolverRegistry::instance().make("gen")->run(problem, context).placement;
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+
+  const Rng base(5);
+  const auto serial = evaluator.fading_hit_ratio(placement, 64, base, 1);
+  const auto threaded = evaluator.fading_hit_ratio(placement, 64, base, 8);
+  EXPECT_DOUBLE_EQ(serial.mean, threaded.mean);
+  EXPECT_DOUBLE_EQ(serial.stddev, threaded.stddev);
+  EXPECT_DOUBLE_EQ(serial.min, threaded.min);
+  EXPECT_DOUBLE_EQ(serial.max, threaded.max);
+  EXPECT_EQ(serial.count, threaded.count);
+}
+
+TEST(EvalPlan, FadingDoesNotAdvanceBaseRng) {
+  Rng rng(34);
+  const Scenario scenario = build_scenario(small_config(), rng);
+  const core::PlacementProblem problem = scenario.problem();
+  core::SolverContext context(rng.fork(1));
+  const auto placement =
+      core::SolverRegistry::instance().make("gen")->run(problem, context).placement;
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+  const Rng base(77);
+  const auto first = evaluator.fading_hit_ratio(placement, 32, base, 2);
+  const auto second = evaluator.fading_hit_ratio(placement, 32, base, 2);
+  EXPECT_DOUBLE_EQ(first.mean, second.mean);
+}
+
+TEST(RunComparison, StatsBitIdenticalAcrossThreadCounts) {
+  MonteCarloConfig serial_mc;
+  serial_mc.topologies = 4;
+  serial_mc.fading_realizations = 40;
+  serial_mc.threads = 1;
+  MonteCarloConfig threaded_mc = serial_mc;
+  threaded_mc.threads = 8;
+
+  const auto serial = run_comparison(small_config(), solver_specs(), serial_mc);
+  const auto threaded = run_comparison(small_config(), solver_specs(), threaded_mc);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t a = 0; a < serial.size(); ++a) {
+    // Everything derived from random draws must be bit-identical; wall-clock
+    // runtime is a measurement, not a draw, and is exempt.
+    EXPECT_DOUBLE_EQ(serial[a].fading_hit_ratio.mean, threaded[a].fading_hit_ratio.mean);
+    EXPECT_DOUBLE_EQ(serial[a].fading_hit_ratio.stddev,
+                     threaded[a].fading_hit_ratio.stddev);
+    EXPECT_DOUBLE_EQ(serial[a].expected_hit_ratio.mean,
+                     threaded[a].expected_hit_ratio.mean);
+    EXPECT_DOUBLE_EQ(serial[a].gain_evaluations.mean, threaded[a].gain_evaluations.mean);
+    EXPECT_DOUBLE_EQ(serial[a].iterations.mean, threaded[a].iterations.mean);
+    EXPECT_EQ(serial[a].threads, 1u);
+    EXPECT_EQ(threaded[a].threads, 8u);
+  }
+}
+
+TEST(RunComparison, AllSolversSeeIdenticalChannelDraws) {
+  // Regression for the old fragile scheme, where a copied fading Rng relied
+  // on fork() advancing the parent: running the same solver twice in one
+  // comparison must produce bit-identical fading statistics.
+  MonteCarloConfig mc;
+  mc.topologies = 3;
+  mc.fading_realizations = 50;
+  mc.threads = 2;
+  const auto stats = run_comparison(small_config(), {"gen", "gen"}, mc);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].fading_hit_ratio.mean, stats[1].fading_hit_ratio.mean);
+  EXPECT_DOUBLE_EQ(stats[0].fading_hit_ratio.stddev, stats[1].fading_hit_ratio.stddev);
+  EXPECT_DOUBLE_EQ(stats[0].expected_hit_ratio.mean, stats[1].expected_hit_ratio.mean);
+}
+
+TEST(Evaluator, RebuildsPlanWhenTopologyMoves) {
+  Rng rng(35);
+  Scenario scenario = build_scenario(small_config(), rng);
+  const core::PlacementProblem problem = scenario.problem();
+  core::SolverContext context(rng.fork(1));
+  const auto placement =
+      core::SolverRegistry::instance().make("gen")->run(problem, context).placement;
+  const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
+
+  const double before = evaluator.expected_hit_ratio(placement);
+  const std::uint64_t revision_before = evaluator.plan().topology_revision();
+
+  // Move every user; association and rates change, so the cached plan must
+  // be rebuilt (legacy Evaluator semantics: evaluate the *current* snapshot).
+  std::vector<wireless::Point> moved;
+  for (UserId k = 0; k < scenario.topology.num_users(); ++k) {
+    auto p = scenario.topology.user_position(k);
+    p.x = scenario.topology.area().side_m - p.x;
+    p.y = scenario.topology.area().side_m - p.y;
+    moved.push_back(p);
+  }
+  scenario.topology.update_user_positions(std::move(moved));
+  EXPECT_NE(evaluator.plan().topology_revision(), revision_before);
+  EXPECT_NEAR(evaluator.expected_hit_ratio(placement),
+              core::expected_hit_ratio(scenario.problem(), placement), 1e-12);
+  (void)before;
+}
+
+}  // namespace
+}  // namespace trimcaching::sim

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/support/bitset.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
@@ -181,6 +182,42 @@ TEST(Rng, InvalidArgumentsThrow) {
   EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
 }
 
+TEST(Rng, AtIsCounterBased) {
+  // Same (stream, index) from equal-seeded generators -> same stream.
+  Rng a(7), b(7);
+  Rng d1 = a.at(3, 5);
+  Rng d2 = b.at(3, 5);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_DOUBLE_EQ(d1.uniform(0, 1), d2.uniform(0, 1));
+  }
+}
+
+TEST(Rng, AtDoesNotDependOnEngineState) {
+  // Unlike fork(), at() must be stable however much the parent was used.
+  Rng a(7), b(7);
+  for (int t = 0; t < 100; ++t) (void)b.uniform(0, 1);
+  Rng d1 = a.at(1, 2);
+  Rng d2 = b.at(1, 2);
+  EXPECT_DOUBLE_EQ(d1.uniform(0, 1), d2.uniform(0, 1));
+}
+
+TEST(Rng, AtDoesNotAdvanceParent) {
+  Rng a(7), b(7);
+  (void)a.at(1, 2);
+  (void)a.at(9, 9);
+  EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, AtStreamsAndIndicesDiffer) {
+  const Rng a(7);
+  Rng s00 = a.at(0, 0);
+  Rng s01 = a.at(0, 1);
+  Rng s10 = a.at(1, 0);
+  const double x = s00.uniform(0, 1);
+  EXPECT_NE(x, s01.uniform(0, 1));
+  EXPECT_NE(x, s10.uniform(0, 1));
+}
+
 // ---------------------------------------------------------------------- Stats
 
 TEST(RunningStats, MeanVarianceMatchClosedForm) {
@@ -269,6 +306,71 @@ TEST(Table, RowWidthMismatchThrows) {
 TEST(Table, CellFormatting) {
   EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
   EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+}
+
+// ------------------------------------------------------------------- Parallel
+
+TEST(Parallel, ResolveThreads) {
+  EXPECT_GE(hardware_threads(), 1u);
+  EXPECT_EQ(resolve_threads(0), hardware_threads());
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(16), 16u);  // oversubscription allowed
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    std::vector<int> visits(1000, 0);
+    parallel_for(visits.size(), threads, [&](std::size_t i) { ++visits[i]; });
+    for (const int v : visits) EXPECT_EQ(v, 1) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, ForHandlesEmptyAndSingle) {
+  int calls = 0;
+  parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, NestedCallsRunSerially) {
+  std::vector<int> visits(64, 0);
+  parallel_for(8, 4, [&](std::size_t outer) {
+    EXPECT_TRUE(inside_parallel_region());
+    // Nested loop must not deadlock and must still cover its range.
+    parallel_for(8, 4, [&](std::size_t inner) { ++visits[outer * 8 + inner]; });
+  });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(Parallel, ExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, DeterministicPerIndexRngPattern) {
+  // The engine's idiom: per-index counter-based streams + per-index slots
+  // give bit-identical outputs for any thread count.
+  const Rng base(99);
+  auto run = [&base](std::size_t threads) {
+    std::vector<double> out(256);
+    parallel_for(out.size(), threads, [&](std::size_t i) {
+      Rng rng = base.at(42, i);
+      out[i] = rng.uniform(0, 1) + rng.exponential(1.0);
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  const auto parallel4 = run(4);
+  const auto parallel13 = run(13);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel4[i]);
+    EXPECT_DOUBLE_EQ(serial[i], parallel13[i]);
+  }
 }
 
 }  // namespace

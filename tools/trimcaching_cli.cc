@@ -22,6 +22,8 @@
 //   time_budget_s        per-solver deadline in seconds, 0 = none (0)
 //   seed                 RNG seed                    (1)
 //   fading               fading realizations, 0=off  (300)
+//   threads              evaluation threads, >=1, capped at hardware
+//                        concurrency (default: hardware concurrency)
 //   arrivals             per-user req/s for the DES replay, 0=off (0)
 #include <iostream>
 #include <vector>
@@ -30,8 +32,10 @@
 #include "src/io/serialization.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/event_sim.h"
+#include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/support/options.h"
+#include "src/support/parallel.h"
 
 namespace {
 
@@ -52,10 +56,9 @@ std::vector<std::string> split_specs(const std::string& text) {
 }
 
 void report(const core::Solver& solver, const core::SolverOutcome& outcome,
-            const sim::Scenario& scenario, const support::Options& options,
+            const sim::Scenario& scenario, const sim::Evaluator& evaluator,
+            const support::Options& options, std::size_t threads,
             support::Rng& rng) {
-  const sim::Evaluator evaluator(scenario.topology, scenario.library,
-                                 scenario.requests);
   std::cout << solver.title() << " [" << solver.name() << "]:\n"
             << "  expected hit ratio: "
             << evaluator.expected_hit_ratio(outcome.placement) << "\n"
@@ -70,9 +73,12 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
   }
   const std::size_t fading = options.get_size("fading", 300);
   if (fading > 0) {
-    const auto summary = evaluator.fading_hit_ratio(outcome.placement, fading, rng);
+    // Counter-based fading derivation: every solver in this run is scored
+    // under identical channel draws (rng is not advanced).
+    const auto summary =
+        evaluator.fading_hit_ratio(outcome.placement, fading, rng, threads);
     std::cout << "  fading hit ratio:   " << summary.mean << " +- " << summary.stddev
-              << " (" << fading << " realizations)\n";
+              << " (" << fading << " realizations, " << threads << " threads)\n";
   }
   const double arrivals = options.get_double("arrivals", 0.0);
   if (arrivals > 0) {
@@ -95,7 +101,7 @@ int main(int argc, char** argv) {
     const auto options = support::Options::parse(argc, argv);
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
                            "models", "requested", "zipf", "algo", "local_search",
-                           "time_budget_s", "seed", "fading", "arrivals",
+                           "time_budget_s", "seed", "fading", "threads", "arrivals",
                            "save_library", "save_placement"});
 
     const auto& registry = core::SolverRegistry::instance();
@@ -144,6 +150,8 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("library must be special|general|lora");
     }
 
+    const std::size_t threads = support::resolve_threads(sim::threads_option(options));
+
     support::Rng rng(options.get_size("seed", 1));
     const sim::Scenario scenario = sim::build_scenario(config, rng);
     const core::PlacementProblem problem = scenario.problem();
@@ -151,7 +159,8 @@ int main(int argc, char** argv) {
     std::cout << "scenario: M=" << config.num_servers << " K=" << config.num_users
               << " I=" << scenario.library.num_models() << " ("
               << lib_stats.num_shared_blocks << " shared blocks, sharing ratio "
-              << lib_stats.sharing_ratio << ")\n\n";
+              << lib_stats.sharing_ratio << ")\n"
+              << sim::describe_threads(threads) << "\n\n";
 
     if (options.has("save_library")) {
       const std::string path = options.get_string("save_library", "");
@@ -170,6 +179,10 @@ int main(int argc, char** argv) {
       }
     }
     const double time_budget = options.get_double("time_budget_s", 0.0);
+    // One evaluator for the whole run: the EvalPlan arena is built once and
+    // reused across solvers.
+    const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                   scenario.requests);
     for (std::size_t s = 0; s < solvers.size(); ++s) {
       core::SolverContext context(rng.fork(3000 + s));
       if (time_budget > 0) context.set_deadline_after(time_budget);
@@ -182,7 +195,7 @@ int main(int argc, char** argv) {
         io::write_placement(path, outcome.placement);
         std::cout << solvers[s]->name() << " placement written to " << path << "\n";
       }
-      report(*solvers[s], outcome, scenario, options, rng);
+      report(*solvers[s], outcome, scenario, evaluator, options, threads, rng);
     }
     return 0;
   } catch (const std::exception& e) {
