@@ -6,11 +6,15 @@
 
 #include "src/sim/experiment.h"
 #include "src/sim/replacement.h"
+#include "src/support/options.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimcaching;
+
+  const auto options = support::Options::parse(argc, argv);
+  options.check_unknown({"threads", "fading"});
 
   sim::ScenarioConfig config;
   config.num_servers = 10;
@@ -23,6 +27,10 @@ int main() {
   sim::MobilityStudyConfig mobility;
   mobility.num_slots = 1440;       // 2 h
   mobility.eval_every_slots = 120; // one sample every 10 min
+  // Optional Rayleigh scoring: realizations shard over the thread pool (one
+  // EvalPlan rebuild per slot, bit-identical for any thread count).
+  mobility.fading_realizations = options.get_size("fading", 0);
+  mobility.threads = sim::threads_option(options);
 
   const std::size_t runs = sim::full_scale_requested() ? 20 : 5;
   std::map<double, support::RunningStats> spec_at, gen_at;

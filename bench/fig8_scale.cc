@@ -1,0 +1,217 @@
+// Fig. 8 (extension): scale-out sweep of the scenario engine — journal-sized
+// deployments solved through sim::ScenarioTiler versus the monolithic
+// pipeline.
+//
+// Three sweep points grow the paper's M=10 / K=20 / I=30 setup at constant
+// server density (the area grows with M; users densify, as in the journal
+// regimes of arXiv:2404.14204): 2x (M=14, K=40, I=60), 10x (M=32, K=200,
+// I=300) and 100x (M=100, K=2000, I=1000 — a 10^3-model zoo). Request
+// deadlines widen to 2–6 s (edge model download tolerance): at thousands of
+// users per deployment the per-user bandwidth share shrinks ~10x, and the
+// paper's 0.5–1 s interactive window would make nearly every request
+// ineligible at any placement.
+//
+// Per point the bench times, with `reps` repetitions taking the minimum:
+//   * untiled serial   — full PlacementProblem + gen:threads=1 (the
+//                        baseline the tiler must beat);
+//   * tiled serial     — ScenarioTiler::solve at threads=1;
+//   * tiled threaded   — the same tiler at threads=N (tile-level fan-out).
+// Tiled results must be bit-identical across thread counts (checked; a
+// mismatch fails the run) and the tiled-vs-untiled hit-ratio deviation —
+// the halo approximation error — is reported per point. Everything lands in
+// BENCH_scale.json (bench/bench_json.h schema) for the perf trajectory and
+// tools/bench_diff regression gating.
+//
+//   ./fig8_scale                        # 10x + 100x
+//   ./fig8_scale scale=2x threads=4    # CI smoke
+//   ./fig8_scale scale=10x,100x reps=3
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/core/solver_registry.h"
+#include "src/sim/experiment.h"
+#include "src/sim/scenario.h"
+#include "src/sim/tiler.h"
+#include "src/support/options.h"
+#include "src/support/table.h"
+
+namespace {
+
+using namespace trimcaching;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ScalePoint {
+  std::string name;
+  std::size_t servers;
+  std::size_t users;
+  std::size_t models;
+  std::size_t models_per_family;
+  double area_side_m;
+  std::size_t tiles;  ///< tiles per axis
+};
+
+const std::vector<ScalePoint>& all_points() {
+  static const std::vector<ScalePoint> points = {
+      {"2x", 14, 40, 60, 20, 1183.0, 2},
+      {"10x", 32, 200, 300, 100, 1789.0, 2},
+      {"100x", 100, 2000, 1000, 334, 3162.0, 2},
+  };
+  return points;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto options = support::Options::parse(argc, argv);
+    options.check_unknown({"threads", "scale", "reps"});
+    const std::size_t threads = support::resolve_threads(sim::threads_option(options));
+    const std::size_t reps = std::max<std::size_t>(1, options.get_size("reps", 2));
+    const auto wanted = split_csv(options.get_string("scale", "10x,100x"));
+
+    std::vector<ScalePoint> points;
+    for (const auto& name : wanted) {
+      const auto it =
+          std::find_if(all_points().begin(), all_points().end(),
+                       [&name](const ScalePoint& p) { return p.name == name; });
+      if (it == all_points().end()) {
+        throw std::invalid_argument("fig8_scale: unknown scale '" + name +
+                                    "' (available: 2x, 10x, 100x)");
+      }
+      points.push_back(*it);
+    }
+
+    std::cout << "[fig8_scale] " << sim::describe_threads(threads) << ", reps=" << reps
+              << "\n";
+    support::Table table({"scale", "variant", "wall_s", "hit_ratio",
+                          "speedup_vs_untiled", "halo_deviation_pct"});
+    std::vector<bench::JsonRecord> records;
+
+    for (const ScalePoint& point : points) {
+      sim::ScenarioConfig config;
+      config.num_servers = point.servers;
+      config.num_users = point.users;
+      config.area_side_m = point.area_side_m;
+      config.library_size = point.models;
+      config.special.models_per_family = point.models_per_family;
+      config.requests.models_per_user = 30;
+      config.requests.deadline_min_s = 2.0;
+      config.requests.deadline_max_s = 6.0;
+
+      support::Rng rng(7);
+      const sim::Scenario scenario = sim::build_scenario(config, rng);
+
+      sim::TilerConfig tiler_config;
+      tiler_config.tiles_x = point.tiles;
+      tiler_config.tiles_y = point.tiles;
+      const sim::ScenarioTiler tiler(scenario, tiler_config);
+
+      // Untiled serial baseline: full problem + serial Gen, end to end.
+      double untiled_wall = 0.0;
+      double untiled_hit = 0.0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        const core::PlacementProblem problem = scenario.problem();
+        core::SolverContext context(support::Rng(42).at(0x711E, 0));
+        const auto outcome =
+            core::SolverRegistry::instance().make("gen:threads=1")->run(problem, context);
+        const double wall = seconds_since(start);
+        untiled_hit = outcome.hit_ratio;
+        untiled_wall = r == 0 ? wall : std::min(untiled_wall, wall);
+      }
+
+      // Tiled, serial and threaded, same tiling and seeds.
+      sim::TiledSolveResult tiled_serial = tiler.solve("gen", 42, 1);
+      sim::TiledSolveResult tiled_threaded = tiler.solve("gen", 42, threads);
+      for (std::size_t r = 1; r < reps; ++r) {
+        auto again_serial = tiler.solve("gen", 42, 1);
+        if (again_serial.wall_seconds < tiled_serial.wall_seconds) {
+          tiled_serial = std::move(again_serial);
+        }
+        auto again_threaded = tiler.solve("gen", 42, threads);
+        if (again_threaded.wall_seconds < tiled_threaded.wall_seconds) {
+          tiled_threaded = std::move(again_threaded);
+        }
+      }
+      // Full placement bit-identity across thread counts, per server.
+      bool identical = tiled_serial.hit_ratio == tiled_threaded.hit_ratio;
+      for (ServerId m = 0; identical && m < point.servers; ++m) {
+        auto lhs = tiled_serial.placement.models_on(m);
+        auto rhs = tiled_threaded.placement.models_on(m);
+        std::sort(lhs.begin(), lhs.end());
+        std::sort(rhs.begin(), rhs.end());
+        identical = lhs == rhs;
+      }
+      if (!identical) {
+        std::cerr << "fig8_scale: tiled solve not bit-identical across thread "
+                     "counts at "
+                  << point.name << "\n";
+        return 1;
+      }
+
+      const double deviation_pct =
+          untiled_hit > 0
+              ? (untiled_hit - tiled_threaded.hit_ratio) / untiled_hit * 100.0
+              : 0.0;
+      const auto row = [&](const std::string& variant, double wall, double hit,
+                           double speedup) {
+        table.add_row({point.name, variant, support::Table::cell(wall, 4),
+                       support::Table::cell(hit, 4),
+                       speedup > 0 ? support::Table::cell(speedup, 2) : "-",
+                       variant == "untiled_serial"
+                           ? "-"
+                           : support::Table::cell(deviation_pct, 2)});
+      };
+      row("untiled_serial", untiled_wall, untiled_hit, 0.0);
+      row("tiled_serial", tiled_serial.wall_seconds, tiled_serial.hit_ratio,
+          untiled_wall / std::max(1e-9, tiled_serial.wall_seconds));
+      row("tiled_threaded", tiled_threaded.wall_seconds, tiled_threaded.hit_ratio,
+          untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds));
+
+      const std::string prefix = "fig8_scale_" + point.name + "_";
+      records.push_back({prefix + "untiled_serial", untiled_wall, 0.0, 1, 0.0});
+      records.push_back({prefix + "tiled_serial", tiled_serial.wall_seconds, 0.0, 1,
+                         untiled_wall / std::max(1e-9, tiled_serial.wall_seconds)});
+      records.push_back(
+          {prefix + "tiled_threaded", tiled_threaded.wall_seconds, 0.0, threads,
+           untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds)});
+
+      std::cout << point.name << ": untiled " << untiled_wall << " s (hit "
+                << untiled_hit << "), tiled " << tiled_threaded.wall_seconds
+                << " s at " << threads << " threads (hit "
+                << tiled_threaded.hit_ratio << ", "
+                << untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds)
+                << "x, halo deviation " << deviation_pct << "%, "
+                << tiled_threaded.tiles_solved << " tiles)\n";
+    }
+
+    sim::emit_experiment(
+        "fig8_scale",
+        "Scale-out sweep: spatially tiled solves (ScenarioTiler) vs the "
+        "monolithic pipeline at 2x/10x/100x of the paper's scenario size",
+        table);
+    bench::write_bench_json("BENCH_scale.json", records);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

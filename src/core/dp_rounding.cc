@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "src/support/bitset.h"
+#include "src/support/parallel.h"
 
 namespace trimcaching::core {
 
@@ -116,18 +117,43 @@ KnapsackPick knapsack_weight(const std::vector<Candidate>& items,
 // Incremental (no-traceback) DP state used during combination traversal.
 // ---------------------------------------------------------------------------
 
+/// Minimum number of DP states before an add() shards the state axis over
+/// the thread pool; below this the snapshot copy costs more than it saves.
+constexpr std::uint64_t kParallelFillStates = 1u << 16;
+
 /// Profit-indexed: state[w] = min weight to reach rounded profit exactly w.
 struct ProfitDp {
   std::vector<Bytes> weight{0};  // weight[0] = 0
   std::uint64_t reach = 0;
 
-  void add(const Candidate& it, std::size_t max_profit_states) {
+  void add(const Candidate& it, std::size_t max_profit_states,
+           std::size_t threads = 1) {
     if (it.rounded == 0) return;
     reach += it.rounded;
     if (reach + 1 > max_profit_states) {
       throw std::runtime_error("ProfitDp: profit state space exceeds configured limit");
     }
     weight.resize(reach + 1, kInfWeight);
+    const std::uint64_t span = reach - it.rounded + 1;
+    if (threads != 1 && span >= kParallelFillStates &&
+        !support::inside_parallel_region()) {
+      // Sharded fill against a snapshot of the previous row: the serial
+      // descending loop also reads only pre-update values, so each state is
+      // independent and the integer min is bit-identical at any shard count.
+      const std::vector<Bytes> prev = weight;
+      const std::size_t shards = support::resolve_threads(threads);
+      support::parallel_for(shards, shards, [&](std::size_t s) {
+        const std::uint64_t lo = it.rounded + span * s / shards;
+        const std::uint64_t hi = it.rounded + span * (s + 1) / shards;
+        for (std::uint64_t w = lo; w < hi; ++w) {
+          const Bytes base = prev[w - it.rounded];
+          if (base != kInfWeight) {
+            weight[w] = std::min(prev[w], base + it.specific_size);
+          }
+        }
+      });
+      return;
+    }
     for (std::uint64_t w = reach; w >= it.rounded; --w) {
       const Bytes base = weight[w - it.rounded];
       if (base != kInfWeight) {
@@ -152,9 +178,25 @@ struct WeightDp {
 
   explicit WeightDp(std::size_t states) : value(states + 1, 0.0) {}
 
-  void add(const Candidate& it) {
+  void add(const Candidate& it, std::size_t threads = 1) {
     const std::size_t wq = it.quantized;
     if (wq >= value.size()) return;  // never fits
+    const std::size_t span = value.size() - wq;
+    if (threads != 1 && span >= kParallelFillStates &&
+        !support::inside_parallel_region()) {
+      // Same snapshot sharding as ProfitDp: per-state max over pre-update
+      // values only, so any shard count produces identical bits.
+      const std::vector<double> prev = value;
+      const std::size_t shards = support::resolve_threads(threads);
+      support::parallel_for(shards, shards, [&](std::size_t s) {
+        const std::size_t lo = wq + span * s / shards;
+        const std::size_t hi = wq + span * (s + 1) / shards;
+        for (std::size_t w = lo; w < hi; ++w) {
+          value[w] = std::max(prev[w], prev[w - wq] + it.utility);
+        }
+      });
+      return;
+    }
     for (std::size_t w = value.size() - 1; w >= wq; --w) {
       value[w] = std::max(value[w], value[w - wq] + it.utility);
       if (w == wq) break;
@@ -441,20 +483,24 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
     if (config.mode == DpMode::kProfitRounding) {
       ProfitDp dp;
       for (const std::size_t c : decomposition.base) {
-        dp.add(candidates[c], config.max_profit_states);
+        dp.add(candidates[c], config.max_profit_states, config.threads);
       }
       traverse(
           decomposition.chains, 0, dp, Bytes{0}, capacity, levels, visited, best,
-          [&](ProfitDp& d, std::size_t c) { d.add(candidates[c], config.max_profit_states); },
+          [&](ProfitDp& d, std::size_t c) {
+            d.add(candidates[c], config.max_profit_states, config.threads);
+          },
           [](const ProfitDp& d, Bytes budget) {
             return static_cast<double>(d.query(budget));
           });
     } else {
       WeightDp dp(config.weight_states);
-      for (const std::size_t c : decomposition.base) dp.add(candidates[c]);
+      for (const std::size_t c : decomposition.base) {
+        dp.add(candidates[c], config.threads);
+      }
       traverse(
           decomposition.chains, 0, dp, Bytes{0}, capacity, levels, visited, best,
-          [&](WeightDp& d, std::size_t c) { d.add(candidates[c]); },
+          [&](WeightDp& d, std::size_t c) { d.add(candidates[c], config.threads); },
           [&](const WeightDp& d, Bytes budget) {
             return d.query(static_cast<std::size_t>(budget / quantum));
           });
@@ -478,11 +524,13 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
       double score = 0.0;
       if (config.mode == DpMode::kProfitRounding) {
         ProfitDp dp;
-        for (const auto& it : items) dp.add(it, config.max_profit_states);
+        for (const auto& it : items) {
+          dp.add(it, config.max_profit_states, config.threads);
+        }
         score = static_cast<double>(dp.query(budget));
       } else {
         WeightDp dp(config.weight_states);
-        for (const auto& it : items) dp.add(it);
+        for (const auto& it : items) dp.add(it, config.threads);
         score = dp.query(static_cast<std::size_t>(budget / quantum));
       }
       if (!best.valid || score > best.score) {

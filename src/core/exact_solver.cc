@@ -63,7 +63,7 @@ class Search {
       const auto i = static_cast<ModelId>(cell % problem_->num_models());
       if (cell_last_var_[cell] >= static_cast<std::ptrdiff_t>(t) &&
           !coverage_.covered(k, i)) {
-        mass += problem_->requests().probability(k, i);
+        mass += problem_->request_probability(k, i);
       }
     }
     return mass;

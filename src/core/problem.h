@@ -4,11 +4,23 @@
 //   * the service-eligibility indicator I1(m,k,i) (Eq. 3) — whether edge
 //     server m can deliver model i to user k within T̄_{k,i}, including the
 //     relayed path through an associated server (Eqs. 4–5), computed from
-//     *average* channel rates (the paper's "snapshot" decision stage);
+//     *average* channel rates (the paper's "snapshot" decision stage).
+//     Eligibility is evaluated from one precomputed inverse effective rate
+//     per (m, k) link (the payload only scales it), so construction is
+//     O(M·K + hit-list entries) instead of one latency model walk per
+//     (m, k, i) cell;
 //   * per-(m,i) hit lists: the users (with request mass) that placement
 //     x_{m,i} = 1 can newly serve — the data structure behind every
 //     marginal-gain computation;
 //   * the storage side: library block structure and server capacities.
+//
+// Sub-views (the tiling engine, sim/tiler.h): the second constructor
+// restricts the instance to explicit server/user subsets while *sharing* the
+// topology / library / requests storage — nothing is copied or re-sampled.
+// All PlacementProblem indices (ServerId / UserId) are then view-local;
+// global_server() / global_user() translate back. The model axis is never
+// restricted: every view sees the full library. Algorithms are oblivious to
+// views — they only consume local dimensions, hit lists and capacities.
 //
 // The problem borrows (does not own) topology / library / requests; keep
 // them alive for the problem's lifetime (sim::Scenario does).
@@ -26,30 +38,54 @@
 namespace trimcaching::core {
 
 struct HitEntry {
-  UserId user = 0;
+  UserId user = 0;  ///< view-local user id
   double mass = 0.0;  ///< p_{k,i}
 };
 
 class PlacementProblem {
  public:
+  /// Full instance over every server and user of the topology.
   PlacementProblem(const wireless::NetworkTopology& topology,
                    const model::ModelLibrary& library,
                    const workload::RequestModel& requests);
+
+  /// Sub-view over `servers` x `users` (strictly increasing global ids).
+  /// Eligibility still uses the *global* association and rates — a view
+  /// server can relay through covering servers outside the view — so
+  /// within-view decisions match the full instance exactly.
+  PlacementProblem(const wireless::NetworkTopology& topology,
+                   const model::ModelLibrary& library,
+                   const workload::RequestModel& requests,
+                   std::vector<ServerId> servers, std::vector<UserId> users);
 
   [[nodiscard]] std::size_t num_servers() const noexcept { return num_servers_; }
   [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
   [[nodiscard]] std::size_t num_models() const noexcept { return num_models_; }
 
+  /// True when this instance is a server/user sub-view.
+  [[nodiscard]] bool is_view() const noexcept { return is_view_; }
+  /// Global topology id of view-local server m (identity on full instances).
+  [[nodiscard]] ServerId global_server(ServerId m) const { return server_ids_.at(m); }
+  /// Global topology id of view-local user k (identity on full instances).
+  [[nodiscard]] UserId global_user(UserId k) const { return user_ids_.at(k); }
+
   [[nodiscard]] const wireless::NetworkTopology& topology() const noexcept {
     return *topology_;
   }
   [[nodiscard]] const model::ModelLibrary& library() const noexcept { return *library_; }
+  /// The shared request model. NOTE: its indices are *global*; use
+  /// request_probability()/request_deadline_s() for view-local access.
   [[nodiscard]] const workload::RequestModel& requests() const noexcept {
     return *requests_;
   }
 
   [[nodiscard]] support::Bytes capacity(ServerId m) const {
-    return topology_->capacity(m);
+    return topology_->capacity(global_server(m));
+  }
+
+  /// p_{k,i} for view-local user k.
+  [[nodiscard]] double request_probability(UserId k, ModelId i) const {
+    return requests_->probability(global_user(k), i);
   }
 
   /// I1(m,k,i): can server m serve user k's request for model i in time?
@@ -58,7 +94,7 @@ class PlacementProblem {
   /// Users servable by placing model i on server m, with their request mass.
   [[nodiscard]] std::span<const HitEntry> hit_list(ServerId m, ModelId i) const;
 
-  /// Σ_k Σ_i p_{k,i} — the denominator of U(X).
+  /// Σ_k Σ_i p_{k,i} over this instance's users — the denominator of U(X).
   [[nodiscard]] double total_mass() const noexcept { return total_mass_; }
 
   /// Mass of requests servable by at least one server (the coverage ceiling
@@ -66,7 +102,7 @@ class PlacementProblem {
   [[nodiscard]] double reachable_mass() const noexcept { return reachable_mass_; }
 
  private:
-  [[nodiscard]] std::size_t cell(ServerId m, UserId k, ModelId i) const noexcept;
+  void build();
 
   const wireless::NetworkTopology* topology_;
   const model::ModelLibrary* library_;
@@ -75,8 +111,22 @@ class PlacementProblem {
   std::size_t num_servers_;
   std::size_t num_users_;
   std::size_t num_models_;
+  bool is_view_ = false;
+  std::vector<ServerId> server_ids_;  // local -> global
+  std::vector<UserId> user_ids_;      // local -> global
 
-  std::vector<char> eligible_;                      // dense M x K x I
+  // Per-(m, k) delivery precomputation (local M x K): `assoc_` says whether
+  // the pair is associated; `inv_eff_` is 1/C̄ of the direct link when it is,
+  // and 1/C̄ of user k's best covering relay when it is not (+inf when no
+  // positive-rate path exists). Latency of payload D is then
+  //   assoc:  bits(D) · inv_eff
+  //   relay:  bits(D) / backhaul + bits(D) · inv_eff      (Eq. 5)
+  // matching sim::EvalPlan's arithmetic bit for bit.
+  std::vector<double> inv_eff_;
+  std::vector<char> assoc_;
+  std::vector<double> payload_bits_;  // per model
+  double backhaul_bps_ = 0.0;
+
   std::vector<std::vector<HitEntry>> hit_lists_;    // per (m, i)
   double total_mass_ = 0.0;
   double reachable_mass_ = 0.0;

@@ -201,9 +201,11 @@ class CompositeSolver final : public Solver {
 // ----------------------------------------------------------------- factories
 
 SpecConfig spec_config_from(const support::Options& options) {
-  options.check_unknown(
-      {"eps", "mode", "states", "max_combinations", "max_profit_states", "order"});
+  options.check_unknown({"eps", "mode", "states", "max_combinations",
+                         "max_profit_states", "order", "threads"});
   SpecConfig config;
+  config.threads = options.get_size("threads", config.threads);
+  config.solver.threads = config.threads;
   const std::string mode = options.get_string("mode", "profit");
   if (mode == "profit") {
     config.solver.mode = DpMode::kProfitRounding;
@@ -233,9 +235,10 @@ SpecConfig spec_config_from(const support::Options& options) {
 }
 
 GenConfig gen_config_from(const support::Options& options, bool lazy_default) {
-  options.check_unknown({"lazy", "rule"});
+  options.check_unknown({"lazy", "rule", "threads"});
   GenConfig config;
   config.lazy = options.get_bool("lazy", lazy_default);
+  config.threads = options.get_size("threads", config.threads);
   const std::string rule = options.get_string("rule", "gain");
   if (rule == "gain") {
     config.rule = GreedyRule::kGain;
@@ -252,21 +255,24 @@ void register_builtins(SolverRegistry& registry) {
   registry.add(
       "spec",
       "TrimCaching Spec: successive greedy + per-server DP (Alg. 1+2); "
-      "options eps, mode=profit|weight, states, max_combinations, order=natural|mass",
+      "options eps, mode=profit|weight, states, max_combinations, "
+      "order=natural|mass, threads (0=auto; bit-identical at any count)",
       [](const support::Options& options) -> std::unique_ptr<Solver> {
         return std::make_unique<SpecSolver>(spec_config_from(options));
       });
   registry.add(
       "gen",
       "TrimCaching Gen: dedup-aware submodular greedy (Alg. 3, lazy driver); "
-      "options lazy=0|1, rule=gain|per_byte",
+      "options lazy=0|1, rule=gain|per_byte, threads (0=auto; bit-identical "
+      "at any count)",
       [](const support::Options& options) -> std::unique_ptr<Solver> {
         return std::make_unique<GenSolver>("gen", gen_config_from(options, true));
       });
   registry.add(
       "gen_naive",
       "TrimCaching Gen with the literal full-rescan driver of Alg. 3; "
-      "options rule=gain|per_byte",
+      "options rule=gain|per_byte, threads (0=auto; batched per-round "
+      "rescan, bit-identical at any count)",
       [](const support::Options& options) -> std::unique_ptr<Solver> {
         return std::make_unique<GenSolver>("gen_naive",
                                            gen_config_from(options, false));

@@ -4,12 +4,18 @@
 #include <queue>
 
 #include "src/core/storage.h"
+#include "src/support/parallel.h"
 
 namespace trimcaching::core {
 
 namespace {
 
 constexpr double kGainTolerance = 1e-15;
+
+/// Gain a candidate was skipped at (placed already, or does not fit); the
+/// batched scan stores it so the ordered reduction can reproduce the serial
+/// driver's bookkeeping exactly.
+constexpr double kSkipped = -1.0;
 
 /// Score of a candidate under the configured rule. Zero-cost additions
 /// (every block already cached) are scored as one-byte costs so that free
@@ -19,7 +25,7 @@ double score_candidate(GreedyRule rule, double gain, support::Bytes cost) {
   return gain / static_cast<double>(std::max<support::Bytes>(1, cost));
 }
 
-GenResult run_naive(const PlacementProblem& problem, GreedyRule rule) {
+GenResult run_naive(const PlacementProblem& problem, const GenConfig& config) {
   const std::size_t num_servers = problem.num_servers();
   const std::size_t num_models = problem.num_models();
   GenResult result{PlacementSolution(num_servers, num_models), 0.0, 0};
@@ -30,18 +36,33 @@ GenResult run_naive(const PlacementProblem& problem, GreedyRule rule) {
     storage.emplace_back(problem.library(), problem.capacity(m));
   }
 
+  // Per-round candidate gains, batched across (server, model) pairs: shard s
+  // owns server s's row of the flat array, so the parallel evaluation writes
+  // disjoint slots and the (m, i)-ordered reduction below selects the same
+  // candidate — with the same tie-breaks and evaluation count — as the
+  // serial rescan, for every thread count.
+  std::vector<double> gains(num_servers * num_models, kSkipped);
   while (true) {
+    support::parallel_for(num_servers, config.threads, [&](std::size_t m) {
+      const auto server = static_cast<ServerId>(m);
+      for (ModelId i = 0; i < num_models; ++i) {
+        gains[m * num_models + i] =
+            result.placement.placed(server, i) || !storage[m].fits(i)
+                ? kSkipped
+                : coverage.marginal_mass(server, i);
+      }
+    });
     double best_score = 0.0;
     ServerId best_m = 0;
     ModelId best_i = 0;
     bool found = false;
     for (ServerId m = 0; m < num_servers; ++m) {
       for (ModelId i = 0; i < num_models; ++i) {
-        if (result.placement.placed(m, i) || !storage[m].fits(i)) continue;
-        const double gain = coverage.marginal_mass(m, i);
+        const double gain = gains[static_cast<std::size_t>(m) * num_models + i];
+        if (gain == kSkipped) continue;
         ++result.gain_evaluations;
         if (gain <= kGainTolerance) continue;
-        const double score = score_candidate(rule, gain, storage[m].incremental_cost(i));
+        const double score = score_candidate(config.rule, gain, storage[m].incremental_cost(i));
         if (score > best_score + kGainTolerance) {
           best_score = score;
           best_m = m;
@@ -73,7 +94,7 @@ struct HeapEntry {
   }
 };
 
-GenResult run_lazy(const PlacementProblem& problem) {
+GenResult run_lazy(const PlacementProblem& problem, const GenConfig& config) {
   const std::size_t num_servers = problem.num_servers();
   const std::size_t num_models = problem.num_models();
   GenResult result{PlacementSolution(num_servers, num_models), 0.0, 0};
@@ -84,10 +105,19 @@ GenResult run_lazy(const PlacementProblem& problem) {
     storage.emplace_back(problem.library(), problem.capacity(m));
   }
 
+  // Initial gains batched per server (the heap build is the lazy driver's
+  // only O(M·I) full scan); pushes happen in (m, i) order afterwards, so the
+  // heap's tie-break order matches the serial build bit for bit.
+  std::vector<double> gains(num_servers * num_models, 0.0);
+  support::parallel_for(num_servers, config.threads, [&](std::size_t m) {
+    for (ModelId i = 0; i < num_models; ++i) {
+      gains[m * num_models + i] = coverage.marginal_mass(static_cast<ServerId>(m), i);
+    }
+  });
   std::priority_queue<HeapEntry> heap;
   for (ServerId m = 0; m < num_servers; ++m) {
     for (ModelId i = 0; i < num_models; ++i) {
-      const double gain = coverage.marginal_mass(m, i);
+      const double gain = gains[static_cast<std::size_t>(m) * num_models + i];
       ++result.gain_evaluations;
       if (gain > kGainTolerance) heap.push(HeapEntry{gain, m, i});
     }
@@ -132,9 +162,9 @@ GenResult run_lazy(const PlacementProblem& problem) {
 
 GenResult trimcaching_gen(const PlacementProblem& problem, const GenConfig& config) {
   if (config.rule == GreedyRule::kGainPerByte) {
-    return run_naive(problem, config.rule);  // lazy unsound for ratio scores
+    return run_naive(problem, config);  // lazy unsound for ratio scores
   }
-  return config.lazy ? run_lazy(problem) : run_naive(problem, config.rule);
+  return config.lazy ? run_lazy(problem, config) : run_naive(problem, config);
 }
 
 }  // namespace trimcaching::core

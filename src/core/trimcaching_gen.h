@@ -33,6 +33,13 @@ struct GenConfig {
   /// stale heap scores are no longer upper bounds and lazy evaluation would
   /// be unsound.
   GreedyRule rule = GreedyRule::kGain;
+  /// Thread count for batched marginal-gain evaluation (0 = hardware
+  /// concurrency, 1 = serial): the naive driver's per-round (m, i) rescan
+  /// and the lazy driver's initial heap build shard gains per server into a
+  /// flat array; candidate selection then runs as an ordered serial
+  /// reduction over that array, so placements, hit ratios, and
+  /// gain-evaluation counts are bit-identical for any value.
+  std::size_t threads = 1;
 };
 
 struct GenResult {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/support/parallel.h"
+
 namespace trimcaching::core {
 
 SpecResult trimcaching_spec(const PlacementProblem& problem, const SpecConfig& config) {
@@ -12,12 +14,16 @@ SpecResult trimcaching_spec(const PlacementProblem& problem, const SpecConfig& c
   std::vector<ServerId> order(num_servers);
   std::iota(order.begin(), order.end(), 0);
   if (config.order == SpecConfig::ServerOrder::kByReachableMassDesc) {
+    // Per-server reachable mass; each shard owns one slot, the sort below is
+    // a deterministic reduction of the filled array.
     std::vector<double> mass(num_servers, 0.0);
-    for (ServerId m = 0; m < num_servers; ++m) {
+    support::parallel_for(num_servers, config.threads, [&](std::size_t m) {
       for (ModelId i = 0; i < num_models; ++i) {
-        for (const HitEntry& entry : problem.hit_list(m, i)) mass[m] += entry.mass;
+        for (const HitEntry& entry : problem.hit_list(static_cast<ServerId>(m), i)) {
+          mass[m] += entry.mass;
+        }
       }
-    }
+    });
     std::stable_sort(order.begin(), order.end(),
                      [&mass](ServerId a, ServerId b) { return mass[a] > mass[b]; });
   }
@@ -25,12 +31,14 @@ SpecResult trimcaching_spec(const PlacementProblem& problem, const SpecConfig& c
   SpecResult result{PlacementSolution(num_servers, num_models), 0.0, {}, 0};
   CoverageState coverage(problem);
 
+  std::vector<double> utilities(num_models, 0.0);
   for (const ServerId m : order) {
-    // u(m,i) with the I2 mask: only not-yet-served request mass counts.
-    std::vector<double> utilities(num_models, 0.0);
-    for (ModelId i = 0; i < num_models; ++i) {
-      utilities[i] = coverage.marginal_mass(m, i);
-    }
+    // u(m,i) with the I2 mask: only not-yet-served request mass counts
+    // (Eq. 14). Models are independent given the frozen coverage state, so
+    // the accumulation shards over models — each index writes its own slot.
+    support::parallel_for(num_models, config.threads, [&](std::size_t i) {
+      utilities[i] = coverage.marginal_mass(m, static_cast<ModelId>(i));
+    });
     const ServerSubproblemResult sub = solve_server_subproblem(
         problem.library(), utilities, problem.capacity(m), config.solver);
     result.combinations_visited += sub.combinations_visited;

@@ -57,10 +57,16 @@ std::vector<ModelId> add_prefix_family(ModelLibrary& lib, const PrefixFamilySpec
   out.reserve(spec.freeze_depths.size());
   for (std::size_t idx = 0; idx < spec.freeze_depths.size(); ++idx) {
     const std::size_t d = spec.freeze_depths[idx];
+    // Chain level of depth d = number of distinct depths <= d, by binary
+    // search on the sorted distinct-depth array: O(I log I) family
+    // construction overall, so 10^3–10^4-model zoos assemble without a
+    // per-model linear rescan of every segment level.
+    const std::size_t level = static_cast<std::size_t>(
+        std::upper_bound(depths.begin(), depths.end(), d) - depths.begin());
     std::vector<BlockId> blocks;
-    for (std::size_t t = 0; t < depths.size() && depths[t] <= d; ++t) {
-      blocks.push_back(segment_blocks[t]);
-    }
+    blocks.reserve(level + 1);
+    blocks.assign(segment_blocks.begin(),
+                  segment_blocks.begin() + static_cast<std::ptrdiff_t>(level));
     const support::Bytes specific = segment_bytes(d, num_layers);
     if (specific > 0) {
       blocks.push_back(lib.add_block(specific, spec.model_names[idx] + ".specific"));

@@ -54,6 +54,14 @@ struct GeneralCaseConfig {
   double max_freeze_fraction = 0.95;
 
   void validate() const;
+
+  /// Models build_general_case_library() will produce for this config;
+  /// kept next to the generator so size-dependent validation cannot drift.
+  [[nodiscard]] std::size_t expected_models() const {
+    std::size_t superclasses = standalone_superclasses.size();
+    for (const auto& lineage : lineages) superclasses += 1 + lineage.children.size();
+    return superclasses * classes_per_superclass * archs.size();
+  }
 };
 
 /// Builds the general-case library. With the default config this yields

@@ -25,6 +25,13 @@ struct LoraLibraryConfig {
   double adapter_jitter = 0.5;
 
   void validate() const;
+
+  /// Models build_lora_library() will produce for this config (adapters are
+  /// the placeable models; foundations are shared blocks, not models); kept
+  /// next to the generator so size-dependent validation cannot drift.
+  [[nodiscard]] std::size_t expected_models() const {
+    return num_foundations * adapters_per_foundation;
+  }
 };
 
 [[nodiscard]] ModelLibrary build_lora_library(const LoraLibraryConfig& config,

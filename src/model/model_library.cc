@@ -43,6 +43,18 @@ void ModelLibrary::finalize() {
   if (models_.empty()) throw std::logic_error("ModelLibrary: no models");
   block_models_.assign(blocks_.size(), {});
   model_sizes_.assign(models_.size(), 0);
+  // Size the per-block model lists up front: at zoo scale (10^3–10^4
+  // models, shared backbone blocks referenced by every family member) the
+  // incremental push_back growth would otherwise dominate construction.
+  {
+    std::vector<std::size_t> refs(blocks_.size(), 0);
+    for (const auto& model : models_) {
+      for (const BlockId j : model.blocks) ++refs[j];
+    }
+    for (std::size_t j = 0; j < blocks_.size(); ++j) {
+      block_models_[j].reserve(refs[j]);
+    }
+  }
   for (std::size_t i = 0; i < models_.size(); ++i) {
     for (const BlockId j : models_[i].blocks) {
       block_models_[j].push_back(static_cast<ModelId>(i));

@@ -25,6 +25,13 @@ struct SpecialCaseConfig {
                                    ResNetArch::kResNet50};
 
   void validate() const;
+
+  /// Models build_special_case_library() will produce for this config;
+  /// kept next to the generator so size-dependent validation (e.g.
+  /// ScenarioConfig's library_size check) cannot drift from it.
+  [[nodiscard]] std::size_t expected_models() const {
+    return archs.size() * models_per_family;
+  }
 };
 
 /// Builds the special-case library; freeze depths are drawn uniformly from

@@ -14,12 +14,20 @@ namespace {
 // slot must get its own base for slot-to-slot channel independence. Within
 // a slot the base is shared, which scores competing placements under
 // identical channel draws.
+//
+// Batching: the Evaluator rebuilds its EvalPlan at most once per slot (the
+// topology revision moves only at update_user_positions), and every
+// placement scored within the slot shards its realizations over
+// config.threads pool workers — the studies' evaluation path is the same
+// realization-sharded arena as the Monte-Carlo driver's, not a serial loop.
 double evaluate(const Evaluator& evaluator, const core::PlacementSolution& placement,
                 const MobilityStudyConfig& config, const support::Rng& slot_rng) {
   if (config.fading_realizations == 0) {
     return evaluator.expected_hit_ratio(placement);
   }
-  return evaluator.fading_hit_ratio(placement, config.fading_realizations, slot_rng)
+  return evaluator
+      .fading_hit_ratio(placement, config.fading_realizations, slot_rng,
+                        config.threads)
       .mean;
 }
 

@@ -22,6 +22,12 @@ struct MobilityStudyConfig {
   double vehicle_fraction = 1.0 / 3.0;
   /// 0 = evaluate with average rates (fast); otherwise Rayleigh realizations.
   std::size_t fading_realizations = 0;
+  /// Per-slot evaluation thread count (0 = hardware concurrency): each
+  /// slot's fading realizations are sharded over the pool. Combined with the
+  /// Evaluator's revision-watching plan cache this batches a slot into one
+  /// plan rebuild plus realization-sharded scoring; results are
+  /// bit-identical for any value.
+  std::size_t threads = 0;
   /// Registry specs (core/solver_registry.h) of the two placements tracked
   /// by the study; the defaults reproduce the paper's Fig. 7 pairing.
   std::string first_solver = "spec";

@@ -1,14 +1,81 @@
 #include "src/sim/scenario.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace trimcaching::sim {
 
+namespace {
+
+/// Models the configured generator will produce (each config's own
+/// expected_models(), kept next to its builder), so an oversized
+/// `library_size` fails here with the knobs named instead of surfacing as a
+/// sample_subset error (or a silently full library) downstream.
+std::size_t generated_library_size(const ScenarioConfig& config) {
+  switch (config.library_kind) {
+    case LibraryKind::kSpecialCase:
+      return config.special.expected_models();
+    case LibraryKind::kGeneralCase:
+      return config.general.expected_models();
+    case LibraryKind::kLora:
+      return config.lora.expected_models();
+  }
+  return 0;
+}
+
+}  // namespace
+
 void ScenarioConfig::validate() const {
-  if (num_servers == 0) throw std::invalid_argument("ScenarioConfig: no servers");
-  if (num_users == 0) throw std::invalid_argument("ScenarioConfig: no users");
-  if (area_side_m <= 0) throw std::invalid_argument("ScenarioConfig: bad area");
-  if (capacity_bytes == 0) throw std::invalid_argument("ScenarioConfig: zero capacity");
+  if (num_servers == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: num_servers == 0 — the deployment needs at least one "
+        "edge server (set num_servers)");
+  }
+  if (num_users == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: num_users == 0 — the deployment needs at least one "
+        "user (set num_users)");
+  }
+  if (!(area_side_m > 0) || std::isnan(area_side_m) || std::isinf(area_side_m)) {
+    throw std::invalid_argument(
+        "ScenarioConfig: area_side_m must be a positive finite length in "
+        "meters, got " + std::to_string(area_side_m));
+  }
+  if (capacity_bytes == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: capacity_bytes == 0 — every server needs a positive "
+        "storage budget (set capacity_bytes)");
+  }
+  // Validate the active generator's own knobs here, so a bad generator
+  // config fails at scenario assembly rather than mid-build.
+  switch (library_kind) {
+    case LibraryKind::kSpecialCase:
+      special.validate();
+      break;
+    case LibraryKind::kGeneralCase:
+      general.validate();
+      break;
+    case LibraryKind::kLora:
+      lora.validate();
+      break;
+  }
+  const std::size_t generated = generated_library_size(*this);
+  if (library_size > generated) {
+    throw std::invalid_argument(
+        "ScenarioConfig: library_size (" + std::to_string(library_size) +
+        ") exceeds the " + std::to_string(generated) +
+        " models the configured generator produces — lower library_size or "
+        "scale the generator (e.g. special.models_per_family, "
+        "lora.adapters_per_foundation)");
+  }
+  const std::size_t offered = library_size == 0 ? generated : library_size;
+  if (requests.models_per_user > offered) {
+    throw std::invalid_argument(
+        "ScenarioConfig: requests.models_per_user (" +
+        std::to_string(requests.models_per_user) + ") exceeds the " +
+        std::to_string(offered) + " models offered for placement");
+  }
   radio.validate();
   requests.validate();
 }

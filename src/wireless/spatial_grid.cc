@@ -1,0 +1,48 @@
+#include "src/wireless/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trimcaching::wireless {
+
+SpatialGrid::SpatialGrid(const Area& area, double cell_m,
+                         const std::vector<Point>& points)
+    : cell_m_(cell_m), point_count_(points.size()) {
+  if (!(cell_m > 0.0)) {
+    throw std::invalid_argument("SpatialGrid: cell size must be > 0");
+  }
+  if (!(area.side_m > 0.0)) {
+    throw std::invalid_argument("SpatialGrid: area side must be > 0");
+  }
+  cells_x_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(area.side_m / cell_m)));
+  cells_y_ = cells_x_;
+
+  // Counting sort into CSR: one pass to size the cells, one to fill them.
+  // Filling in ascending id order keeps each cell's id list sorted.
+  offsets_.assign(cells_x_ * cells_y_ + 1, 0);
+  std::vector<std::size_t> cell_of_point(points.size());
+  for (std::size_t id = 0; id < points.size(); ++id) {
+    const auto [cx, cy] = cell_of(points[id]);
+    cell_of_point[id] = cy * cells_x_ + cx;
+    ++offsets_[cell_of_point[id] + 1];
+  }
+  for (std::size_t c = 1; c < offsets_.size(); ++c) offsets_[c] += offsets_[c - 1];
+  ids_.resize(points.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t id = 0; id < points.size(); ++id) {
+    ids_[cursor[cell_of_point[id]]++] = id;
+  }
+}
+
+std::pair<std::size_t, std::size_t> SpatialGrid::cell_of(const Point& p) const noexcept {
+  const auto clamp_axis = [this](double v) {
+    if (!(v > 0.0)) return std::size_t{0};
+    const auto c = static_cast<std::size_t>(v / cell_m_);
+    return std::min(c, cells_x_ - 1);
+  };
+  return {clamp_axis(p.x), clamp_axis(p.y)};
+}
+
+}  // namespace trimcaching::wireless

@@ -1,0 +1,66 @@
+// Uniform-grid spatial index over a set of points in the deployment area.
+//
+// Coverage/association queries used to be all-pairs O(M·K): every user
+// scanned every server. At journal-scale deployments (hundreds of servers,
+// thousands of users) that scan dominates topology construction. The grid
+// buckets points into square cells of side `cell_m` (normally the coverage
+// radius), so a disc query only has to visit the 3×3 cell neighbourhood
+// around the query point — O(points per neighbourhood) instead of O(M).
+//
+// The index is value-ordered and deterministic: cells store point ids in
+// ascending order, and `for_candidates_in_disc` visits cells row-major, so
+// callers that sort (or insert in id order per cell, as coverage rebuild
+// does) get identical results to the brute-force scan.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/wireless/geometry.h"
+
+namespace trimcaching::wireless {
+
+class SpatialGrid {
+ public:
+  /// Buckets `points` (ids = indices) into cells of side `cell_m` covering
+  /// `area`. `cell_m` must be positive; points outside the area are clamped
+  /// into the boundary cells.
+  SpatialGrid(const Area& area, double cell_m, const std::vector<Point>& points);
+
+  [[nodiscard]] std::size_t cells_x() const noexcept { return cells_x_; }
+  [[nodiscard]] std::size_t cells_y() const noexcept { return cells_y_; }
+  [[nodiscard]] std::size_t num_points() const noexcept { return point_count_; }
+
+  /// Invokes `fn(id)` for every indexed point whose cell intersects the disc
+  /// of radius `radius_m` around `center`. Candidates only — callers must
+  /// still apply the exact distance test. Ids within one cell arrive in
+  /// ascending order; cells are visited row-major.
+  template <typename Fn>
+  void for_candidates_in_disc(const Point& center, double radius_m, Fn&& fn) const {
+    const auto [cx_lo, cy_lo] = cell_of(Point{center.x - radius_m, center.y - radius_m});
+    const auto [cx_hi, cy_hi] = cell_of(Point{center.x + radius_m, center.y + radius_m});
+    for (std::size_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (std::size_t cx = cx_lo; cx <= cx_hi; ++cx) {
+        const std::size_t cell = cy * cells_x_ + cx;
+        for (std::size_t e = offsets_[cell]; e < offsets_[cell + 1]; ++e) {
+          fn(ids_[e]);
+        }
+      }
+    }
+  }
+
+ private:
+  /// Clamped (cell_x, cell_y) of a point.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> cell_of(const Point& p) const noexcept;
+
+  double cell_m_;
+  std::size_t cells_x_ = 1;
+  std::size_t cells_y_ = 1;
+  std::size_t point_count_ = 0;
+  // CSR layout: cell c owns ids_[offsets_[c], offsets_[c+1]).
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> ids_;
+};
+
+}  // namespace trimcaching::wireless

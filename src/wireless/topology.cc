@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/support/parallel.h"
+#include "src/wireless/spatial_grid.h"
+
 namespace trimcaching::wireless {
 
 void RadioConfig::validate() const {
@@ -38,40 +41,73 @@ void NetworkTopology::rebuild() {
   const std::size_t k_count = user_pos_.size();
   covering_.assign(k_count, {});
   associated_.assign(m_count, {});
-  for (std::size_t k = 0; k < k_count; ++k) {
-    for (std::size_t m = 0; m < m_count; ++m) {
-      if (distance(server_pos_[m], user_pos_[k]) <= radio_.coverage_radius_m) {
-        covering_[k].push_back(static_cast<ServerId>(m));
-        associated_[m].push_back(static_cast<UserId>(k));
-      }
+
+  // Uniform-grid index over the servers (cell = coverage radius): each
+  // user's coverage query visits only the 3x3 cell neighbourhood around its
+  // position, so association is O(K · servers-per-neighbourhood) instead of
+  // the all-pairs O(M · K) scan.
+  const SpatialGrid grid(area_, radio_.coverage_radius_m, server_pos_);
+
+  // Pass 1 — coverage, streamed over users in fixed-size blocks. The blocks
+  // are the sharding granularity: each one fills only its own covering_[k]
+  // slots, so the block fan-out is deterministic for any pool width (and
+  // runs inline when nested under a tile shard).
+  constexpr std::size_t kUserBlock = 4096;
+  const std::size_t num_blocks = (k_count + kUserBlock - 1) / kUserBlock;
+  support::parallel_for(num_blocks, 0, [&](std::size_t b) {
+    const std::size_t block_end = std::min(k_count, (b + 1) * kUserBlock);
+    for (std::size_t k = b * kUserBlock; k < block_end; ++k) {
+      auto& cover = covering_[k];
+      grid.for_candidates_in_disc(
+          user_pos_[k], radio_.coverage_radius_m, [&](std::size_t m) {
+            if (distance(server_pos_[m], user_pos_[k]) <= radio_.coverage_radius_m) {
+              cover.push_back(static_cast<ServerId>(m));
+            }
+          });
+      // Candidates arrive cell-row-major; the per-user list must stay
+      // ascending (is_associated binary-searches it).
+      std::sort(cover.begin(), cover.end());
     }
+  });
+  std::vector<std::size_t> assoc_count(m_count, 0);
+  std::size_t total_links = 0;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    for (const ServerId m : covering_[k]) ++assoc_count[m];
+    total_links += covering_[k].size();
   }
-  avg_rate_.assign(m_count * k_count, 0.0);
-  for (std::size_t m = 0; m < m_count; ++m) {
-    const double bw = per_user_bandwidth_hz(static_cast<ServerId>(m));
-    const double pw = per_user_power_w(static_cast<ServerId>(m));
-    for (const UserId k : associated_[m]) {
-      const double d = distance(server_pos_[m], user_pos_[k]);
-      avg_rate_[m * k_count + k] = shannon_rate(radio_.channel, bw, pw, d);
+  for (std::size_t m = 0; m < m_count; ++m) associated_[m].reserve(assoc_count[m]);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    for (const ServerId m : covering_[k]) {
+      associated_[m].push_back(static_cast<UserId>(k));
     }
   }
 
-  // Flat CSR views consumed by the evaluation engine.
+  // Pass 2 — flat CSR link views consumed by the evaluation engine; this is
+  // also the only rate storage (avg_rate_bps searches these spans).
+  std::vector<double> server_bw(m_count), server_pw(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    server_bw[m] = per_user_bandwidth_hz(static_cast<ServerId>(m));
+    server_pw[m] = per_user_power_w(static_cast<ServerId>(m));
+  }
   covering_offsets_.assign(k_count + 1, 0);
   covering_flat_.clear();
   link_bandwidth_hz_.clear();
   link_mean_snr_.clear();
   link_avg_rate_.clear();
+  covering_flat_.reserve(total_links);
+  link_bandwidth_hz_.reserve(total_links);
+  link_mean_snr_.reserve(total_links);
+  link_avg_rate_.reserve(total_links);
   for (std::size_t k = 0; k < k_count; ++k) {
     for (const ServerId m : covering_[k]) {
-      const double bw = per_user_bandwidth_hz(m);
-      const double pw = per_user_power_w(m);
+      const double bw = server_bw[m];
+      const double pw = server_pw[m];
       const double d = distance(server_pos_[m], user_pos_[k]);
       const double noise = radio_.channel.effective_noise_psd() * bw;
       covering_flat_.push_back(m);
       link_bandwidth_hz_.push_back(bw);
       link_mean_snr_.push_back(bw > 0 ? pw * path_gain(radio_.channel, d) / noise : 0.0);
-      link_avg_rate_.push_back(avg_rate_[static_cast<std::size_t>(m) * k_count + k]);
+      link_avg_rate_.push_back(shannon_rate(radio_.channel, bw, pw, d));
     }
     covering_offsets_[k + 1] = covering_flat_.size();
   }
@@ -99,7 +135,11 @@ double NetworkTopology::avg_rate_bps(ServerId m, UserId k) const {
   if (m >= num_servers() || k >= num_users()) {
     throw std::out_of_range("NetworkTopology::avg_rate_bps");
   }
-  return avg_rate_[static_cast<std::size_t>(m) * num_users() + k];
+  const auto begin = covering_flat_.begin() + covering_offsets_[k];
+  const auto end = covering_flat_.begin() + covering_offsets_[k + 1];
+  const auto it = std::lower_bound(begin, end, m);
+  if (it == end || *it != m) return 0.0;
+  return link_avg_rate_[static_cast<std::size_t>(it - covering_flat_.begin())];
 }
 
 double NetworkTopology::faded_rate_bps(ServerId m, UserId k, double fading_gain) const {

@@ -142,9 +142,11 @@ class NetworkTopology {
 
   std::vector<std::vector<ServerId>> covering_;    // per user
   std::vector<std::vector<UserId>> associated_;    // per server
-  std::vector<double> avg_rate_;                   // dense M x K, 0 if not associated
 
-  // Flat CSR mirrors of covering_ plus per-link channel constants.
+  // Flat CSR mirrors of covering_ plus per-link channel constants. These are
+  // the *only* rate storage: avg_rate_bps(m, k) binary-searches user k's
+  // covering span, so memory stays O(links) instead of a dense M x K matrix
+  // (the scale-out regime has M x K in the tens of millions).
   std::vector<std::size_t> covering_offsets_;      // size K + 1
   std::vector<ServerId> covering_flat_;
   std::vector<double> link_bandwidth_hz_;

@@ -57,7 +57,22 @@ RequestModel RequestModel::generate(std::size_t num_users, std::size_t num_model
   }
   rm.total_mass_ = 0.0;
   for (const double p : rm.probability_) rm.total_mass_ += p;
+
+  rm.requested_offsets_.assign(num_users + 1, 0);
+  rm.requested_flat_.reserve(num_users * interest);
+  for (UserId k = 0; k < num_users; ++k) {
+    for (ModelId i = 0; i < num_models; ++i) {
+      if (rm.probability_[rm.at(k, i)] > 0.0) rm.requested_flat_.push_back(i);
+    }
+    rm.requested_offsets_[k + 1] = rm.requested_flat_.size();
+  }
   return rm;
+}
+
+std::span<const ModelId> RequestModel::requested_models(UserId k) const {
+  if (k >= num_users_) throw std::out_of_range("RequestModel::requested_models");
+  return {requested_flat_.data() + requested_offsets_[k],
+          requested_offsets_[k + 1] - requested_offsets_[k]};
 }
 
 double RequestModel::probability(UserId k, ModelId i) const { return probability_[at(k, i)]; }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/support/ids.h"
@@ -54,6 +55,12 @@ class RequestModel {
   /// Σ_k Σ_i p_{k,i} (the denominator of Eq. 2).
   [[nodiscard]] double total_mass() const noexcept { return total_mass_; }
 
+  /// Models user k requests with p_{k,i} > 0, ascending ids. The sparse
+  /// companion of probability(): with `models_per_user` interest limits the
+  /// span is much shorter than I, so consumers (PlacementProblem hit-list
+  /// construction) avoid the dense K x I scan at 10^3-model libraries.
+  [[nodiscard]] std::span<const ModelId> requested_models(UserId k) const;
+
  private:
   RequestModel() = default;
 
@@ -62,6 +69,10 @@ class RequestModel {
   std::vector<double> probability_;  // dense K x I
   std::vector<double> deadline_;     // dense K x I
   std::vector<double> inference_;    // dense K x I
+  // CSR of the p > 0 support: user k owns
+  // requested_flat_[requested_offsets_[k], requested_offsets_[k+1]).
+  std::vector<std::size_t> requested_offsets_;
+  std::vector<ModelId> requested_flat_;
   double total_mass_ = 0.0;
 
   [[nodiscard]] std::size_t at(UserId k, ModelId i) const;

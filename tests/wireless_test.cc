@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/support/units.h"
 #include "src/wireless/channel.h"
 #include "src/wireless/geometry.h"
+#include "src/wireless/spatial_grid.h"
 #include "src/wireless/topology.h"
 
 namespace trimcaching::wireless {
@@ -204,6 +207,65 @@ TEST(Topology, ValidationErrors) {
   EXPECT_THROW(NetworkTopology(Area{100.0}, radio, servers, users,
                                {support::gigabytes(1)}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- SpatialGrid
+
+TEST(SpatialGrid, DiscQueryCandidatesCoverBruteForce) {
+  Area area{1000.0};
+  Rng rng(21);
+  const auto points = uniform_points(area, 300, rng);
+  const SpatialGrid grid(area, 150.0, points);
+  for (std::size_t q = 0; q < 40; ++q) {
+    const Point center{rng.uniform(0.0, area.side_m), rng.uniform(0.0, area.side_m)};
+    const double radius = rng.uniform(10.0, 400.0);
+    std::vector<std::size_t> via_grid;
+    grid.for_candidates_in_disc(center, radius, [&](std::size_t id) {
+      if (distance(points[id], center) <= radius) via_grid.push_back(id);
+    });
+    std::sort(via_grid.begin(), via_grid.end());
+    std::vector<std::size_t> brute;
+    for (std::size_t id = 0; id < points.size(); ++id) {
+      if (distance(points[id], center) <= radius) brute.push_back(id);
+    }
+    EXPECT_EQ(via_grid, brute);
+  }
+}
+
+TEST(Topology, GridCoverageMatchesBruteForceAllPairs) {
+  // The grid-indexed rebuild must reproduce the all-pairs coverage scan
+  // exactly: same covering sets, association, and CSR rates.
+  Area area{2000.0};
+  RadioConfig radio;
+  Rng rng(22);
+  const auto topology =
+      sample_topology(area, radio, 60, 250, support::gigabytes(1.0), rng);
+  for (UserId k = 0; k < topology.num_users(); ++k) {
+    std::vector<ServerId> brute;
+    for (ServerId m = 0; m < topology.num_servers(); ++m) {
+      if (distance(topology.server_position(m), topology.user_position(k)) <=
+          radio.coverage_radius_m) {
+        brute.push_back(m);
+      }
+    }
+    EXPECT_EQ(topology.servers_covering(k), brute) << "user " << k;
+    for (ServerId m = 0; m < topology.num_servers(); ++m) {
+      const bool covered = std::binary_search(brute.begin(), brute.end(), m);
+      EXPECT_EQ(topology.is_associated(m, k), covered);
+      EXPECT_EQ(topology.avg_rate_bps(m, k) > 0, covered);
+    }
+  }
+  // CSR views stay consistent with the per-user covering lists.
+  const auto& offsets = topology.covering_offsets();
+  for (UserId k = 0; k < topology.num_users(); ++k) {
+    const auto& cover = topology.servers_covering(k);
+    ASSERT_EQ(offsets[k + 1] - offsets[k], cover.size());
+    for (std::size_t e = 0; e < cover.size(); ++e) {
+      EXPECT_EQ(topology.covering_flat()[offsets[k] + e], cover[e]);
+      EXPECT_DOUBLE_EQ(topology.link_avg_rate_bps()[offsets[k] + e],
+                       topology.avg_rate_bps(cover[e], k));
+    }
+  }
 }
 
 TEST(Topology, SampleTopologyShapes) {

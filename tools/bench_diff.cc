@@ -1,0 +1,180 @@
+// Perf-trajectory tracker: diffs two BENCH_*.json files (bench/bench_json.h
+// schema) and exits nonzero when any kernel regressed by more than the
+// threshold.
+//
+//   bench_diff base=bench/baselines/BENCH_scale_baseline.json new=build/BENCH_scale.json
+//   bench_diff base=old.json new=new.json threshold_pct=15 allow_missing=1
+//
+// Keys:
+//   base            baseline JSON (required)
+//   new             candidate JSON (required)
+//   threshold_pct   max allowed wall_seconds growth per benchmark (15)
+//   allow_missing   1 = benchmarks present on only one side just warn (1);
+//                   0 = a benchmark missing from `new` is a failure
+//   min_wall_s      skip benchmarks whose baseline wall time is below this
+//                   floor (0 = compare everything): sub-millisecond kernels
+//                   shift by tens of percent on scheduler noise alone and
+//                   would make the gate flap
+//   metric          wall (default) compares absolute wall_seconds — only
+//                   meaningful between runs on the same machine; speedup
+//                   compares the within-run speedup_vs_serial ratio, which
+//                   is hardware-independent (a regression in the measured
+//                   kernel lowers the ratio on any machine), and fails when
+//                   the ratio *drops* by more than threshold_pct
+//
+// Matching is by benchmark name; the comparison metric is wall_seconds.
+// Cross-machine caveat: absolute wall-clock only compares like with like —
+// regenerate the committed baseline when the reference hardware changes
+// (the CI job pins one runner class for exactly this reason).
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/options.h"
+
+namespace {
+
+struct BenchEntry {
+  double wall_seconds = 0.0;
+  double speedup_vs_serial = 0.0;
+  std::size_t threads = 1;
+};
+
+/// Minimal parser for the fixed bench_json.h layout: scans "name" /
+/// "wall_seconds" / "threads" / "speedup_vs_serial" key-value pairs inside
+/// the benchmarks array. Not a general JSON parser — it only needs to read
+/// what write_bench_json() emits.
+std::map<std::string, BenchEntry> read_bench_json(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("bench_diff: cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  std::map<std::string, BenchEntry> out;
+  std::size_t pos = 0;
+  const auto find_number = [&text](std::size_t from, const std::string& key,
+                                   std::size_t limit) -> std::optional<double> {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos || at >= limit) return std::nullopt;
+    return std::stod(text.substr(at + needle.size()));
+  };
+  while ((pos = text.find("{\"name\": \"", pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + 10;
+    const std::size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    const std::size_t record_end = text.find('}', name_end);
+    const std::string name = text.substr(name_begin, name_end - name_begin);
+    BenchEntry entry;
+    if (const auto wall = find_number(name_end, "wall_seconds", record_end)) {
+      entry.wall_seconds = *wall;
+    }
+    if (const auto threads = find_number(name_end, "threads", record_end)) {
+      entry.threads = static_cast<std::size_t>(*threads);
+    }
+    if (const auto speedup = find_number(name_end, "speedup_vs_serial", record_end)) {
+      entry.speedup_vs_serial = *speedup;
+    }
+    out[name] = entry;
+    pos = record_end == std::string::npos ? name_end : record_end;
+  }
+  if (out.empty()) {
+    throw std::runtime_error("bench_diff: no benchmark records in " + path);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto options = trimcaching::support::Options::parse(argc, argv);
+    options.check_unknown(
+        {"base", "new", "threshold_pct", "allow_missing", "min_wall_s", "metric"});
+    const std::string base_path = options.get_string("base", "");
+    const std::string new_path = options.get_string("new", "");
+    if (base_path.empty() || new_path.empty()) {
+      throw std::invalid_argument(
+          "usage: bench_diff base=<baseline.json> new=<candidate.json> "
+          "[threshold_pct=15] [allow_missing=1]");
+    }
+    const double threshold_pct = options.get_double("threshold_pct", 15.0);
+    const bool allow_missing = options.get_bool("allow_missing", true);
+    const double min_wall_s = options.get_double("min_wall_s", 0.0);
+    const std::string metric = options.get_string("metric", "wall");
+    if (metric != "wall" && metric != "speedup") {
+      throw std::invalid_argument("bench_diff: metric must be wall|speedup, got '" +
+                                  metric + "'");
+    }
+
+    const auto base = read_bench_json(base_path);
+    const auto fresh = read_bench_json(new_path);
+
+    std::size_t regressions = 0;
+    std::size_t missing = 0;
+    for (const auto& [name, entry] : base) {
+      const auto it = fresh.find(name);
+      if (it == fresh.end()) {
+        std::cout << "MISSING  " << name << " (present in baseline only)\n";
+        ++missing;
+        continue;
+      }
+      if (entry.wall_seconds < min_wall_s) {
+        std::cout << "skip     " << name << "  (baseline " << entry.wall_seconds
+                  << "s below min_wall_s)\n";
+        continue;
+      }
+      double before = entry.wall_seconds;
+      double after = it->second.wall_seconds;
+      double delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
+      const char* unit = "s";
+      if (metric == "speedup") {
+        // Ratio gate: regression = the within-run speedup *dropped*.
+        // Records without a serial comparison (speedup 0) have no ratio to
+        // compare and are skipped.
+        if (entry.speedup_vs_serial <= 0) {
+          std::cout << "skip     " << name << "  (no baseline speedup ratio)\n";
+          continue;
+        }
+        before = entry.speedup_vs_serial;
+        after = it->second.speedup_vs_serial;
+        delta_pct = (before - after) / before * 100.0;
+        unit = "x";
+      }
+      const bool regressed = delta_pct > threshold_pct;
+      std::cout << (regressed ? "REGRESS  " : "ok       ") << name << "  " << before
+                << unit << " -> " << after << unit << "  ("
+                << (delta_pct >= 0 ? "+" : "") << delta_pct << "%"
+                << (metric == "speedup" ? " drop" : "") << ")\n";
+      if (regressed) ++regressions;
+    }
+    for (const auto& [name, entry] : fresh) {
+      (void)entry;
+      if (base.find(name) == base.end()) {
+        std::cout << "NEW      " << name << " (no baseline yet)\n";
+      }
+    }
+
+    if (regressions > 0) {
+      std::cerr << "bench_diff: " << regressions << " benchmark(s) regressed more than "
+                << threshold_pct << "%\n";
+      return 1;
+    }
+    if (missing > 0 && !allow_missing) {
+      std::cerr << "bench_diff: " << missing
+                << " baseline benchmark(s) missing from the candidate\n";
+      return 1;
+    }
+    std::cout << "bench_diff: no regressions above " << threshold_pct << "%\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

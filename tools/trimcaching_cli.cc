@@ -22,10 +22,19 @@
 //   time_budget_s        per-solver deadline in seconds, 0 = none (0)
 //   seed                 RNG seed                    (1)
 //   fading               fading realizations, 0=off  (300)
-//   threads              evaluation threads, >=1, capped at hardware
-//                        concurrency (default: hardware concurrency)
+//   threads              evaluation/tile-solve threads, >=1, capped at
+//                        hardware concurrency (default: hardware
+//                        concurrency); solver inner loops take their own
+//                        threads option, e.g. algo=gen:threads=8
 //   arrivals             per-user req/s for the DES replay, 0=off (0)
+//   tiles                solve through ScenarioTiler on an NxN spatial
+//                        grid, 0 = untiled (0); servers stay tile-disjoint,
+//                        boundary users ride along in halo tiles, hit
+//                        ratios are always the global Eq. 2 value
+//   tile_halo_m          halo margin in meters for boundary users;
+//                        negative = the radio coverage radius (-1)
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "src/core/solver_registry.h"
@@ -34,6 +43,7 @@
 #include "src/sim/event_sim.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
+#include "src/sim/tiler.h"
 #include "src/support/options.h"
 #include "src/support/parallel.h"
 
@@ -102,7 +112,7 @@ int main(int argc, char** argv) {
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
                            "models", "requested", "zipf", "algo", "local_search",
                            "time_budget_s", "seed", "fading", "threads", "arrivals",
-                           "save_library", "save_placement"});
+                           "save_library", "save_placement", "tiles", "tile_halo_m"});
 
     const auto& registry = core::SolverRegistry::instance();
     const std::string algo = options.get_string("algo", "all");
@@ -154,7 +164,6 @@ int main(int argc, char** argv) {
 
     support::Rng rng(options.get_size("seed", 1));
     const sim::Scenario scenario = sim::build_scenario(config, rng);
-    const core::PlacementProblem problem = scenario.problem();
     const auto lib_stats = scenario.library.stats();
     std::cout << "scenario: M=" << config.num_servers << " K=" << config.num_users
               << " I=" << scenario.library.num_models() << " ("
@@ -183,13 +192,44 @@ int main(int argc, char** argv) {
     // reused across solvers.
     const sim::Evaluator evaluator(scenario.topology, scenario.library,
                                    scenario.requests);
+
+    // Optional spatial tiling: servers partition onto an NxN grid, tiles
+    // solve concurrently, and the stitched placement is scored globally.
+    // The monolithic full-scenario problem is only built on the untiled
+    // path — skipping it is exactly the construction cost tiling avoids.
+    const std::size_t tiles = options.get_size("tiles", 0);
+    std::unique_ptr<sim::ScenarioTiler> tiler;
+    std::optional<core::PlacementProblem> problem;
+    if (tiles > 0) {
+      sim::TilerConfig tiler_config;
+      tiler_config.tiles_x = tiles;
+      tiler_config.tiles_y = tiles;
+      tiler_config.halo_m = options.get_double("tile_halo_m", -1.0);
+      tiler_config.threads = threads;
+      tiler = std::make_unique<sim::ScenarioTiler>(scenario, tiler_config);
+      std::cout << "tiling: " << tiler->tiles_x() << "x" << tiler->tiles_y()
+                << " grid, " << tiler->halo_memberships()
+                << " halo user memberships\n\n";
+    } else {
+      problem.emplace(scenario.topology, scenario.library, scenario.requests);
+    }
     for (std::size_t s = 0; s < solvers.size(); ++s) {
       core::SolverContext context(rng.fork(3000 + s));
       if (time_budget > 0) context.set_deadline_after(time_budget);
       context.trace = [](std::string_view event) {
         std::cout << "  [solver] " << event << "\n";
       };
-      const auto outcome = solvers[s]->run(problem, context);
+      core::SolverOutcome outcome = [&] {
+        if (!tiler) return solvers[s]->run(*problem, context);
+        sim::TiledSolveResult tiled =
+            tiler->solve(specs[s], context.rng().seed(), SIZE_MAX, time_budget);
+        core::SolverOutcome from_tiles(std::move(tiled.placement));
+        from_tiles.hit_ratio = tiled.hit_ratio;
+        from_tiles.wall_seconds = tiled.wall_seconds;
+        from_tiles.gain_evaluations = tiled.gain_evaluations;
+        from_tiles.iterations = tiled.iterations;
+        return from_tiles;
+      }();
       if (s == save_index && options.has("save_placement")) {
         const std::string path = options.get_string("save_placement", "");
         io::write_placement(path, outcome.placement);
