@@ -11,18 +11,30 @@
 //     "hardware_threads": 8,
 //     "benchmarks": [
 //       {"name": "...", "wall_seconds": 0.012, "throughput": 83.3,
-//        "threads": 8, "speedup_vs_serial": 3.9},
+//        "threads": 8, "speedup_vs_serial": 3.9, "hit_ratio": 0.62,
+//        "duplication_factor": 1.1},
 //       ...
 //     ]
 //   }
 //
-// `throughput` is items/second (benchmark-defined; 0 when not meaningful)
-// and `speedup_vs_serial` is emitted only when positive.
+// `throughput` is items/second (benchmark-defined; 0 when not meaningful);
+// `speedup_vs_serial` is emitted only when positive; `hit_ratio` (global
+// Eq. 2 value) and `duplication_factor` (placements per distinct cached
+// model, fig8_scale's cross-tile duplication metric) only when recorded
+// (>= 0).
+//
+// The key set is LOCKED: read_bench_json() below is the one parser every
+// consumer (tools/bench_diff, tests/bench_schema_test) goes through, and it
+// throws on records missing the required keys — baseline diffs fail loudly
+// on schema drift instead of silently comparing absent fields.
 #pragma once
 
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -36,6 +48,8 @@ struct JsonRecord {
   double throughput = 0.0;       ///< items per second; 0 = not meaningful
   std::size_t threads = 1;       ///< thread count the measurement used
   double speedup_vs_serial = 0;  ///< > 0 only when a serial baseline was timed
+  double hit_ratio = -1.0;       ///< global Eq. 2 value; < 0 = not recorded
+  double duplication_factor = -1.0;  ///< placements per distinct model; < 0 = n/a
 };
 
 /// Git revision baked in at configure time (CMake), "unknown" otherwise.
@@ -78,6 +92,10 @@ inline void write_bench_json(const std::string& path,
     if (r.speedup_vs_serial > 0) {
       out << ", \"speedup_vs_serial\": " << r.speedup_vs_serial;
     }
+    if (r.hit_ratio >= 0) out << ", \"hit_ratio\": " << r.hit_ratio;
+    if (r.duplication_factor >= 0) {
+      out << ", \"duplication_factor\": " << r.duplication_factor;
+    }
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -87,6 +105,76 @@ inline void write_bench_json(const std::string& path,
     return;
   }
   std::cout << "[written " << path << "]\n";
+}
+
+/// Parses a write_bench_json() document back into records keyed by name.
+/// Minimal scanner for the fixed layout above, not a general JSON parser.
+/// Strict about the locked schema: the document must declare "schema": 1 and
+/// every record must carry the required keys (name, wall_seconds,
+/// throughput, threads) — anything missing throws std::runtime_error, so
+/// baseline diffs fail loudly on schema drift. Optional keys
+/// (speedup_vs_serial, hit_ratio, duplication_factor) keep their
+/// "not recorded" defaults when absent.
+inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("read_bench_json: cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+
+  const auto find_number = [&text](std::size_t from, const std::string& key,
+                                   std::size_t limit) -> std::optional<double> {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle, from);
+    if (at == std::string::npos || at >= limit) return std::nullopt;
+    return std::stod(text.substr(at + needle.size()));
+  };
+
+  const auto schema = find_number(0, "schema", text.size());
+  if (!schema || *schema != 1) {
+    throw std::runtime_error("read_bench_json: " + path +
+                             " does not declare \"schema\": 1 (schema drift?)");
+  }
+
+  std::map<std::string, JsonRecord> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("{\"name\": \"", pos)) != std::string::npos) {
+    const std::size_t name_begin = pos + 10;
+    const std::size_t name_end = text.find('"', name_begin);
+    if (name_end == std::string::npos) break;
+    const std::size_t record_end = text.find('}', name_end);
+    const std::size_t limit =
+        record_end == std::string::npos ? text.size() : record_end;
+    JsonRecord record;
+    record.name = text.substr(name_begin, name_end - name_begin);
+    const auto required = [&](const std::string& key) -> double {
+      const auto value = find_number(name_end, key, limit);
+      if (!value) {
+        throw std::runtime_error("read_bench_json: record '" + record.name +
+                                 "' in " + path + " is missing required key '" +
+                                 key + "' (schema drift?)");
+      }
+      return *value;
+    };
+    record.wall_seconds = required("wall_seconds");
+    record.throughput = required("throughput");
+    record.threads = static_cast<std::size_t>(required("threads"));
+    if (const auto speedup = find_number(name_end, "speedup_vs_serial", limit)) {
+      record.speedup_vs_serial = *speedup;
+    }
+    if (const auto hit = find_number(name_end, "hit_ratio", limit)) {
+      record.hit_ratio = *hit;
+    }
+    if (const auto dup = find_number(name_end, "duplication_factor", limit)) {
+      record.duplication_factor = *dup;
+    }
+    out[record.name] = record;
+    pos = record_end == std::string::npos ? name_end : record_end;
+  }
+  if (out.empty()) {
+    throw std::runtime_error("read_bench_json: no benchmark records in " + path);
+  }
+  return out;
 }
 
 }  // namespace trimcaching::bench

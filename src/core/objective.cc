@@ -24,15 +24,25 @@ CountedCoverage::CountedCoverage(const PlacementProblem& problem)
 void CountedCoverage::add(ServerId m, ModelId i) {
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
     auto& count =
-        counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+        counts_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user];
     if (count++ == 0) hit_mass_ += entry.mass;
+  }
+}
+
+void CountedCoverage::add_placement(const PlacementSolution& placement) {
+  if (placement.num_servers() != problem_->num_servers() ||
+      placement.num_models() != problem_->num_models()) {
+    throw std::invalid_argument("CountedCoverage::add_placement: dimension mismatch");
+  }
+  for (ServerId m = 0; m < problem_->num_servers(); ++m) {
+    for (const ModelId i : placement.models_on(m)) add(m, i);
   }
 }
 
 void CountedCoverage::remove(ServerId m, ModelId i) {
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
     auto& count =
-        counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+        counts_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user];
     if (count <= 0) throw std::logic_error("CountedCoverage::remove: not added");
     if (--count == 0) hit_mass_ -= entry.mass;
   }
@@ -41,7 +51,7 @@ void CountedCoverage::remove(ServerId m, ModelId i) {
 double CountedCoverage::marginal_mass(ServerId m, ModelId i) const {
   double gain = 0.0;
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
-    if (counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i] ==
+    if (counts_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user] ==
         0) {
       gain += entry.mass;
     }
@@ -52,7 +62,7 @@ double CountedCoverage::marginal_mass(ServerId m, ModelId i) const {
 double CountedCoverage::removal_loss(ServerId m, ModelId i) const {
   double loss = 0.0;
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
-    if (counts_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i] ==
+    if (counts_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user] ==
         1) {
       loss += entry.mass;
     }
@@ -64,7 +74,7 @@ bool CountedCoverage::covered(UserId k, ModelId i) const {
   if (k >= problem_->num_users() || i >= problem_->num_models()) {
     throw std::out_of_range("CountedCoverage::covered");
   }
-  return counts_[static_cast<std::size_t>(k) * problem_->num_models() + i] > 0;
+  return counts_[static_cast<std::size_t>(i) * problem_->num_users() + k] > 0;
 }
 
 double CountedCoverage::hit_ratio() const {
@@ -79,7 +89,7 @@ CoverageState::CoverageState(const PlacementProblem& problem)
 double CoverageState::marginal_mass(ServerId m, ModelId i) const {
   double gain = 0.0;
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
-    if (!covered_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i]) {
+    if (!covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user]) {
       gain += entry.mass;
     }
   }
@@ -94,7 +104,7 @@ double CoverageState::marginal_gain(ServerId m, ModelId i) const {
 void CoverageState::add(ServerId m, ModelId i) {
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
     char& flag =
-        covered_[static_cast<std::size_t>(entry.user) * problem_->num_models() + i];
+        covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user];
     if (!flag) {
       flag = 1;
       hit_mass_ += entry.mass;
@@ -106,7 +116,7 @@ bool CoverageState::covered(UserId k, ModelId i) const {
   if (k >= problem_->num_users() || i >= problem_->num_models()) {
     throw std::out_of_range("CoverageState::covered");
   }
-  return covered_[static_cast<std::size_t>(k) * problem_->num_models() + i] != 0;
+  return covered_[static_cast<std::size_t>(i) * problem_->num_users() + k] != 0;
 }
 
 double CoverageState::hit_ratio() const {

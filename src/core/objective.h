@@ -9,8 +9,13 @@
 // bookkeeping in the successive greedy decomposition (Eq. 11).
 #pragma once
 
+#include <stdexcept>
+#include <vector>
+
 #include "src/core/placement.h"
 #include "src/core/problem.h"
+#include "src/core/storage.h"
+#include "src/support/parallel.h"
 
 namespace trimcaching::core {
 
@@ -29,6 +34,10 @@ class CountedCoverage {
   /// Registers placement x_{m,i} = 1, incrementing cover counts.
   void add(ServerId m, ModelId i);
 
+  /// Registers every placement of `placement` (the fixed partial placement a
+  /// repair pass or incremental gain sweep starts from).
+  void add_placement(const PlacementSolution& placement);
+
   /// Unregisters a previously-added placement; counts must not go negative.
   void remove(ServerId m, ModelId i);
 
@@ -44,7 +53,9 @@ class CountedCoverage {
 
  private:
   const PlacementProblem* problem_;
-  std::vector<std::int32_t> counts_;  // dense K x I
+  /// Dense I x K, model-major: every hit-list pass walks one contiguous
+  /// user row instead of striding by I through the whole array.
+  std::vector<std::int32_t> counts_;
   double hit_mass_ = 0.0;
 };
 
@@ -69,8 +80,46 @@ class CoverageState {
 
  private:
   const PlacementProblem* problem_;
-  std::vector<char> covered_;  // dense K x I
+  std::vector<char> covered_;  // dense I x K, model-major (see CountedCoverage)
   double hit_mass_ = 0.0;
 };
+
+/// Sentinel gain of a candidate the batched sweep skipped (already placed,
+/// or does not fit the server's remaining dedup capacity).
+inline constexpr double kSkippedCandidate = -1.0;
+
+/// Batched incremental per-server gain deltas against a fixed partial
+/// placement: for position p in `servers` and every model i, writes
+/// gains[p * I + i] = marginal hit mass of adding (servers[p], i) to
+/// `coverage`, or kSkippedCandidate when the pair is already placed or does
+/// not fit storage[p]. Sharding is per server — shard p writes only its own
+/// row — so results are bit-identical for every thread count; consumers run
+/// their selection as an ordered serial reduction over the filled array
+/// (trimcaching_gen's naive driver; core::greedy_refill's heap build uses
+/// the same shape with its own skip rules). `Coverage` is CoverageState or
+/// CountedCoverage (both expose marginal_mass).
+template <typename Coverage>
+void batched_marginal_masses(const PlacementProblem& problem, const Coverage& coverage,
+                             const PlacementSolution& placement,
+                             const std::vector<ServerStorage>& storage,
+                             const std::vector<ServerId>& servers,
+                             std::size_t threads, std::vector<double>& gains) {
+  if (storage.size() != servers.size()) {
+    throw std::invalid_argument(
+        "batched_marginal_masses: storage/servers size mismatch");
+  }
+  const std::size_t num_models = problem.num_models();
+  // resize, not assign: the loop below writes every slot unconditionally,
+  // and per-round callers (run_naive) reuse the vector.
+  gains.resize(servers.size() * num_models);
+  support::parallel_for(servers.size(), threads, [&](std::size_t p) {
+    const ServerId m = servers[p];
+    for (ModelId i = 0; i < num_models; ++i) {
+      gains[p * num_models + i] = placement.placed(m, i) || !storage[p].fits(i)
+                                      ? kSkippedCandidate
+                                      : coverage.marginal_mass(m, i);
+    }
+  });
+}
 
 }  // namespace trimcaching::core

@@ -1,5 +1,6 @@
 #include "src/core/placement.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace trimcaching::core {
@@ -27,6 +28,20 @@ void PlacementSolution::place(ServerId m, ModelId i) {
   ++count_;
 }
 
+void PlacementSolution::remove(ServerId m, ModelId i) {
+  if (m >= num_servers_ || i >= num_models_) {
+    throw std::out_of_range("PlacementSolution::remove");
+  }
+  char& cell = placed_[static_cast<std::size_t>(m) * num_models_ + i];
+  if (!cell) throw std::logic_error("PlacementSolution::remove: not placed");
+  cell = 0;
+  auto& models = per_server_[m];
+  models.erase(std::find(models.begin(), models.end(), i));
+  auto& holders = per_model_[i];
+  holders.erase(std::find(holders.begin(), holders.end(), m));
+  --count_;
+}
+
 bool PlacementSolution::placed(ServerId m, ModelId i) const {
   if (m >= num_servers_ || i >= num_models_) {
     throw std::out_of_range("PlacementSolution::placed");
@@ -42,6 +57,21 @@ const std::vector<ModelId>& PlacementSolution::models_on(ServerId m) const {
 const std::vector<ServerId>& PlacementSolution::holders_of(ModelId i) const {
   if (i >= num_models_) throw std::out_of_range("PlacementSolution::holders_of");
   return per_model_[i];
+}
+
+std::size_t PlacementSolution::distinct_models_placed() const noexcept {
+  std::size_t distinct = 0;
+  for (const auto& holders : per_model_) {
+    if (!holders.empty()) ++distinct;
+  }
+  return distinct;
+}
+
+double duplication_factor(const PlacementSolution& placement) {
+  const std::size_t distinct = placement.distinct_models_placed();
+  if (distinct == 0) return 1.0;
+  return static_cast<double>(placement.total_placements()) /
+         static_cast<double>(distinct);
 }
 
 }  // namespace trimcaching::core

@@ -18,6 +18,10 @@ class PlacementSolution {
   /// Sets x_{m,i} = 1. Idempotent.
   void place(ServerId m, ModelId i);
 
+  /// Clears x_{m,i} = 1 (repair-pass evictions). Throws std::logic_error if
+  /// the pair is not currently placed.
+  void remove(ServerId m, ModelId i);
+
   [[nodiscard]] bool placed(ServerId m, ModelId i) const;
 
   /// Models cached on server m, in placement order (no duplicates).
@@ -29,6 +33,9 @@ class PlacementSolution {
   /// Total number of (m, i) placements (the paper's |X|).
   [[nodiscard]] std::size_t total_placements() const noexcept { return count_; }
 
+  /// Number of models cached on at least one server.
+  [[nodiscard]] std::size_t distinct_models_placed() const noexcept;
+
  private:
   std::size_t num_servers_;
   std::size_t num_models_;
@@ -37,5 +44,11 @@ class PlacementSolution {
   std::vector<std::vector<ServerId>> per_model_;  // holders per model
   std::size_t count_ = 0;
 };
+
+/// Placement duplication factor: total placements divided by distinct placed
+/// models — 1.0 means every cached model has exactly one copy; the cross-tile
+/// coordination loss of stitched tilings shows up as values well above 1.
+/// Empty placements report 1.0.
+[[nodiscard]] double duplication_factor(const PlacementSolution& placement);
 
 }  // namespace trimcaching::core

@@ -170,6 +170,18 @@ bool PlacementProblem::eligible(ServerId m, UserId k, ModelId i) const {
   return latency <= budget;
 }
 
+std::span<const double> PlacementProblem::inverse_effective_rates(ServerId m) const {
+  if (m >= num_servers_) {
+    throw std::out_of_range("PlacementProblem::inverse_effective_rates");
+  }
+  return {inv_eff_.data() + static_cast<std::size_t>(m) * num_users_, num_users_};
+}
+
+std::span<const char> PlacementProblem::associations(ServerId m) const {
+  if (m >= num_servers_) throw std::out_of_range("PlacementProblem::associations");
+  return {assoc_.data() + static_cast<std::size_t>(m) * num_users_, num_users_};
+}
+
 std::span<const HitEntry> PlacementProblem::hit_list(ServerId m, ModelId i) const {
   if (m >= num_servers_ || i >= num_models_) {
     throw std::out_of_range("PlacementProblem::hit_list");

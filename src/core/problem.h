@@ -91,6 +91,19 @@ class PlacementProblem {
   /// I1(m,k,i): can server m serve user k's request for model i in time?
   [[nodiscard]] bool eligible(ServerId m, UserId k, ModelId i) const;
 
+  /// Low-level flat link views for batched eligibility sweeps
+  /// (core::greedy_refill's inverted gain build): row m holds, per
+  /// view-local user k, 1/C̄ of the delivery path — direct when
+  /// associations(m)[k] is set, user k's best covering relay otherwise,
+  /// +inf when no positive-rate path exists. Latency of payload D is then
+  /// bits(D) · inv (direct) or bits(D) / backhaul_bps() + bits(D) · inv
+  /// (relayed), matching eligible() bit for bit.
+  [[nodiscard]] std::span<const double> inverse_effective_rates(ServerId m) const;
+  [[nodiscard]] std::span<const char> associations(ServerId m) const;
+  /// bits(D_i) of model i's payload.
+  [[nodiscard]] double payload_bits(ModelId i) const { return payload_bits_.at(i); }
+  [[nodiscard]] double backhaul_bps() const noexcept { return backhaul_bps_; }
+
   /// Users servable by placing model i on server m, with their request mass.
   [[nodiscard]] std::span<const HitEntry> hit_list(ServerId m, ModelId i) const;
 

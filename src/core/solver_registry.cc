@@ -3,10 +3,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include <numeric>
+
 #include "src/core/baselines.h"
 #include "src/core/exact_solver.h"
 #include "src/core/independent_caching.h"
 #include "src/core/local_search.h"
+#include "src/core/objective.h"
+#include "src/core/storage.h"
+#include "src/core/submodular.h"
 #include "src/core/trimcaching_gen.h"
 #include "src/core/trimcaching_spec.h"
 
@@ -151,6 +156,58 @@ class LocalSearchSolver final : public Solver {
 
  private:
   LocalSearchConfig config_;
+};
+
+/// Global dedup + marginal-gain reallocation (core::repair_placement) as a
+/// composable refiner: "gen+repair" evicts copies whose global marginal gain
+/// is zero and refills the freed capacity against the global objective. As a
+/// standalone base it greedy-fills every server from scratch through the
+/// same refill machinery (a CountedCoverage twin of gen_naive). With no tile
+/// structure available here, every server is its own dedup group.
+class RepairSolver final : public Solver {
+ public:
+  explicit RepairSolver(RepairPassConfig config) : config_(config) {}
+
+  std::string name() const override { return "repair"; }
+  std::string title() const override { return "Dedup Repair"; }
+  bool can_refine() const override { return true; }
+
+  SolverOutcome solve(const PlacementProblem& problem,
+                      SolverContext& /*context*/) const override {
+    PlacementSolution placement(problem.num_servers(), problem.num_models());
+    CountedCoverage coverage(problem);
+    std::vector<ServerId> servers(problem.num_servers());
+    std::iota(servers.begin(), servers.end(), ServerId{0});
+    std::vector<ServerStorage> storage;
+    storage.reserve(servers.size());
+    for (const ServerId m : servers) {
+      storage.emplace_back(problem.library(), problem.capacity(m));
+    }
+    const RefillStats stats =
+        greedy_refill(problem, coverage, storage, servers, placement,
+                      RefillConfig{config_.threads, config_.gain_tolerance});
+    SolverOutcome outcome(std::move(placement));
+    outcome.hit_ratio = coverage.hit_ratio();
+    outcome.gain_evaluations = stats.gain_evaluations;
+    outcome.iterations = stats.additions;
+    return outcome;
+  }
+
+  SolverOutcome refine(const PlacementProblem& problem,
+                       const PlacementSolution& initial,
+                       SolverContext& /*context*/) const override {
+    PlacementSolution repaired = initial;
+    const RepairPassStats stats =
+        repair_placement(problem, repaired, /*server_group=*/{}, config_);
+    SolverOutcome outcome(std::move(repaired));
+    outcome.hit_ratio = stats.hit_ratio;
+    outcome.gain_evaluations = stats.gain_evaluations;
+    outcome.iterations = stats.duplicates_evicted + stats.models_added;
+    return outcome;
+  }
+
+ private:
+  RepairPassConfig config_;
 };
 
 /// base+refiner(s): runs the base, then each refiner on the best placement
@@ -311,6 +368,20 @@ void register_builtins(SolverRegistry& registry) {
       [](const support::Options& options) -> std::unique_ptr<Solver> {
         options.check_unknown({});
         return std::make_unique<RandomSolver>();
+      });
+  registry.add(
+      "repair",
+      "Global dedup + marginal-gain reallocation: evicts duplicate copies "
+      "with zero global gain, refills freed capacity; composable as "
+      "'<base>+repair' or standalone greedy fill; options threads (0=auto; "
+      "bit-identical at any count), tol",
+      [](const support::Options& options) -> std::unique_ptr<Solver> {
+        options.check_unknown({"threads", "tol"});
+        RepairPassConfig config;
+        config.threads = options.get_size("threads", config.threads);
+        config.eviction_tolerance =
+            options.get_double("tol", config.eviction_tolerance);
+        return std::make_unique<RepairSolver>(config);
       });
   registry.add(
       "ls",

@@ -11,8 +11,8 @@
 // Unknown names and unknown option keys throw std::invalid_argument; the
 // unknown-name message lists every registered solver so CLI typos are
 // self-diagnosing. Built-in solvers (spec, gen, gen_naive, independent,
-// exact, top_pop, random, ls) are registered on first use of instance();
-// extensions call instance().add(...) at startup.
+// exact, top_pop, random, ls, repair) are registered on first use of
+// instance(); extensions call instance().add(...) at startup.
 #pragma once
 
 #include <functional>

@@ -1,18 +1,122 @@
-// Randomized set-function property probes.
+// Submodular gain machinery and randomized set-function property probes.
 //
-// Used by the property-based test suite to validate Proposition 1 (U is
-// monotone submodular; every g_m is submodular) and the supermodularity of
-// the transformed objective U(Y) on concrete instances: for random chains
-// S ⊆ T and elements x ∉ T, check the defining marginal inequalities.
+// Two halves:
+//
+//  * Incremental gain sweeps over a fixed partial placement —
+//    greedy_refill() (lazy-greedy additions restricted to an explicit server
+//    subset, batched across threads, bit-identical for any count) and
+//    repair_placement() (global dedup of cross-group duplicate copies
+//    followed by a refill of the freed capacity). These close the tiler's
+//    approximation gap: per-tile greedy re-caches popular models on both
+//    sides of a halo, and the repair pass evicts the copies whose *global*
+//    marginal value is zero, then reallocates the freed bytes against the
+//    global objective.
+//
+//  * Property probes used by the property-based test suite to validate
+//    Proposition 1 (U is monotone submodular; every g_m is submodular) and
+//    the supermodularity of the transformed objective U(Y) on concrete
+//    instances: for random chains S ⊆ T and elements x ∉ T, check the
+//    defining marginal inequalities.
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
+#include "src/core/objective.h"
+#include "src/core/placement.h"
+#include "src/core/problem.h"
+#include "src/core/storage.h"
 #include "src/support/bitset.h"
 #include "src/support/rng.h"
 
 namespace trimcaching::core {
+
+// ----------------------------------------------------- incremental gain sweeps
+
+struct RefillConfig {
+  /// Threads for the batched per-round gain sweep (0 = hardware concurrency,
+  /// 1 = serial). Bit-identical results for every value.
+  std::size_t threads = 1;
+  /// Marginal hit masses at or below this are treated as zero.
+  double gain_tolerance = 1e-15;
+};
+
+struct RefillStats {
+  std::size_t additions = 0;
+  std::size_t gain_evaluations = 0;
+};
+
+/// Lazy-greedy (Minoux) sweep over the global problem restricted to
+/// `servers`: repeatedly adds the (m ∈ servers, i) candidate with the
+/// largest marginal hit mass under `coverage` that fits its server's dedup
+/// capacity, until no positive-gain candidate fits. Coverage only grows, so
+/// stale heap gains are upper bounds and re-evaluation on demand is sound;
+/// candidates that do not currently fit are parked per server and revived
+/// when that server's cache content changes (sharing can shrink their
+/// incremental size). `storage` is parallel to `servers` and must reflect
+/// the models `placement` already caches on them. The initial heap build is
+/// an inverted sweep — the still-uncovered (k, i) demand is collected once
+/// and tested against each server's flat link row, skipping the
+/// already-covered bulk of the hit lists — sharded per server and pushed in
+/// deterministic order; the heap loop is serial. Placements and work
+/// counters are bit-identical for every thread count. Never decreases
+/// coverage.
+[[nodiscard]] RefillStats greedy_refill(const PlacementProblem& problem,
+                                        CountedCoverage& coverage,
+                                        std::vector<ServerStorage>& storage,
+                                        const std::vector<ServerId>& servers,
+                                        PlacementSolution& placement,
+                                        const RefillConfig& config = {});
+
+struct RepairPassConfig {
+  /// Threads for the refill sweep (0 = hardware concurrency, 1 = serial);
+  /// the eviction scan is inherently serial. Bit-identical for every value.
+  std::size_t threads = 1;
+  /// Max global hit mass a copy may lose on eviction and still count as a
+  /// duplicate. The default keeps repair loss-free up to rounding.
+  double eviction_tolerance = 1e-12;
+  /// Refill stops below this marginal mass (see RefillConfig).
+  double gain_tolerance = 1e-15;
+};
+
+struct RepairPassStats {
+  std::size_t duplicates_evicted = 0;
+  std::size_t models_added = 0;
+  /// Marginal evaluations: removal-loss probes of the eviction scan plus the
+  /// refill sweep's gain evaluations.
+  std::size_t gain_evaluations = 0;
+  /// U(X) (Eq. 2) of the repaired placement.
+  double hit_ratio = 0.0;
+};
+
+/// Post-stitch coordination pass over `placement` (modified in place):
+///
+///  1. Duplicate detection — a copy (m, i) is a duplicate when model i is
+///     also cached in another server *group* (for the tiler: another tile;
+///     `server_group` maps each server to its group id, empty = every server
+///     its own group), removing the copy loses at most eviction_tolerance of
+///     global hit mass, and at least one user the copy serves is also served
+///     by a holder in a different group — the cross-tile overlap that only
+///     halos create. Groups make the pass a guaranteed no-op on
+///     coverage-disjoint tilings: without cross-group overlap nothing is
+///     evicted, and the placement is returned bit-equal.
+///  2. Eviction — duplicates are removed in ascending (model, server) order
+///     with the losses re-probed live, so mutually-shadowing copies never
+///     over-evict. Deterministic and serial.
+///  3. Refill — the freed capacity is swept with greedy_refill restricted to
+///     the servers that lost copies.
+///
+/// The repaired placement's Eq. 2 value never drops below the input's by
+/// more than duplicates_evicted × eviction_tolerance (exactly never with a
+/// zero tolerance); the refill only raises it. `placement` must be feasible
+/// (Eq. 6b) and match the problem's dimensions.
+[[nodiscard]] RepairPassStats repair_placement(
+    const PlacementProblem& problem, PlacementSolution& placement,
+    const std::vector<std::size_t>& server_group,
+    const RepairPassConfig& config = {});
+
+// ------------------------------------------------------------- property probes
 
 /// A set function over subsets of a ground set [0, n).
 using SetFunction = std::function<double(const support::DynamicBitset&)>;

@@ -1,6 +1,7 @@
 #include "src/core/trimcaching_gen.h"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
 
 #include "src/core/storage.h"
@@ -11,11 +12,6 @@ namespace trimcaching::core {
 namespace {
 
 constexpr double kGainTolerance = 1e-15;
-
-/// Gain a candidate was skipped at (placed already, or does not fit); the
-/// batched scan stores it so the ordered reduction can reproduce the serial
-/// driver's bookkeeping exactly.
-constexpr double kSkipped = -1.0;
 
 /// Score of a candidate under the configured rule. Zero-cost additions
 /// (every block already cached) are scored as one-byte costs so that free
@@ -36,22 +32,18 @@ GenResult run_naive(const PlacementProblem& problem, const GenConfig& config) {
     storage.emplace_back(problem.library(), problem.capacity(m));
   }
 
-  // Per-round candidate gains, batched across (server, model) pairs: shard s
-  // owns server s's row of the flat array, so the parallel evaluation writes
+  // Per-round candidate gains, batched across (server, model) pairs through
+  // the shared batched_marginal_masses sweep (objective.h): shard m owns
+  // server m's row of the flat array, so the parallel evaluation writes
   // disjoint slots and the (m, i)-ordered reduction below selects the same
   // candidate — with the same tie-breaks and evaluation count — as the
   // serial rescan, for every thread count.
-  std::vector<double> gains(num_servers * num_models, kSkipped);
+  std::vector<ServerId> servers(num_servers);
+  std::iota(servers.begin(), servers.end(), ServerId{0});
+  std::vector<double> gains;
   while (true) {
-    support::parallel_for(num_servers, config.threads, [&](std::size_t m) {
-      const auto server = static_cast<ServerId>(m);
-      for (ModelId i = 0; i < num_models; ++i) {
-        gains[m * num_models + i] =
-            result.placement.placed(server, i) || !storage[m].fits(i)
-                ? kSkipped
-                : coverage.marginal_mass(server, i);
-      }
-    });
+    batched_marginal_masses(problem, coverage, result.placement, storage, servers,
+                            config.threads, gains);
     double best_score = 0.0;
     ServerId best_m = 0;
     ModelId best_i = 0;
@@ -59,7 +51,7 @@ GenResult run_naive(const PlacementProblem& problem, const GenConfig& config) {
     for (ServerId m = 0; m < num_servers; ++m) {
       for (ModelId i = 0; i < num_models; ++i) {
         const double gain = gains[static_cast<std::size_t>(m) * num_models + i];
-        if (gain == kSkipped) continue;
+        if (gain == kSkippedCandidate) continue;
         ++result.gain_evaluations;
         if (gain <= kGainTolerance) continue;
         const double score = score_candidate(config.rule, gain, storage[m].incremental_cost(i));

@@ -31,6 +31,11 @@ void TilerConfig::validate() const {
   if (std::isnan(halo_m) || std::isinf(halo_m)) {
     throw std::invalid_argument("TilerConfig: halo_m must be finite");
   }
+  if (std::isnan(repair_tolerance) || std::isinf(repair_tolerance) ||
+      repair_tolerance < 0) {
+    throw std::invalid_argument(
+        "TilerConfig: repair_tolerance must be finite and >= 0");
+  }
 }
 
 ScenarioTiler::ScenarioTiler(const Scenario& scenario, TilerConfig config)
@@ -71,15 +76,15 @@ ScenarioTiler::ScenarioTiler(const Scenario& scenario, TilerConfig config)
     }
   }
   // Servers: exactly one tile each (ascending ids per tile — m is ascending).
-  std::vector<std::size_t> server_tile(num_servers);
+  server_tile_.assign(num_servers, 0);
   std::vector<wireless::Point> server_points;
   server_points.reserve(num_servers);
   for (ServerId m = 0; m < num_servers; ++m) {
     const wireless::Point& p = topology.server_position(m);
     const std::size_t tx = tile_index(p.x, tile_w, tiles_x_);
     const std::size_t ty = tile_index(p.y, tile_h, tiles_y_);
-    server_tile[m] = ty * tiles_x_ + tx;
-    tiles_[server_tile[m]].servers.push_back(m);
+    server_tile_[m] = ty * tiles_x_ + tx;
+    tiles_[server_tile_[m]].servers.push_back(m);
     server_points.push_back(p);
   }
   // Users: the home tile, plus — the halo — every tile owning a server
@@ -100,7 +105,7 @@ ScenarioTiler::ScenarioTiler(const Scenario& scenario, TilerConfig config)
     if (server_grid) {
       server_grid->for_candidates_in_disc(p, halo_m_, [&](std::size_t m) {
         if (wireless::distance(server_points[m], p) <= halo_m_) {
-          member_tiles.push_back(server_tile[m]);
+          member_tiles.push_back(server_tile_[m]);
         }
       });
     }
@@ -144,10 +149,8 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
     outcomes[t] = solver->run(problem, context);
   });
 
-  TiledSolveResult result{
-      core::PlacementSolution(scenario_->topology.num_servers(),
-                              scenario_->library.num_models()),
-      0.0, 0, 0.0, 0, 0};
+  TiledSolveResult result{core::PlacementSolution(
+      scenario_->topology.num_servers(), scenario_->library.num_models())};
   // Tile-index-order stitch: server sets are disjoint, so placements never
   // conflict and the merge is exact.
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
@@ -162,8 +165,31 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
       }
     }
   }
-  // Honest global score of the stitched placement (Eq. 2 on the full
-  // scenario, through the evaluator's cached flat arena).
+  // Post-stitch cross-tile repair: evict halo duplicates with zero global
+  // marginal gain, refill the freed capacity. The engine (and its cached
+  // global problem) is built on the first repairing solve and reused. Like
+  // CompositeSolver's refinement stages, the pass is skipped once an armed
+  // time budget is exhausted — repair never loses quality, so skipping only
+  // forgoes the improvement.
+  const bool budget_left =
+      time_budget_s <= 0 ||
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count() < time_budget_s;
+  if (config_.repair && budget_left) {
+    if (!repair_) {
+      repair_ = std::make_unique<PlacementRepair>(
+          *scenario_, server_tile_,
+          RepairConfig{config_.threads, config_.repair_tolerance});
+    }
+    RepairResult repaired = repair_->repair(result.placement, threads);
+    result.placement = std::move(repaired.placement);
+    result.duplicates_evicted = repaired.duplicates_evicted;
+    result.repair_additions = repaired.models_added;
+    result.repair_wall_seconds = repaired.wall_seconds;
+  }
+  result.duplication_factor = core::duplication_factor(result.placement);
+  // Honest global score of the final placement (Eq. 2 on the full scenario,
+  // through the evaluator's cached flat arena).
   result.hit_ratio = evaluator_.expected_hit_ratio(result.placement);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

@@ -27,6 +27,14 @@
 // deviation on the shipped configurations). The reported hit ratio is
 // always the honest global Eq. 2 value of the stitched placement.
 //
+// Repair. The `repair` knob closes most of the halo gap after stitching: a
+// PlacementRepair pass (sim/placement_repair.h) evicts the copies the
+// per-tile solvers duplicated across halos — those whose *global* marginal
+// gain is zero — and greedily refills the freed capacity against the global
+// objective. The pass never lowers the global Eq. 2 value, is bit-identical
+// for every thread count, and leaves coverage-disjoint tilings bit-equal
+// untouched.
+//
 // Determinism: tile t's solver context derives counter-based from
 // (seed, t) via Rng::at, tiles write disjoint result slots, and stitching /
 // counter reduction run in tile index order — results are bit-identical for
@@ -34,12 +42,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/placement.h"
 #include "src/core/solver.h"
 #include "src/sim/evaluator.h"
+#include "src/sim/placement_repair.h"
 #include "src/sim/scenario.h"
 
 namespace trimcaching::sim {
@@ -58,6 +68,14 @@ struct TilerConfig {
   /// Concurrent tile solves: 0 = hardware concurrency, 1 = serial.
   /// Bit-identical results for every value.
   std::size_t threads = 0;
+  /// Post-stitch cross-tile repair (sim/placement_repair.h): evict halo
+  /// duplicates with zero global marginal gain and refill the freed capacity
+  /// against the global objective. Bit-identical for every thread count and
+  /// a bit-equal no-op on coverage-disjoint tilings.
+  bool repair = false;
+  /// Max global hit mass a copy may lose on eviction and still count as a
+  /// duplicate (only read when `repair` is set).
+  double repair_tolerance = 1e-12;
 
   void validate() const;
 };
@@ -77,6 +95,14 @@ struct TiledSolveResult {
   /// Work counters summed over tiles in index order.
   std::size_t gain_evaluations = 0;
   std::size_t iterations = 0;
+  /// Duplication factor of the final placement (core::duplication_factor);
+  /// raw stitches at relay-heavy configs sit well above 1, repair pulls it
+  /// back toward 1.
+  double duplication_factor = 1.0;
+  /// Repair-pass stats; all zero when TilerConfig::repair is off.
+  std::size_t duplicates_evicted = 0;
+  std::size_t repair_additions = 0;
+  double repair_wall_seconds = 0.0;
 };
 
 class ScenarioTiler {
@@ -91,6 +117,11 @@ class ScenarioTiler {
   [[nodiscard]] const std::vector<Tile>& tiles() const noexcept { return tiles_; }
   /// Tile-membership count beyond home tiles (the halo duplication).
   [[nodiscard]] std::size_t halo_memberships() const noexcept { return halo_memberships_; }
+  /// Home tile (row-major index) of every global server id — the dedup
+  /// groups the repair pass coordinates across (PlacementRepair).
+  [[nodiscard]] const std::vector<std::size_t>& server_tiles() const noexcept {
+    return server_tile_;
+  }
 
   /// Builds the per-tile problem view of tiles()[t] (servers must be
   /// non-empty). Exposed for tests and custom drivers.
@@ -103,7 +134,8 @@ class ScenarioTiler {
   /// config value); results are bit-identical either way. A positive
   /// `time_budget_s` arms each tile context's deadline with the full budget
   /// (tiles run concurrently, so the budget is wall-clock per tile, checked
-  /// at the solvers' usual stage boundaries).
+  /// at the solvers' usual stage boundaries); an exhausted budget also
+  /// skips the optional repair stage, which never loses quality.
   [[nodiscard]] TiledSolveResult solve(const std::string& solver_spec,
                                        std::uint64_t seed = 0x5eed,
                                        std::size_t threads = SIZE_MAX,
@@ -117,10 +149,15 @@ class ScenarioTiler {
   double halo_m_ = 0.0;
   std::size_t halo_memberships_ = 0;
   std::vector<Tile> tiles_;
+  std::vector<std::size_t> server_tile_;  ///< home tile per global server id
   /// Scores stitched placements globally; the Evaluator's lazy plan cache
   /// handles topology-revision rebuilds. It makes the tiler non-thread-safe
   /// across *callers*; the internal tile fan-out never touches it.
   Evaluator evaluator_;
+  /// Lazily-built repair engine (first repairing solve pays the global
+  /// problem construction, later calls reuse it). Same caller-level
+  /// thread-safety caveat as evaluator_.
+  mutable std::unique_ptr<PlacementRepair> repair_;
 };
 
 }  // namespace trimcaching::sim

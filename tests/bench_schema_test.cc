@@ -1,0 +1,171 @@
+// Golden-schema lock for the BENCH_*.json perf artifacts.
+//
+// bench/bench_json.h's writer and strict reader are the single
+// serialization path for the perf-trajectory files that tools/bench_diff
+// gates CI with. These tests lock the emitted key set — including the
+// hit_ratio and duplication_factor columns fig8_scale records for the
+// repair pass — so schema drift fails loudly here and in every bench_diff
+// run, instead of silently comparing fields that no longer exist. The
+// committed fig8_scale baseline is itself checked against the lock.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_json.h"
+
+namespace trimcaching::bench {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Every JSON key that appears in `text`, in no particular order.
+std::set<std::string> keys_in(const std::string& text) {
+  std::set<std::string> keys;
+  const std::regex key_pattern("\"([A-Za-z_0-9]+)\":");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), key_pattern);
+       it != std::sregex_iterator(); ++it) {
+    keys.insert((*it)[1].str());
+  }
+  return keys;
+}
+
+TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
+  const std::string path = temp_path("bench_schema_full.json");
+  JsonRecord full;
+  full.name = "kernel_full";
+  full.wall_seconds = 0.5;
+  full.throughput = 12.0;
+  full.threads = 4;
+  full.speedup_vs_serial = 3.5;
+  full.hit_ratio = 0.75;
+  full.duplication_factor = 1.25;
+  write_bench_json(path, {full});
+
+  const std::set<std::string> expected = {
+      "schema",  "git_rev",           "hardware_threads", "benchmarks",
+      "name",    "wall_seconds",      "throughput",       "threads",
+      "speedup_vs_serial", "hit_ratio", "duplication_factor"};
+  EXPECT_EQ(keys_in(slurp(path)), expected);
+
+  // Optional columns disappear when not recorded; required ones never do.
+  const std::string minimal_path = temp_path("bench_schema_minimal.json");
+  JsonRecord minimal;
+  minimal.name = "kernel_minimal";
+  minimal.wall_seconds = 0.1;
+  write_bench_json(minimal_path, {minimal});
+  const std::set<std::string> required = {"schema", "git_rev", "hardware_threads",
+                                          "benchmarks", "name", "wall_seconds",
+                                          "throughput", "threads"};
+  EXPECT_EQ(keys_in(slurp(minimal_path)), required);
+}
+
+TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
+  const std::string path = temp_path("bench_schema_roundtrip.json");
+  JsonRecord full;
+  full.name = "kernel_full";
+  full.wall_seconds = 0.5;
+  full.throughput = 12.0;
+  full.threads = 4;
+  full.speedup_vs_serial = 3.5;
+  full.hit_ratio = 0.75;
+  full.duplication_factor = 1.25;
+  JsonRecord minimal;
+  minimal.name = "kernel_minimal";
+  minimal.wall_seconds = 0.125;
+  write_bench_json(path, {full, minimal});
+
+  const auto records = read_bench_json(path);
+  ASSERT_EQ(records.size(), 2u);
+  const JsonRecord& f = records.at("kernel_full");
+  EXPECT_DOUBLE_EQ(f.wall_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(f.throughput, 12.0);
+  EXPECT_EQ(f.threads, 4u);
+  EXPECT_DOUBLE_EQ(f.speedup_vs_serial, 3.5);
+  EXPECT_DOUBLE_EQ(f.hit_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(f.duplication_factor, 1.25);
+  const JsonRecord& m = records.at("kernel_minimal");
+  EXPECT_DOUBLE_EQ(m.wall_seconds, 0.125);
+  // Absent optional columns keep their "not recorded" defaults.
+  EXPECT_DOUBLE_EQ(m.speedup_vs_serial, 0.0);
+  EXPECT_LT(m.hit_ratio, 0.0);
+  EXPECT_LT(m.duplication_factor, 0.0);
+}
+
+TEST(BenchJsonSchema, ReaderFailsLoudlyOnSchemaDrift) {
+  // A record whose wall_seconds key was renamed: must throw, naming the key.
+  const std::string drifted = temp_path("bench_schema_drifted.json");
+  {
+    std::ofstream file(drifted);
+    file << "{\n  \"schema\": 1,\n  \"git_rev\": \"test\",\n"
+            "  \"hardware_threads\": 1,\n  \"benchmarks\": [\n"
+            "    {\"name\": \"kernel\", \"walltime\": 0.5, \"throughput\": 0, "
+            "\"threads\": 1}\n  ]\n}\n";
+  }
+  try {
+    (void)read_bench_json(drifted);
+    FAIL() << "schema drift must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("wall_seconds"), std::string::npos);
+  }
+
+  // A document without the schema marker is rejected outright.
+  const std::string unversioned = temp_path("bench_schema_unversioned.json");
+  {
+    std::ofstream file(unversioned);
+    file << "{\"benchmarks\": [{\"name\": \"kernel\", \"wall_seconds\": 1, "
+            "\"throughput\": 0, \"threads\": 1}]}\n";
+  }
+  EXPECT_THROW((void)read_bench_json(unversioned), std::runtime_error);
+
+  // No records at all is drift too (an empty gate protects nothing).
+  const std::string empty = temp_path("bench_schema_empty.json");
+  {
+    std::ofstream file(empty);
+    file << "{\n  \"schema\": 1,\n  \"benchmarks\": []\n}\n";
+  }
+  EXPECT_THROW((void)read_bench_json(empty), std::runtime_error);
+
+  EXPECT_THROW((void)read_bench_json(temp_path("does_not_exist.json")),
+               std::runtime_error);
+}
+
+TEST(BenchJsonSchema, CommittedScaleBaselineMatchesTheLock) {
+  // The baseline bench_diff gates CI against must parse under the strict
+  // reader and carry all four fig8_scale variants per point, with the
+  // hit-ratio and duplication columns the repair pass introduced.
+  const std::string path = std::string(TRIMCACHING_SOURCE_DIR) +
+                           "/bench/baselines/BENCH_scale_baseline.json";
+  const auto records = read_bench_json(path);
+  for (const std::string point : {"2x", "10x", "100x"}) {
+    for (const std::string variant :
+         {"untiled_serial", "tiled_serial", "tiled_threaded", "tiled_repaired"}) {
+      const std::string name = "fig8_scale_" + point + "_" + variant;
+      ASSERT_TRUE(records.count(name)) << "baseline is missing " << name;
+      const JsonRecord& record = records.at(name);
+      EXPECT_GT(record.wall_seconds, 0.0) << name;
+      EXPECT_GE(record.hit_ratio, 0.0) << name;
+      EXPECT_GE(record.duplication_factor, 1.0 - 1e-12) << name;
+    }
+  }
+  // The duplication story the gate tracks: raw tiling duplicates heavily at
+  // the 100x point, repair pulls it back under 1.5x.
+  EXPECT_GT(records.at("fig8_scale_100x_tiled_serial").duplication_factor, 2.0);
+  EXPECT_LT(records.at("fig8_scale_100x_tiled_repaired").duplication_factor, 1.5);
+}
+
+}  // namespace
+}  // namespace trimcaching::bench

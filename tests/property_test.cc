@@ -1,0 +1,184 @@
+// Randomized invariant harness over every registered solver.
+//
+// For ~50 seeded scenarios — special- and general-case libraries, solved
+// both untiled and through ScenarioTiler (with and without the repair pass)
+// — every solver's outcome is cross-checked against the problem contracts
+// it must uphold regardless of algorithm:
+//
+//   * capacity feasibility (Eq. 3 / Eq. 6b): the dedup-aware storage g_m of
+//     every server's cached set fits its capacity;
+//   * placement validity: only library models, within dimensions, and no
+//     duplicate entries per server;
+//   * objective honesty: the solver-reported hit ratio equals an
+//     independent Eq. 2 recompute — both through core::expected_hit_ratio
+//     and through the Evaluator's flat-plan arithmetic.
+//
+// The exact solver is exponential, so it runs on dedicated tiny instances
+// where its optimality over the greedy family is asserted as well.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/objective.h"
+#include "src/core/solver_registry.h"
+#include "src/core/storage.h"
+#include "src/sim/evaluator.h"
+#include "src/sim/scenario.h"
+#include "src/sim/tiler.h"
+
+namespace trimcaching {
+namespace {
+
+using support::Rng;
+
+/// Every registered solver spec the harness drives, except "exact"
+/// (exponential; covered by its own tiny-instance loop below). Includes a
+/// composition so refiner plumbing is exercised too.
+std::vector<std::string> harness_specs() {
+  std::vector<std::string> specs;
+  for (const auto& info : core::SolverRegistry::instance().list()) {
+    if (info.name == "exact") continue;
+    specs.push_back(info.name);
+  }
+  specs.push_back("gen+repair");
+  return specs;
+}
+
+sim::ScenarioConfig small_config(bool general) {
+  sim::ScenarioConfig config;
+  config.num_servers = general ? 4 : 5;
+  config.num_users = general ? 20 : 24;
+  config.library_size = general ? 20 : 24;
+  config.special.models_per_family = 10;
+  config.requests.models_per_user = general ? 8 : 10;
+  if (general) config.library_kind = sim::LibraryKind::kGeneralCase;
+  return config;
+}
+
+void check_invariants(const sim::Scenario& scenario,
+                      const core::PlacementProblem& problem,
+                      const sim::Evaluator& evaluator,
+                      const core::PlacementSolution& placement,
+                      double reported_hit, const std::string& label) {
+  ASSERT_EQ(placement.num_servers(), problem.num_servers()) << label;
+  ASSERT_EQ(placement.num_models(), problem.num_models()) << label;
+
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    const std::vector<ModelId>& models = placement.models_on(m);
+    // Only library models, no duplicate entries per server.
+    const std::set<ModelId> unique(models.begin(), models.end());
+    EXPECT_EQ(unique.size(), models.size()) << label << ": duplicates on server " << m;
+    for (const ModelId i : models) {
+      EXPECT_LT(i, problem.num_models()) << label << ": bad model on server " << m;
+    }
+    // Capacity feasibility under block dedup (Eq. 3 / Eq. 6b).
+    EXPECT_LE(core::dedup_storage(scenario.library, models), problem.capacity(m))
+        << label << ": server " << m << " over capacity";
+  }
+
+  // The solver-reported objective must match an independent Eq. 2 recompute
+  // — via the coverage machinery and via the Evaluator's flat plan.
+  const double recomputed = core::expected_hit_ratio(problem, placement);
+  EXPECT_NEAR(reported_hit, recomputed, 1e-9) << label;
+  EXPECT_NEAR(evaluator.expected_hit_ratio(placement), recomputed, 1e-9) << label;
+}
+
+TEST(SolverInvariants, EveryRegisteredSolverOnRandomScenariosUntiled) {
+  const auto specs = harness_specs();
+  // 10 seeds x {special, general} = 20 scenarios.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const bool general : {false, true}) {
+      Rng rng(1000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(small_config(general), rng);
+      const core::PlacementProblem problem = scenario.problem();
+      const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                     scenario.requests);
+      for (const std::string& spec : specs) {
+        const std::string label = spec + (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed);
+        core::SolverContext context{Rng(seed)};
+        const auto outcome =
+            core::SolverRegistry::instance().make(spec)->run(problem, context);
+        check_invariants(scenario, problem, evaluator, outcome.placement,
+                         outcome.hit_ratio, label);
+      }
+    }
+  }
+}
+
+TEST(SolverInvariants, EveryRegisteredSolverOnRandomScenariosTiled) {
+  const auto specs = harness_specs();
+  // 10 seeds x {special, general} = 20 scenarios, each solved through a 2x2
+  // tiling; the repair pass is toggled on for odd seeds so both the raw
+  // stitch and the repaired placement flow through the checks. Wide
+  // deadlines keep relays eligible — the halo-overlap regime.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const bool general : {false, true}) {
+      sim::ScenarioConfig config = small_config(general);
+      config.num_servers = 12;
+      config.num_users = 60;
+      config.area_side_m = 1400.0;
+      config.requests.deadline_min_s = 2.0;
+      config.requests.deadline_max_s = 6.0;
+      Rng rng(2000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(config, rng);
+      const core::PlacementProblem problem = scenario.problem();
+      const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                     scenario.requests);
+      sim::TilerConfig tiler_config;
+      tiler_config.tiles_x = 2;
+      tiler_config.tiles_y = 2;
+      tiler_config.repair = (seed % 2) == 1;
+      const sim::ScenarioTiler tiler(scenario, tiler_config);
+      for (const std::string& spec : specs) {
+        const std::string label = "tiled " + spec +
+                                  (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed) +
+                                  (tiler_config.repair ? " repair" : "");
+        const auto tiled = tiler.solve(spec, seed);
+        check_invariants(scenario, problem, evaluator, tiled.placement,
+                         tiled.hit_ratio, label);
+      }
+    }
+  }
+}
+
+TEST(SolverInvariants, ExactSolverOnTinyScenariosIsFeasibleAndOptimal) {
+  // 10 dedicated tiny scenarios: few enough decision variables for B&B, and
+  // the proven optimum must dominate every greedy-family result.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::ScenarioConfig config;
+    config.num_servers = 2;
+    config.num_users = 6;
+    config.library_size = 6;
+    config.special.models_per_family = 4;
+    config.requests.models_per_user = 3;
+    Rng rng(3000 + seed);
+    const sim::Scenario scenario = sim::build_scenario(config, rng);
+    const core::PlacementProblem problem = scenario.problem();
+    const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                   scenario.requests);
+    const std::string label = "exact seed=" + std::to_string(seed);
+
+    core::SolverContext exact_context{Rng(seed)};
+    const auto exact = core::SolverRegistry::instance().make("exact")->run(
+        problem, exact_context);
+    check_invariants(scenario, problem, evaluator, exact.placement,
+                     exact.hit_ratio, label);
+    ASSERT_TRUE(exact.optimality_bound.has_value()) << label;
+
+    for (const std::string spec : {"gen", "spec", "independent"}) {
+      core::SolverContext context{Rng(seed)};
+      const auto outcome =
+          core::SolverRegistry::instance().make(spec)->run(problem, context);
+      EXPECT_GE(exact.hit_ratio, outcome.hit_ratio - 1e-9)
+          << label << " vs " << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trimcaching

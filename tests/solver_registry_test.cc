@@ -36,7 +36,7 @@ TEST(SolverRegistry, ListsAllBuiltinSolvers) {
     EXPECT_FALSE(info.summary.empty()) << info.name;
   }
   for (const char* expected : {"spec", "gen", "gen_naive", "independent", "exact",
-                               "top_pop", "random", "ls"}) {
+                               "top_pop", "random", "ls", "repair"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << "missing solver '" << expected << "'";
   }

@@ -15,88 +15,40 @@
 //                   floor (0 = compare everything): sub-millisecond kernels
 //                   shift by tens of percent on scheduler noise alone and
 //                   would make the gate flap
+//   filter          substring on benchmark names; only matching baseline
+//                   records are compared (empty = all). Lets a gate target
+//                   the records that actually carry its metric, e.g.
+//                   filter=tiled_repaired for the duplication gate (raw
+//                   stitch duplication is an emergent property of the
+//                   greedy, not a managed quality target)
 //   metric          wall (default) compares absolute wall_seconds — only
 //                   meaningful between runs on the same machine; speedup
 //                   compares the within-run speedup_vs_serial ratio, which
 //                   is hardware-independent (a regression in the measured
 //                   kernel lowers the ratio on any machine), and fails when
-//                   the ratio *drops* by more than threshold_pct
+//                   the ratio *drops* by more than threshold_pct;
+//                   duplication compares the duplication_factor column
+//                   (fig8_scale's cross-tile placement-duplication metric,
+//                   also hardware-independent) and fails when it *rises* by
+//                   more than threshold_pct
 //
-// Matching is by benchmark name; the comparison metric is wall_seconds.
+// Matching is by benchmark name; parsing goes through the shared strict
+// bench::read_bench_json, so a record missing the locked schema keys aborts
+// the diff loudly instead of silently comparing absent fields.
 // Cross-machine caveat: absolute wall-clock only compares like with like —
 // regenerate the committed baseline when the reference hardware changes
 // (the CI job pins one runner class for exactly this reason).
-#include <cctype>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "bench/bench_json.h"
 #include "src/support/options.h"
-
-namespace {
-
-struct BenchEntry {
-  double wall_seconds = 0.0;
-  double speedup_vs_serial = 0.0;
-  std::size_t threads = 1;
-};
-
-/// Minimal parser for the fixed bench_json.h layout: scans "name" /
-/// "wall_seconds" / "threads" / "speedup_vs_serial" key-value pairs inside
-/// the benchmarks array. Not a general JSON parser — it only needs to read
-/// what write_bench_json() emits.
-std::map<std::string, BenchEntry> read_bench_json(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw std::runtime_error("bench_diff: cannot open " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  const std::string text = buffer.str();
-
-  std::map<std::string, BenchEntry> out;
-  std::size_t pos = 0;
-  const auto find_number = [&text](std::size_t from, const std::string& key,
-                                   std::size_t limit) -> std::optional<double> {
-    const std::string needle = "\"" + key + "\":";
-    const std::size_t at = text.find(needle, from);
-    if (at == std::string::npos || at >= limit) return std::nullopt;
-    return std::stod(text.substr(at + needle.size()));
-  };
-  while ((pos = text.find("{\"name\": \"", pos)) != std::string::npos) {
-    const std::size_t name_begin = pos + 10;
-    const std::size_t name_end = text.find('"', name_begin);
-    if (name_end == std::string::npos) break;
-    const std::size_t record_end = text.find('}', name_end);
-    const std::string name = text.substr(name_begin, name_end - name_begin);
-    BenchEntry entry;
-    if (const auto wall = find_number(name_end, "wall_seconds", record_end)) {
-      entry.wall_seconds = *wall;
-    }
-    if (const auto threads = find_number(name_end, "threads", record_end)) {
-      entry.threads = static_cast<std::size_t>(*threads);
-    }
-    if (const auto speedup = find_number(name_end, "speedup_vs_serial", record_end)) {
-      entry.speedup_vs_serial = *speedup;
-    }
-    out[name] = entry;
-    pos = record_end == std::string::npos ? name_end : record_end;
-  }
-  if (out.empty()) {
-    throw std::runtime_error("bench_diff: no benchmark records in " + path);
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   try {
     const auto options = trimcaching::support::Options::parse(argc, argv);
-    options.check_unknown(
-        {"base", "new", "threshold_pct", "allow_missing", "min_wall_s", "metric"});
+    options.check_unknown({"base", "new", "threshold_pct", "allow_missing",
+                           "min_wall_s", "metric", "filter"});
     const std::string base_path = options.get_string("base", "");
     const std::string new_path = options.get_string("new", "");
     if (base_path.empty() || new_path.empty()) {
@@ -107,18 +59,21 @@ int main(int argc, char** argv) {
     const double threshold_pct = options.get_double("threshold_pct", 15.0);
     const bool allow_missing = options.get_bool("allow_missing", true);
     const double min_wall_s = options.get_double("min_wall_s", 0.0);
+    const std::string filter = options.get_string("filter", "");
     const std::string metric = options.get_string("metric", "wall");
-    if (metric != "wall" && metric != "speedup") {
-      throw std::invalid_argument("bench_diff: metric must be wall|speedup, got '" +
-                                  metric + "'");
+    if (metric != "wall" && metric != "speedup" && metric != "duplication") {
+      throw std::invalid_argument(
+          "bench_diff: metric must be wall|speedup|duplication, got '" + metric +
+          "'");
     }
 
-    const auto base = read_bench_json(base_path);
-    const auto fresh = read_bench_json(new_path);
+    const auto base = trimcaching::bench::read_bench_json(base_path);
+    const auto fresh = trimcaching::bench::read_bench_json(new_path);
 
     std::size_t regressions = 0;
     std::size_t missing = 0;
     for (const auto& [name, entry] : base) {
+      if (!filter.empty() && name.find(filter) == std::string::npos) continue;
       const auto it = fresh.find(name);
       if (it == fresh.end()) {
         std::cout << "MISSING  " << name << " (present in baseline only)\n";
@@ -134,6 +89,7 @@ int main(int argc, char** argv) {
       double after = it->second.wall_seconds;
       double delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
       const char* unit = "s";
+      const char* direction = "";
       if (metric == "speedup") {
         // Ratio gate: regression = the within-run speedup *dropped*.
         // Records without a serial comparison (speedup 0) have no ratio to
@@ -146,12 +102,25 @@ int main(int argc, char** argv) {
         after = it->second.speedup_vs_serial;
         delta_pct = (before - after) / before * 100.0;
         unit = "x";
+        direction = " drop";
+      } else if (metric == "duplication") {
+        // Duplication gate: regression = the placement duplication *rose*.
+        // Records on either side without the column are skipped.
+        if (entry.duplication_factor < 0 || it->second.duplication_factor < 0) {
+          std::cout << "skip     " << name << "  (no duplication_factor column)\n";
+          continue;
+        }
+        before = entry.duplication_factor;
+        after = it->second.duplication_factor;
+        delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
+        unit = "x";
+        direction = " rise";
       }
       const bool regressed = delta_pct > threshold_pct;
       std::cout << (regressed ? "REGRESS  " : "ok       ") << name << "  " << before
                 << unit << " -> " << after << unit << "  ("
-                << (delta_pct >= 0 ? "+" : "") << delta_pct << "%"
-                << (metric == "speedup" ? " drop" : "") << ")\n";
+                << (delta_pct >= 0 ? "+" : "") << delta_pct << "%" << direction
+                << ")\n";
       if (regressed) ++regressions;
     }
     for (const auto& [name, entry] : fresh) {

@@ -33,6 +33,11 @@
 //                        ratios are always the global Eq. 2 value
 //   tile_halo_m          halo margin in meters for boundary users;
 //                        negative = the radio coverage radius (-1)
+//   repair               1 = run the cross-tile repair pass on the stitched
+//                        placement (global dedup of halo duplicates +
+//                        marginal-gain refill; tiled runs only) (0)
+//   repair_tol           max global hit mass a copy may lose on eviction
+//                        and still count as a duplicate (1e-12)
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -112,7 +117,8 @@ int main(int argc, char** argv) {
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
                            "models", "requested", "zipf", "algo", "local_search",
                            "time_budget_s", "seed", "fading", "threads", "arrivals",
-                           "save_library", "save_placement", "tiles", "tile_halo_m"});
+                           "save_library", "save_placement", "tiles", "tile_halo_m",
+                           "repair", "repair_tol"});
 
     const auto& registry = core::SolverRegistry::instance();
     const std::string algo = options.get_string("algo", "all");
@@ -206,11 +212,19 @@ int main(int argc, char** argv) {
       tiler_config.tiles_y = tiles;
       tiler_config.halo_m = options.get_double("tile_halo_m", -1.0);
       tiler_config.threads = threads;
+      tiler_config.repair = options.get_bool("repair", false);
+      tiler_config.repair_tolerance = options.get_double("repair_tol", 1e-12);
       tiler = std::make_unique<sim::ScenarioTiler>(scenario, tiler_config);
       std::cout << "tiling: " << tiler->tiles_x() << "x" << tiler->tiles_y()
                 << " grid, " << tiler->halo_memberships()
-                << " halo user memberships\n\n";
+                << " halo user memberships"
+                << (tiler_config.repair ? ", cross-tile repair on" : "") << "\n\n";
     } else {
+      if (options.get_bool("repair", false)) {
+        throw std::invalid_argument(
+            "repair=1 needs a tiled run (set tiles=N); untiled placements "
+            "can be refined with algo=<base>+repair instead");
+      }
       problem.emplace(scenario.topology, scenario.library, scenario.requests);
     }
     for (std::size_t s = 0; s < solvers.size(); ++s) {
@@ -223,6 +237,13 @@ int main(int argc, char** argv) {
         if (!tiler) return solvers[s]->run(*problem, context);
         sim::TiledSolveResult tiled =
             tiler->solve(specs[s], context.rng().seed(), SIZE_MAX, time_budget);
+        if (options.get_bool("repair", false)) {
+          std::cout << "  [repair] " << tiled.duplicates_evicted
+                    << " duplicates evicted, " << tiled.repair_additions
+                    << " models added, duplication factor "
+                    << tiled.duplication_factor << " ("
+                    << tiled.repair_wall_seconds << " s)\n";
+        }
         core::SolverOutcome from_tiles(std::move(tiled.placement));
         from_tiles.hit_ratio = tiled.hit_ratio;
         from_tiles.wall_seconds = tiled.wall_seconds;
