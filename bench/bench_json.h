@@ -21,7 +21,12 @@
 // `speedup_vs_serial` is emitted only when positive; `hit_ratio` (global
 // Eq. 2 value) and `duplication_factor` (placements per distinct cached
 // model, fig8_scale's cross-tile duplication metric) only when recorded
-// (>= 0).
+// (>= 0). The mobility studies additionally record the plan-maintenance
+// columns: `plan_rebuilds` / `plan_deltas` (full EvalPlan builds vs
+// in-place delta patches behind the record's wall time; emitted when >= 0)
+// and `plan_update_speedup` (the within-run full-rebuild over delta-path
+// per-slot maintenance ratio — hardware-independent, gated by
+// bench_diff metric=plan_update; emitted when > 0).
 //
 // The key set is LOCKED: read_bench_json() below is the one parser every
 // consumer (tools/bench_diff, tests/bench_schema_test) goes through, and it
@@ -50,6 +55,9 @@ struct JsonRecord {
   double speedup_vs_serial = 0;  ///< > 0 only when a serial baseline was timed
   double hit_ratio = -1.0;       ///< global Eq. 2 value; < 0 = not recorded
   double duplication_factor = -1.0;  ///< placements per distinct model; < 0 = n/a
+  double plan_rebuilds = -1.0;       ///< full EvalPlan builds; < 0 = n/a
+  double plan_deltas = -1.0;         ///< in-place delta patches; < 0 = n/a
+  double plan_update_speedup = 0;    ///< full/delta maintenance ratio; > 0 = recorded
 };
 
 /// Git revision baked in at configure time (CMake), "unknown" otherwise.
@@ -95,6 +103,11 @@ inline void write_bench_json(const std::string& path,
     if (r.hit_ratio >= 0) out << ", \"hit_ratio\": " << r.hit_ratio;
     if (r.duplication_factor >= 0) {
       out << ", \"duplication_factor\": " << r.duplication_factor;
+    }
+    if (r.plan_rebuilds >= 0) out << ", \"plan_rebuilds\": " << r.plan_rebuilds;
+    if (r.plan_deltas >= 0) out << ", \"plan_deltas\": " << r.plan_deltas;
+    if (r.plan_update_speedup > 0) {
+      out << ", \"plan_update_speedup\": " << r.plan_update_speedup;
     }
     out << "}";
   }
@@ -168,6 +181,15 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     if (const auto dup = find_number(name_end, "duplication_factor", limit)) {
       record.duplication_factor = *dup;
     }
+    if (const auto rebuilds = find_number(name_end, "plan_rebuilds", limit)) {
+      record.plan_rebuilds = *rebuilds;
+    }
+    if (const auto deltas = find_number(name_end, "plan_deltas", limit)) {
+      record.plan_deltas = *deltas;
+    }
+    if (const auto plan = find_number(name_end, "plan_update_speedup", limit)) {
+      record.plan_update_speedup = *plan;
+    }
     out[record.name] = record;
     pos = record_end == std::string::npos ? name_end : record_end;
   }
@@ -175,6 +197,25 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     throw std::runtime_error("read_bench_json: no benchmark records in " + path);
   }
   return out;
+}
+
+/// Like write_bench_json, but records already present in `path` (from other
+/// bench binaries sharing the document, e.g. fig6b and fig7 both feeding
+/// BENCH_runtime.json) are kept unless this run re-records them by name.
+/// A missing or unreadable document is simply (re)written.
+inline void merge_bench_json(const std::string& path,
+                             const std::vector<JsonRecord>& records) {
+  std::vector<JsonRecord> merged;
+  try {
+    std::map<std::string, JsonRecord> existing = read_bench_json(path);
+    for (const JsonRecord& record : records) existing.erase(record.name);
+    merged.reserve(existing.size() + records.size());
+    for (auto& [name, record] : existing) merged.push_back(std::move(record));
+  } catch (const std::exception&) {
+    // No mergeable document: start fresh.
+  }
+  merged.insert(merged.end(), records.begin(), records.end());
+  write_bench_json(path, merged);
 }
 
 }  // namespace trimcaching::bench

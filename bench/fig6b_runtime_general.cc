@@ -77,7 +77,9 @@ int main(int argc, char** argv) {
 
   const double speedup = serial_seconds / std::max(1e-9, parallel_seconds);
   const double per_topology = static_cast<double>(mc.topologies);
-  bench::write_bench_json(
+  // Merge, don't overwrite: fig7_mobility shares this document (its
+  // fig7_*_plan_* records must survive whichever binary runs last).
+  bench::merge_bench_json(
       "BENCH_runtime.json",
       {{"fig6b_run_comparison_serial", serial_seconds, per_topology / serial_seconds,
         1, 0.0},

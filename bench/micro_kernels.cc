@@ -166,6 +166,54 @@ void BM_SpecScalingInLibrary(benchmark::State& state) {
 }
 BENCHMARK(BM_SpecScalingInLibrary)->Arg(30)->Arg(90)->Arg(180)->Arg(300)->Complexity();
 
+// A/B of the fading inner loops on one arena: the pre-lowering scalar
+// reference (placement bitset chased per link per row per realization)
+// versus the batched kernel (per-call placement lowering + SoA transform +
+// holder-list min-reductions). Results are bit-identical; only the wall
+// time should differ. First arg = realizations, second = kernel
+// (0 = scalar reference, 1 = batched).
+void BM_FadingKernel(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  const core::PlacementProblem problem = scenario.problem();
+  const auto placement = core::trimcaching_gen(problem).placement;
+  const sim::EvalPlan plan(scenario.topology, scenario.library, scenario.requests);
+  const support::Rng rng(5);
+  const auto realizations = static_cast<std::size_t>(state.range(0));
+  const auto kernel = state.range(1) == 0 ? sim::FadingKernel::kScalarReference
+                                          : sim::FadingKernel::kBatched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan.fading_hit_ratio(placement, realizations, rng, 1, kernel));
+  }
+}
+BENCHMARK(BM_FadingKernel)->Args({100, 0})->Args({100, 1})->Args({1000, 0})->Args({1000, 1});
+
+// Incremental plan maintenance: apply_user_moves + EvalPlan::apply_delta
+// per iteration (jittered user subset), against BM_EvalPlanBuild's full
+// construction. Arg = number of moved users.
+void BM_EvalPlanDelta(benchmark::State& state) {
+  const auto& scenario = shared_scenario();
+  wireless::NetworkTopology topology = scenario.topology;
+  sim::EvalPlan plan(topology, scenario.library, scenario.requests);
+  const auto moved = std::min<std::size_t>(static_cast<std::size_t>(state.range(0)),
+                                           topology.num_users());
+  double direction = 1.0;
+  for (auto _ : state) {
+    std::vector<wireless::UserMove> moves;
+    moves.reserve(moved);
+    for (UserId k = 0; k < moved; ++k) {
+      auto p = topology.user_position(k);
+      p.x += 5.0 * direction;
+      moves.push_back(wireless::UserMove{k, p});
+    }
+    direction = -direction;
+    const auto& delta = topology.apply_user_moves(moves, 1.0);
+    plan.apply_delta(topology, delta);
+    benchmark::DoNotOptimize(plan.topology_revision());
+  }
+}
+BENCHMARK(BM_EvalPlanDelta)->Arg(2)->Arg(20);
+
 // Fading Monte-Carlo over the EvalPlan arena; second arg = thread count.
 void BM_FadingEvaluation(benchmark::State& state) {
   const auto& scenario = shared_scenario();

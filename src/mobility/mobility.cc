@@ -70,6 +70,15 @@ std::vector<wireless::Point> MobilityModel::positions() const {
   return out;
 }
 
+std::vector<wireless::UserMove> MobilityModel::moves() const {
+  std::vector<wireless::UserMove> out;
+  out.reserve(users_.size());
+  for (std::size_t k = 0; k < users_.size(); ++k) {
+    out.push_back(wireless::UserMove{static_cast<UserId>(k), users_[k].position});
+  }
+  return out;
+}
+
 std::vector<MobilityClass> assign_classes(std::size_t n, double pedestrian_fraction,
                                           double bike_fraction, double vehicle_fraction,
                                           support::Rng& rng) {

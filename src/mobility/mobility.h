@@ -12,6 +12,7 @@
 
 #include "src/support/rng.h"
 #include "src/wireless/geometry.h"
+#include "src/wireless/topology.h"
 
 namespace trimcaching::mobility {
 
@@ -48,6 +49,13 @@ class MobilityModel {
   void step(double dt_seconds, support::Rng& rng);
 
   [[nodiscard]] std::vector<wireless::Point> positions() const;
+
+  /// The current positions as a per-user move list for
+  /// NetworkTopology::apply_user_moves — the kinematic model moves every
+  /// user every slot, so the list always names all users; the topology's
+  /// delta machinery works out which link spans actually changed.
+  [[nodiscard]] std::vector<wireless::UserMove> moves() const;
+
   [[nodiscard]] const std::vector<UserKinematics>& users() const noexcept {
     return users_;
   }

@@ -58,6 +58,51 @@ EvalPlan::EvalPlan(const wireless::NetworkTopology& topology,
   }
 }
 
+void EvalPlan::apply_delta(const wireless::NetworkTopology& topology,
+                           const wireless::TopologyDelta& delta) {
+  if (delta.full || delta.from_revision != revision_ ||
+      delta.to_revision != topology.revision()) {
+    throw std::invalid_argument("EvalPlan::apply_delta: delta does not chain");
+  }
+  if (topology.num_users() != num_users_ || topology.num_servers() != num_servers_) {
+    throw std::invalid_argument("EvalPlan::apply_delta: dimension mismatch");
+  }
+
+  // The topology has already patched its flat views; carry them over (cheap
+  // contiguous copies that reuse this plan's capacity) and then patch the
+  // derived inverse rates span-by-span: dirty users recompute, clean users
+  // copy their old values, which are bit-identical by the delta contract.
+  // Request rows do not depend on positions and stay untouched.
+  const std::vector<std::size_t>& new_offsets = topology.covering_offsets();
+  const std::vector<double>& new_rate = topology.link_avg_rate_bps();
+  std::vector<double>& new_inv = inv_scratch_;
+  new_inv.resize(new_rate.size());
+  std::size_t next_dirty = 0;
+  for (UserId k = 0; k < num_users_; ++k) {
+    const bool dirty = next_dirty < delta.dirty_users.size() &&
+                       delta.dirty_users[next_dirty] == k;
+    if (dirty) ++next_dirty;
+    const std::size_t begin = new_offsets[k];
+    const std::size_t end = new_offsets[k + 1];
+    if (dirty) {
+      for (std::size_t l = begin; l < end; ++l) {
+        new_inv[l] = new_rate[l] > 0 ? 1.0 / new_rate[l] : kInf;
+      }
+    } else {
+      const std::size_t old_begin = link_offsets_[k];
+      for (std::size_t l = begin; l < end; ++l) {
+        new_inv[l] = avg_inv_rate_[old_begin + (l - begin)];
+      }
+    }
+  }
+  link_offsets_ = new_offsets;
+  link_server_ = topology.covering_flat();
+  link_bandwidth_hz_ = topology.link_bandwidth_hz();
+  link_mean_snr_ = topology.link_mean_snr();
+  avg_inv_rate_.swap(inv_scratch_);  // scratch keeps capacity for the next slot
+  revision_ = delta.to_revision;
+}
+
 void EvalPlan::check_placement(const core::PlacementSolution& placement) const {
   if (placement.num_servers() != num_servers_ ||
       placement.num_models() != num_models_) {
@@ -103,6 +148,71 @@ double EvalPlan::hit_ratio(const core::PlacementSolution& placement,
   return total_mass_ > 0 ? hit_mass / total_mass_ : 0.0;
 }
 
+EvalPlan::PlacementLowering EvalPlan::lower_placement(
+    const core::PlacementSolution& placement) const {
+  PlacementLowering lowering;
+  const std::size_t rows = rows_.size();
+  lowering.holder_offsets.assign(rows + 1, 0);
+  lowering.relay_eligible.assign(rows, 0);
+  lowering.active.assign(rows, 0);
+  for (UserId k = 0; k < num_users_; ++k) {
+    const std::size_t link_begin = link_offsets_[k];
+    const std::size_t link_end = link_offsets_[k + 1];
+    for (std::size_t r = row_offsets_[k]; r < row_offsets_[k + 1]; ++r) {
+      const ModelId model = rows_[r].model;
+      const std::size_t num_holders = placement.holders_of(model).size();
+      if (num_holders > 0) {
+        lowering.active[r] = 1;
+        std::size_t covering_holders = 0;
+        for (std::size_t l = link_begin; l < link_end; ++l) {
+          if (!placement.placed(link_server_[l], model)) continue;
+          ++covering_holders;
+          lowering.holder_links.push_back(static_cast<std::uint32_t>(l));
+        }
+        lowering.relay_eligible[r] = num_holders > covering_holders;
+      }
+      lowering.holder_offsets[r + 1] =
+          static_cast<std::uint32_t>(lowering.holder_links.size());
+    }
+  }
+  return lowering;
+}
+
+double EvalPlan::hit_ratio_lowered(const PlacementLowering& lowering,
+                                   const double* inv_rate) const {
+  // Same reduction as the scalar kernel, term for term: "exists a covering
+  // holder link within budget" is equivalent to "payload * min holder
+  // inverse-rate <= budget" because multiplication by a positive payload is
+  // monotone under IEEE rounding — so the accumulated mass is bit-identical.
+  double hit_mass = 0.0;
+  for (UserId k = 0; k < num_users_; ++k) {
+    const std::size_t link_begin = link_offsets_[k];
+    const std::size_t link_end = link_offsets_[k + 1];
+    double best_inv = kInf;
+    for (std::size_t l = link_begin; l < link_end; ++l) {
+      best_inv = std::min(best_inv, inv_rate[l]);
+    }
+    for (std::size_t r = row_offsets_[k]; r < row_offsets_[k + 1]; ++r) {
+      if (!lowering.active[r]) continue;
+      const Row& row = rows_[r];
+      double holder_inv = kInf;
+      for (std::uint32_t h = lowering.holder_offsets[r];
+           h < lowering.holder_offsets[r + 1]; ++h) {
+        holder_inv = std::min(holder_inv, inv_rate[lowering.holder_links[h]]);
+      }
+      bool hit = row.payload_bits * holder_inv <= row.budget_s;  // Eq. 4
+      if (!hit && lowering.relay_eligible[r] && best_inv < kInf) {
+        // Relay through the fastest covering server (Eq. 5).
+        const double latency =
+            row.payload_bits / backhaul_bps_ + row.payload_bits * best_inv;
+        hit = latency <= row.budget_s;
+      }
+      if (hit) hit_mass += row.probability;
+    }
+  }
+  return total_mass_ > 0 ? hit_mass / total_mass_ : 0.0;
+}
+
 double EvalPlan::expected_hit_ratio(const core::PlacementSolution& placement) const {
   check_placement(placement);
   return hit_ratio(placement, avg_inv_rate_.data());
@@ -111,7 +221,8 @@ double EvalPlan::expected_hit_ratio(const core::PlacementSolution& placement) co
 support::Summary EvalPlan::fading_hit_ratio(const core::PlacementSolution& placement,
                                             std::size_t realizations,
                                             const support::Rng& rng,
-                                            std::size_t threads) const {
+                                            std::size_t threads,
+                                            FadingKernel kernel) const {
   if (realizations == 0) {
     throw std::invalid_argument("fading_hit_ratio: zero realizations");
   }
@@ -119,20 +230,56 @@ support::Summary EvalPlan::fading_hit_ratio(const core::PlacementSolution& place
 
   const std::size_t links = num_links();
   std::vector<double> ratios(realizations);
-  support::parallel_for(realizations, threads, [&](std::size_t r) {
-    // Per-thread reusable scratch: no allocation after warmup.
-    static thread_local std::vector<double> inv_rate;
-    inv_rate.resize(links);
-    support::Rng real_rng = rng.at(kFadingStream, r);
-    for (std::size_t l = 0; l < links; ++l) {
-      const double gain = wireless::sample_rayleigh_power_gain(real_rng);
-      const double bw = link_bandwidth_hz_[l];
-      const double rate =
-          bw > 0 ? bw * std::log2(1.0 + link_mean_snr_[l] * gain) : 0.0;
-      inv_rate[l] = rate > 0 ? 1.0 / rate : kInf;
-    }
-    ratios[r] = hit_ratio(placement, inv_rate.data());
-  });
+
+  if (kernel == FadingKernel::kScalarReference) {
+    support::parallel_for(realizations, threads, [&](std::size_t r) {
+      // Per-thread reusable scratch: no allocation after warmup.
+      static thread_local std::vector<double> inv_rate;
+      inv_rate.resize(links);
+      support::Rng real_rng = rng.at(kFadingStream, r);
+      for (std::size_t l = 0; l < links; ++l) {
+        const double gain = wireless::sample_rayleigh_power_gain(real_rng);
+        const double bw = link_bandwidth_hz_[l];
+        const double rate =
+            bw > 0 ? bw * std::log2(1.0 + link_mean_snr_[l] * gain) : 0.0;
+        inv_rate[l] = rate > 0 ? 1.0 / rate : kInf;
+      }
+      ratios[r] = hit_ratio(placement, inv_rate.data());
+    });
+  } else {
+    // Batched kernel: lower the placement once (all the per-link bitset
+    // chasing happens here, outside the realization loop), then run blocks
+    // of realizations over SoA scratch. Phase A fills the gains (the only
+    // sequential part — the counter-based stream is drawn in link order);
+    // phase B is a branch-free gain -> inverse-rate transform the compiler
+    // can pipeline/vectorize (zero-bandwidth links fall out as 1/0 = +inf,
+    // matching the scalar kernel's guards bit for bit); phase C reduces the
+    // pre-lowered holder lists.
+    const PlacementLowering lowering = lower_placement(placement);
+    constexpr std::size_t kRealizationBlock = 8;
+    const std::size_t num_blocks =
+        (realizations + kRealizationBlock - 1) / kRealizationBlock;
+    support::parallel_for(num_blocks, threads, [&](std::size_t b) {
+      static thread_local std::vector<double> gains;
+      static thread_local std::vector<double> inv_rate;
+      gains.resize(links);
+      inv_rate.resize(links);
+      const std::size_t block_end =
+          std::min(realizations, (b + 1) * kRealizationBlock);
+      for (std::size_t r = b * kRealizationBlock; r < block_end; ++r) {
+        support::Rng real_rng = rng.at(kFadingStream, r);
+        for (std::size_t l = 0; l < links; ++l) {
+          gains[l] = wireless::sample_rayleigh_power_gain(real_rng);
+        }
+        const double* bw = link_bandwidth_hz_.data();
+        const double* snr = link_mean_snr_.data();
+        for (std::size_t l = 0; l < links; ++l) {
+          inv_rate[l] = 1.0 / (bw[l] * std::log2(1.0 + snr[l] * gains[l]));
+        }
+        ratios[r] = hit_ratio_lowered(lowering, inv_rate.data());
+      }
+    });
+  }
 
   // Index-order reduction: identical bits for every thread count.
   support::RunningStats stats;

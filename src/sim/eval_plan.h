@@ -25,8 +25,20 @@
 // identical channel draws. Realization means are reduced in index order.
 //
 // Mobility: the plan is a snapshot. When the topology's user positions
-// change, build a new plan (sim::Evaluator does this automatically by
-// watching NetworkTopology::revision()).
+// change, apply_delta() patches the arena in place from the topology's
+// TopologyDelta — only the dirty users' link spans are recomputed, the
+// clean spans and the (position-independent) request rows are carried over
+// — and is bit-identical to building a fresh plan from the new snapshot.
+// sim::Evaluator drives this automatically by matching
+// NetworkTopology::last_delta() against its cached plan's revision, falling
+// back to a full rebuild when the delta does not chain.
+//
+// Fading kernels: fading_hit_ratio lowers the placement once per call into
+// flat per-row holder-link lists and then runs a batched, branch-free
+// realization kernel over SoA scratch (gains, then inverse rates, then
+// per-user min-reductions) — FadingKernel::kBatched. The pre-lowering
+// kernel survives as FadingKernel::kScalarReference for A/B benchmarks and
+// equivalence tests; both produce bit-identical summaries.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +57,12 @@ namespace trimcaching::sim {
 /// Stream tag for the counter-based per-realization fading derivation.
 inline constexpr std::uint64_t kFadingStream = 0xFADEull;
 
+/// Which inner loop fading_hit_ratio runs; results are bit-identical.
+enum class FadingKernel {
+  kBatched,          ///< per-call placement lowering + SoA realization kernel
+  kScalarReference,  ///< the pre-lowering per-link scalar loop (benchmarks)
+};
+
 class EvalPlan {
  public:
   /// Snapshots the topology's current association/gain structure. Throws
@@ -52,6 +70,17 @@ class EvalPlan {
   EvalPlan(const wireless::NetworkTopology& topology,
            const model::ModelLibrary& library,
            const workload::RequestModel& requests);
+
+  /// Patches the plan in place to the topology's current snapshot using the
+  /// dirty user set of `delta`: only the named users' link spans have their
+  /// inverse rates recomputed; every other span and all request rows are
+  /// carried over. The patched plan is bit-identical to a freshly built one.
+  ///
+  /// The delta must chain — delta.from_revision == topology_revision(),
+  /// delta.to_revision == topology.revision(), and !delta.full — otherwise
+  /// std::invalid_argument is thrown (callers fall back to a rebuild).
+  void apply_delta(const wireless::NetworkTopology& topology,
+                   const wireless::TopologyDelta& delta);
 
   [[nodiscard]] std::size_t num_users() const noexcept { return num_users_; }
   [[nodiscard]] std::size_t num_links() const noexcept { return link_server_.size(); }
@@ -64,10 +93,12 @@ class EvalPlan {
 
   /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
   /// up to `threads` pool workers (0 = hardware concurrency, 1 = inline).
-  /// Bit-identical for any thread count; does not advance `rng`.
+  /// Bit-identical for any thread count and either kernel; does not advance
+  /// `rng`.
   [[nodiscard]] support::Summary fading_hit_ratio(
       const core::PlacementSolution& placement, std::size_t realizations,
-      const support::Rng& rng, std::size_t threads = 1) const;
+      const support::Rng& rng, std::size_t threads = 1,
+      FadingKernel kernel = FadingKernel::kBatched) const;
 
  private:
   struct Row {
@@ -77,9 +108,29 @@ class EvalPlan {
     double budget_s;  ///< deadline minus on-device inference (slack)
   };
 
-  /// Hit ratio for one realized per-link inverse-rate array.
+  /// Per-call lowering of a placement against this arena: for every request
+  /// row, the covering links that hold the row's model (indices into the
+  /// flat link arrays) and whether a relay through the best covering server
+  /// can reach an out-of-coverage holder (Eq. 5 eligibility).
+  struct PlacementLowering {
+    std::vector<std::uint32_t> holder_offsets;  ///< per row, size rows + 1
+    std::vector<std::uint32_t> holder_links;    ///< flat link indices
+    std::vector<std::uint8_t> relay_eligible;   ///< per row
+    std::vector<std::uint8_t> active;           ///< per row: model placed at all
+  };
+
+  [[nodiscard]] PlacementLowering lower_placement(
+      const core::PlacementSolution& placement) const;
+
+  /// Hit ratio for one realized per-link inverse-rate array (scalar
+  /// reference kernel: chases placement bitsets per link per row).
   [[nodiscard]] double hit_ratio(const core::PlacementSolution& placement,
                                  const double* inv_rate) const;
+
+  /// Batched kernel: same reduction over the pre-lowered holder lists; no
+  /// placement lookups and no per-link branches on the hot path.
+  [[nodiscard]] double hit_ratio_lowered(const PlacementLowering& lowering,
+                                         const double* inv_rate) const;
 
   void check_placement(const core::PlacementSolution& placement) const;
 
@@ -100,6 +151,10 @@ class EvalPlan {
   // Request rows: user k owns [row_offsets_[k], row_offsets_[k+1]).
   std::vector<std::size_t> row_offsets_;
   std::vector<Row> rows_;
+
+  // apply_delta ping-pong scratch: keeps capacity across mobility slots so
+  // steady-state incremental updates do not allocate.
+  std::vector<double> inv_scratch_;
 };
 
 }  // namespace trimcaching::sim

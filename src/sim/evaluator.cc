@@ -2,7 +2,12 @@
 
 #include <stdexcept>
 
+#include "src/support/timing.h"
+
 namespace trimcaching::sim {
+
+using support::seconds_since;
+using Clock = support::WallClock;
 
 Evaluator::Evaluator(const wireless::NetworkTopology& topology,
                      const model::ModelLibrary& library,
@@ -15,9 +20,30 @@ Evaluator::Evaluator(const wireless::NetworkTopology& topology,
 }
 
 const EvalPlan& Evaluator::plan() const {
-  if (!plan_ || plan_->topology_revision() != topology_->revision()) {
-    plan_ = std::make_unique<EvalPlan>(*topology_, *library_, *requests_);
+  const std::uint64_t revision = topology_->revision();
+  // Fresh plan (placement-only changes land here: they never move the
+  // topology revision, so the cached plan is reused as-is).
+  if (plan_ && plan_->topology_revision() == revision) return *plan_;
+
+  // Incremental path: the topology's last delta chains from our snapshot.
+  if (plan_) {
+    const wireless::TopologyDelta& delta = topology_->last_delta();
+    if (!delta.full && delta.to_revision == revision &&
+        delta.from_revision == plan_->topology_revision()) {
+      const auto start = Clock::now();
+      plan_->apply_delta(*topology_, delta);
+      stats_.delta_seconds += seconds_since(start);
+      ++stats_.deltas;
+      return *plan_;
+    }
   }
+
+  // Full rebuild: first use, a full-rebuild delta, or a delta chain we
+  // missed (more than one revision behind).
+  const auto start = Clock::now();
+  plan_ = std::make_unique<EvalPlan>(*topology_, *library_, *requests_);
+  stats_.build_seconds += seconds_since(start);
+  ++stats_.builds;
   return *plan_;
 }
 

@@ -9,13 +9,27 @@
 // relayed through the best covering server, Eq. 5).
 //
 // Evaluator is a thin façade over the flat EvalPlan arena (eval_plan.h): it
-// lazily builds a plan from the topology's *current* snapshot and rebuilds
-// it whenever NetworkTopology::revision() moves (mobility = rebuild the
-// plan), so the mobility studies keep their update-then-evaluate workflow.
-// The lazy cache makes the façade non-thread-safe: share an Evaluator
-// within one thread only (fading_hit_ratio itself fans out internally).
+// lazily builds a plan from the topology's *current* snapshot and keeps it
+// fresh across mobility:
+//
+//   * placement-only changes never touch the topology revision, so they
+//     never invalidate the plan — evaluating any number of different
+//     placements costs exactly one build (plan_stats().builds counts them;
+//     tests/eval_delta_test.cc locks this in);
+//   * when the revision moves and NetworkTopology::last_delta() chains from
+//     the cached plan's revision, the plan is patched in place with
+//     EvalPlan::apply_delta (bit-identical to a rebuild, but skips the
+//     whole request-row refiltering and every clean link span);
+//   * otherwise (first use, full rebuild fallback, skipped revisions) a
+//     fresh plan is built.
+//
+// plan_stats() exposes counts and wall-clock of both maintenance paths for
+// the mobility benches. The lazy cache makes the façade non-thread-safe:
+// share an Evaluator within one thread only (fading_hit_ratio itself fans
+// out internally).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "src/core/placement.h"
@@ -27,6 +41,14 @@
 #include "src/workload/request_model.h"
 
 namespace trimcaching::sim {
+
+/// Counters/timers of the Evaluator's plan-maintenance paths.
+struct PlanMaintenanceStats {
+  std::size_t builds = 0;        ///< full EvalPlan constructions
+  std::size_t deltas = 0;        ///< in-place apply_delta patches
+  double build_seconds = 0.0;    ///< wall-clock spent in full builds
+  double delta_seconds = 0.0;    ///< wall-clock spent in delta patches
+};
 
 class Evaluator {
  public:
@@ -48,14 +70,23 @@ class Evaluator {
       const core::PlacementSolution& placement, std::size_t realizations,
       const support::Rng& rng, std::size_t threads = 1) const;
 
-  /// The plan for the topology's current snapshot (rebuilt after mobility).
+  /// The plan for the topology's current snapshot (delta-patched or rebuilt
+  /// after mobility; untouched by placement-only changes).
   [[nodiscard]] const EvalPlan& plan() const;
+
+  /// Cumulative plan-maintenance counters since construction (or the last
+  /// reset). Mutated lazily by plan().
+  [[nodiscard]] const PlanMaintenanceStats& plan_stats() const noexcept {
+    return stats_;
+  }
+  void reset_plan_stats() const noexcept { stats_ = PlanMaintenanceStats{}; }
 
  private:
   const wireless::NetworkTopology* topology_;
   const model::ModelLibrary* library_;
   const workload::RequestModel* requests_;
   mutable std::unique_ptr<EvalPlan> plan_;
+  mutable PlanMaintenanceStats stats_;
 };
 
 }  // namespace trimcaching::sim

@@ -1,8 +1,9 @@
 #include "src/sim/placement_repair.h"
 
-#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "src/support/timing.h"
 
 namespace trimcaching::sim {
 
@@ -29,7 +30,7 @@ PlacementRepair::PlacementRepair(const Scenario& scenario,
 
 RepairResult PlacementRepair::repair(const core::PlacementSolution& stitched,
                                      std::size_t threads) const {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = support::WallClock::now();
   if (threads == SIZE_MAX) threads = config_.threads;
 
   core::RepairPassConfig pass;
@@ -45,8 +46,7 @@ RepairResult PlacementRepair::repair(const core::PlacementSolution& stitched,
   result.models_added = stats.models_added;
   result.gain_evaluations = stats.gain_evaluations;
   result.duplication_after = core::duplication_factor(result.placement);
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.wall_seconds = support::seconds_since(start);
   return result;
 }
 

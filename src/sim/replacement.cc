@@ -4,10 +4,45 @@
 
 #include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
+#include "src/support/timing.h"
 
 namespace trimcaching::sim {
 
 namespace {
+
+using support::WallClock;
+using support::seconds_since;
+
+// One evaluated slot's topology refresh: incremental = feed the mobility
+// step to apply_user_moves (the Evaluator then patches its plan from the
+// dirty-set delta); legacy = monolithic update_user_positions (full plan
+// rebuild downstream). Both paths are bit-identical by the delta contract.
+void update_topology(wireless::NetworkTopology& topology,
+                     const mobility::MobilityModel& mobility,
+                     const MobilityStudyConfig& config,
+                     MobilityStudyTelemetry& telemetry) {
+  const auto start = WallClock::now();
+  if (config.incremental) {
+    const wireless::TopologyDelta& delta =
+        topology.apply_user_moves(mobility.moves(), config.delta_fallback_fraction);
+    if (delta.full) ++telemetry.delta_fallbacks;
+  } else {
+    topology.update_user_positions(mobility.positions());
+  }
+  telemetry.topology_update_seconds += seconds_since(start);
+  ++telemetry.topology_updates;
+}
+
+// Folds the Evaluator's plan counters into the run telemetry.
+void finish_telemetry(const Evaluator& evaluator, MobilityStudyTelemetry& telemetry,
+                      MobilityStudyTelemetry* out) {
+  const PlanMaintenanceStats& stats = evaluator.plan_stats();
+  telemetry.plan_builds = stats.builds;
+  telemetry.plan_deltas = stats.deltas;
+  telemetry.plan_build_seconds = stats.build_seconds;
+  telemetry.plan_delta_seconds = stats.delta_seconds;
+  if (out != nullptr) *out = telemetry;
+}
 
 // Per-slot fading base: fading_hit_ratio derives its realizations
 // counter-based from the base Rng (it no longer advances it), so each time
@@ -35,7 +70,8 @@ double evaluate(const Evaluator& evaluator, const core::PlacementSolution& place
 
 std::vector<MobilityTracePoint> run_mobility_study(const ScenarioConfig& scenario_config,
                                                    const MobilityStudyConfig& config,
-                                                   support::Rng& rng) {
+                                                   support::Rng& rng,
+                                                   MobilityStudyTelemetry* telemetry) {
   if (config.eval_every_slots == 0) {
     throw std::invalid_argument("run_mobility_study: eval_every_slots == 0");
   }
@@ -64,28 +100,34 @@ std::vector<MobilityTracePoint> run_mobility_study(const ScenarioConfig& scenari
 
   const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
   const support::Rng fading_master = rng.fork(600);
+  MobilityStudyTelemetry run_telemetry;
   std::vector<MobilityTracePoint> trace;
   {
     const support::Rng slot_rng = fading_master.at(0, 0);
     trace.push_back(MobilityTracePoint{0.0, evaluate(evaluator, spec, config, slot_rng),
                                        evaluate(evaluator, gen, config, slot_rng)});
   }
+  // The t = 0 plan build is a one-time cost shared by both maintenance
+  // paths; drop it so the telemetry reports pure per-slot maintenance.
+  evaluator.reset_plan_stats();
   for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
     mobility.step(config.slot_seconds, rng);
     if (slot % config.eval_every_slots != 0) continue;
-    scenario.topology.update_user_positions(mobility.positions());
+    update_topology(scenario.topology, mobility, config, run_telemetry);
     const support::Rng slot_rng = fading_master.at(0, slot);
     trace.push_back(MobilityTracePoint{
         slot * config.slot_seconds / 60.0, evaluate(evaluator, spec, config, slot_rng),
         evaluate(evaluator, gen, config, slot_rng)});
   }
+  finish_telemetry(evaluator, run_telemetry, telemetry);
   return trace;
 }
 
 ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_config,
                                              const MobilityStudyConfig& config,
                                              const ReplacementPolicy& policy,
-                                             support::Rng& rng) {
+                                             support::Rng& rng,
+                                             MobilityStudyTelemetry* telemetry) {
   if (policy.degradation_threshold <= 0 || policy.degradation_threshold >= 1) {
     throw std::invalid_argument("run_replacement_study: threshold out of (0,1)");
   }
@@ -108,14 +150,18 @@ ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_conf
 
   const Evaluator evaluator(scenario.topology, scenario.library, scenario.requests);
   const support::Rng fading_master = rng.fork(600);
+  MobilityStudyTelemetry run_telemetry;
   ReplacementStudyResult result;
   double reference = evaluate(evaluator, placement, config, fading_master.at(0, 0));
   result.trace.push_back(ReplacementTracePoint{0.0, reference, false});
+  // The t = 0 plan build is a one-time cost shared by both maintenance
+  // paths; drop it so the telemetry reports pure per-slot maintenance.
+  evaluator.reset_plan_stats();
 
   for (std::size_t slot = 1; slot <= config.num_slots; ++slot) {
     mobility.step(config.slot_seconds, rng);
     if (slot % config.eval_every_slots != 0) continue;
-    scenario.topology.update_user_positions(mobility.positions());
+    update_topology(scenario.topology, mobility, config, run_telemetry);
     const support::Rng slot_rng = fading_master.at(0, slot);
     double ratio = evaluate(evaluator, placement, config, slot_rng);
     bool replaced = false;
@@ -131,6 +177,7 @@ ReplacementStudyResult run_replacement_study(const ScenarioConfig& scenario_conf
     result.trace.push_back(
         ReplacementTracePoint{slot * config.slot_seconds / 60.0, ratio, replaced});
   }
+  finish_telemetry(evaluator, run_telemetry, telemetry);
   return result;
 }
 

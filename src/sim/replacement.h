@@ -25,13 +25,52 @@ struct MobilityStudyConfig {
   /// Per-slot evaluation thread count (0 = hardware concurrency): each
   /// slot's fading realizations are sharded over the pool. Combined with the
   /// Evaluator's revision-watching plan cache this batches a slot into one
-  /// plan rebuild plus realization-sharded scoring; results are
+  /// plan refresh plus realization-sharded scoring; results are
   /// bit-identical for any value.
   std::size_t threads = 0;
+  /// Incremental plan maintenance: per evaluated slot the topology consumes
+  /// the mobility step as a per-user move list (apply_user_moves) and the
+  /// Evaluator patches its EvalPlan from the resulting dirty-set delta
+  /// instead of rebuilding. Bit-identical to the monolithic path (false =
+  /// legacy update_user_positions + full rebuild; kept for A/B timing).
+  bool incremental = true;
+  /// Structural-churn fraction above which apply_user_moves falls back to a
+  /// full rebuild (see NetworkTopology::apply_user_moves). The studies
+  /// default to 1.0 (never fall back): their eval cadence is minutes, so
+  /// most users cross coverage boundaries between samples, yet the
+  /// compacting patch still beats a rebuild at full churn because the plan
+  /// delta skips the whole request-row refiltering. Lower it to re-enable
+  /// rebuild semantics under heavy churn.
+  double delta_fallback_fraction = 1.0;
   /// Registry specs (core/solver_registry.h) of the two placements tracked
   /// by the study; the defaults reproduce the paper's Fig. 7 pairing.
   std::string first_solver = "spec";
   std::string second_solver = "gen";
+};
+
+/// Plan/topology maintenance telemetry of one mobility or replacement study
+/// run: how the per-slot update-then-evaluate pipeline spent its wall-clock
+/// keeping the evaluation arena fresh (solver and scoring time excluded).
+struct MobilityStudyTelemetry {
+  std::size_t topology_updates = 0;      ///< evaluated slots with a position update
+  double topology_update_seconds = 0.0;  ///< apply_user_moves / update_user_positions
+  std::size_t plan_builds = 0;           ///< full EvalPlan constructions
+  std::size_t plan_deltas = 0;           ///< in-place EvalPlan delta patches
+  double plan_build_seconds = 0.0;
+  double plan_delta_seconds = 0.0;
+  std::size_t delta_fallbacks = 0;  ///< incremental updates that hit the
+                                    ///< structural-churn full-rebuild fallback
+
+  /// Total plan-maintenance wall-clock (topology update + plan refresh).
+  [[nodiscard]] double maintenance_seconds() const {
+    return topology_update_seconds + plan_build_seconds + plan_delta_seconds;
+  }
+  /// Mean maintenance wall-clock per evaluated slot (0 when none ran).
+  [[nodiscard]] double per_slot_maintenance_seconds() const {
+    return topology_updates == 0
+               ? 0.0
+               : maintenance_seconds() / static_cast<double>(topology_updates);
+  }
 };
 
 struct MobilityTracePoint {
@@ -44,9 +83,11 @@ struct MobilityTracePoint {
 
 /// Computes both configured placements on the initial snapshot, then holds
 /// them fixed while users move, recording the achieved hit ratio over time.
+/// When `telemetry` is non-null the plan-maintenance counters of the run
+/// are written into it.
 [[nodiscard]] std::vector<MobilityTracePoint> run_mobility_study(
     const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
-    support::Rng& rng);
+    support::Rng& rng, MobilityStudyTelemetry* telemetry = nullptr);
 
 struct ReplacementPolicy {
   /// Re-place when the current ratio falls below (1 - threshold) x the
@@ -68,9 +109,12 @@ struct ReplacementStudyResult {
 };
 
 /// Same mobility trace, but with the §IV-A policy active (placements are
-/// recomputed with the policy's solver whenever the threshold trips).
+/// recomputed with the policy's solver whenever the threshold trips). When
+/// `telemetry` is non-null the plan-maintenance counters of the run are
+/// written into it.
 [[nodiscard]] ReplacementStudyResult run_replacement_study(
     const ScenarioConfig& scenario_config, const MobilityStudyConfig& config,
-    const ReplacementPolicy& policy, support::Rng& rng);
+    const ReplacementPolicy& policy, support::Rng& rng,
+    MobilityStudyTelemetry* telemetry = nullptr);
 
 }  // namespace trimcaching::sim

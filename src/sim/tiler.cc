@@ -1,13 +1,13 @@
 #include "src/sim/tiler.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
 
 #include "src/core/solver_registry.h"
 #include "src/support/parallel.h"
+#include "src/support/timing.h"
 #include "src/wireless/spatial_grid.h"
 
 namespace trimcaching::sim {
@@ -134,7 +134,7 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
   (void)core::SolverRegistry::instance().make(solver_spec);
   if (threads == SIZE_MAX) threads = config_.threads;
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = support::WallClock::now();
   const support::Rng master(seed);
   std::vector<std::optional<core::SolverOutcome>> outcomes(tiles_.size());
   support::parallel_for(tiles_.size(), threads, [&](std::size_t t) {
@@ -173,8 +173,7 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
   // forgoes the improvement.
   const bool budget_left =
       time_budget_s <= 0 ||
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-              .count() < time_budget_s;
+      support::seconds_since(start) < time_budget_s;
   if (config_.repair && budget_left) {
     if (!repair_) {
       repair_ = std::make_unique<PlacementRepair>(
@@ -191,8 +190,7 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
   // Honest global score of the final placement (Eq. 2 on the full scenario,
   // through the evaluator's cached flat arena).
   result.hit_ratio = evaluator_.expected_hit_ratio(result.placement);
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.wall_seconds = support::seconds_since(start);
   return result;
 }
 

@@ -1,0 +1,16 @@
+// Shared wall-clock helper for the maintenance/solve timing sprinkled
+// through sim/ — one steady_clock idiom instead of per-file copies.
+#pragma once
+
+#include <chrono>
+
+namespace trimcaching::support {
+
+using WallClock = std::chrono::steady_clock;
+
+/// Seconds elapsed since `start`.
+[[nodiscard]] inline double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+}  // namespace trimcaching::support

@@ -53,12 +53,16 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
   full.speedup_vs_serial = 3.5;
   full.hit_ratio = 0.75;
   full.duplication_factor = 1.25;
+  full.plan_rebuilds = 2.0;
+  full.plan_deltas = 10.0;
+  full.plan_update_speedup = 4.5;
   write_bench_json(path, {full});
 
   const std::set<std::string> expected = {
       "schema",  "git_rev",           "hardware_threads", "benchmarks",
       "name",    "wall_seconds",      "throughput",       "threads",
-      "speedup_vs_serial", "hit_ratio", "duplication_factor"};
+      "speedup_vs_serial", "hit_ratio", "duplication_factor",
+      "plan_rebuilds", "plan_deltas", "plan_update_speedup"};
   EXPECT_EQ(keys_in(slurp(path)), expected);
 
   // Optional columns disappear when not recorded; required ones never do.
@@ -83,6 +87,9 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   full.speedup_vs_serial = 3.5;
   full.hit_ratio = 0.75;
   full.duplication_factor = 1.25;
+  full.plan_rebuilds = 2.0;
+  full.plan_deltas = 10.0;
+  full.plan_update_speedup = 4.5;
   JsonRecord minimal;
   minimal.name = "kernel_minimal";
   minimal.wall_seconds = 0.125;
@@ -97,12 +104,52 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_DOUBLE_EQ(f.speedup_vs_serial, 3.5);
   EXPECT_DOUBLE_EQ(f.hit_ratio, 0.75);
   EXPECT_DOUBLE_EQ(f.duplication_factor, 1.25);
+  EXPECT_DOUBLE_EQ(f.plan_rebuilds, 2.0);
+  EXPECT_DOUBLE_EQ(f.plan_deltas, 10.0);
+  EXPECT_DOUBLE_EQ(f.plan_update_speedup, 4.5);
   const JsonRecord& m = records.at("kernel_minimal");
   EXPECT_DOUBLE_EQ(m.wall_seconds, 0.125);
   // Absent optional columns keep their "not recorded" defaults.
   EXPECT_DOUBLE_EQ(m.speedup_vs_serial, 0.0);
   EXPECT_LT(m.hit_ratio, 0.0);
   EXPECT_LT(m.duplication_factor, 0.0);
+  EXPECT_LT(m.plan_rebuilds, 0.0);
+  EXPECT_LT(m.plan_deltas, 0.0);
+  EXPECT_DOUBLE_EQ(m.plan_update_speedup, 0.0);
+}
+
+TEST(BenchJsonSchema, MergePreservesForeignRecordsAndOverwritesByName) {
+  // fig6b and fig7 share BENCH_runtime.json: a merge keeps the other
+  // binary's records and replaces re-recorded names.
+  const std::string path = temp_path("bench_schema_merge.json");
+  JsonRecord fig6b;
+  fig6b.name = "fig6b_runtime";
+  fig6b.wall_seconds = 1.5;
+  write_bench_json(path, {fig6b});
+
+  JsonRecord fig7;
+  fig7.name = "fig7_100x_plan_delta";
+  fig7.wall_seconds = 0.01;
+  fig7.plan_update_speedup = 5.0;
+  merge_bench_json(path, {fig7});
+
+  auto records = read_bench_json(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records.at("fig6b_runtime").wall_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(records.at("fig7_100x_plan_delta").plan_update_speedup, 5.0);
+
+  // Re-recording the same name wins; the foreign record still survives.
+  fig7.plan_update_speedup = 6.0;
+  merge_bench_json(path, {fig7});
+  records = read_bench_json(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_DOUBLE_EQ(records.at("fig7_100x_plan_delta").plan_update_speedup, 6.0);
+
+  // Merging into a missing document just writes it.
+  const std::string fresh = temp_path("bench_schema_merge_fresh.json");
+  std::remove(fresh.c_str());
+  merge_bench_json(fresh, {fig7});
+  EXPECT_EQ(read_bench_json(fresh).size(), 1u);
 }
 
 TEST(BenchJsonSchema, ReaderFailsLoudlyOnSchemaDrift) {

@@ -30,7 +30,12 @@
 //                   duplication compares the duplication_factor column
 //                   (fig8_scale's cross-tile placement-duplication metric,
 //                   also hardware-independent) and fails when it *rises* by
-//                   more than threshold_pct
+//                   more than threshold_pct; plan_update compares the
+//                   plan_update_speedup column (the mobility studies'
+//                   within-run full-rebuild over delta-path per-slot
+//                   maintenance ratio, hardware-independent) and fails when
+//                   it *drops* by more than threshold_pct — the delta-path
+//                   regression gate
 //
 // Matching is by benchmark name; parsing goes through the shared strict
 // bench::read_bench_json, so a record missing the locked schema keys aborts
@@ -61,10 +66,11 @@ int main(int argc, char** argv) {
     const double min_wall_s = options.get_double("min_wall_s", 0.0);
     const std::string filter = options.get_string("filter", "");
     const std::string metric = options.get_string("metric", "wall");
-    if (metric != "wall" && metric != "speedup" && metric != "duplication") {
+    if (metric != "wall" && metric != "speedup" && metric != "duplication" &&
+        metric != "plan_update") {
       throw std::invalid_argument(
-          "bench_diff: metric must be wall|speedup|duplication, got '" + metric +
-          "'");
+          "bench_diff: metric must be wall|speedup|duplication|plan_update, got '" +
+          metric + "'");
     }
 
     const auto base = trimcaching::bench::read_bench_json(base_path);
@@ -90,16 +96,21 @@ int main(int argc, char** argv) {
       double delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
       const char* unit = "s";
       const char* direction = "";
-      if (metric == "speedup") {
-        // Ratio gate: regression = the within-run speedup *dropped*.
-        // Records without a serial comparison (speedup 0) have no ratio to
-        // compare and are skipped.
-        if (entry.speedup_vs_serial <= 0) {
-          std::cout << "skip     " << name << "  (no baseline speedup ratio)\n";
+      if (metric == "speedup" || metric == "plan_update") {
+        // Ratio gates: regression = the within-run ratio *dropped* (the
+        // parallel kernel or the delta path lost its advantage). Baseline
+        // records without the ratio are skipped; a candidate that stops
+        // recording it reads as a 100% drop and fails loudly.
+        const double trimcaching::bench::JsonRecord::*ratio =
+            metric == "speedup" ? &trimcaching::bench::JsonRecord::speedup_vs_serial
+                                : &trimcaching::bench::JsonRecord::plan_update_speedup;
+        if (entry.*ratio <= 0) {
+          std::cout << "skip     " << name << "  (no baseline " << metric
+                    << " ratio)\n";
           continue;
         }
-        before = entry.speedup_vs_serial;
-        after = it->second.speedup_vs_serial;
+        before = entry.*ratio;
+        after = it->second.*ratio;
         delta_pct = (before - after) / before * 100.0;
         unit = "x";
         direction = " drop";
