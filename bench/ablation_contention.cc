@@ -1,15 +1,15 @@
 // Ablation: contention-aware replay vs the paper's snapshot rate model.
 //
 // The paper evaluates placements assuming every user enjoys its expected
-// bandwidth share simultaneously. The discrete-event simulator replays an
-// actual Poisson request process with processor-shared server bandwidth;
-// sweeping the arrival rate shows where the snapshot model's hit ratio stays
-// accurate and where queueing erodes it.
+// bandwidth share simultaneously. The serving engine replays an actual
+// Poisson request process with processor-shared server bandwidth; sweeping
+// the arrival rate shows where the snapshot model's hit ratio stays accurate
+// and where queueing erodes it.
 #include <iostream>
 
 #include "src/core/objective.h"
 #include "src/core/solver_registry.h"
-#include "src/sim/event_sim.h"
+#include "src/serve/engine.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/support/table.h"
@@ -37,20 +37,22 @@ int main() {
                         "mean_download_s", "p95_download_s", "mean_concurrency"});
   const double duration = sim::full_scale_requested() ? 3000.0 : 600.0;
   for (const double rate : {0.01, 0.05, 0.2, 0.5, 1.0, 2.0}) {
-    sim::EventSimConfig des;
-    des.arrival_rate_per_user = rate;
-    des.duration_s = duration;
-    support::Rng des_rng(100 + static_cast<std::uint64_t>(rate * 1000));
-    const auto result = sim::simulate_downloads(
-        scenario.topology, scenario.library, scenario.requests, placement, des, des_rng);
+    serve::ServeConfig serving;
+    serving.arrival_rate_per_user = rate;
+    serving.duration_s = duration;
+    serving.threads = 0;
+    const support::Rng serve_seed(100 + static_cast<std::uint64_t>(rate * 1000));
+    const auto result = serve::simulate_serving(
+        scenario.topology, scenario.library, scenario.requests, placement, serving,
+        serve_seed);
     table.add_row({support::Table::cell(rate, 2),
-                   support::Table::cell(result.empirical_hit_ratio, 4),
+                   support::Table::cell(result.hit_ratio, 4),
                    support::Table::cell(snapshot, 4),
                    support::Table::cell(result.mean_download_s, 3),
                    support::Table::cell(result.p95_download_s, 3),
                    support::Table::cell(result.mean_concurrency, 2)});
     std::cout << "[ablation_contention] rate=" << rate << " done ("
-              << result.requests << " requests)\n";
+              << result.totals.requests << " requests)\n";
   }
   sim::emit_experiment(
       "ablation_contention",

@@ -2,15 +2,15 @@
 //
 // The paper assumes an offline placement stage. A natural question is how
 // much that planning buys over a classical reactive cache that fetches
-// misses from the cloud and keeps blocks under LRU. Both policies run over
-// identical Poisson traffic in the discrete-event simulator:
+// misses from the cloud and keeps blocks under LRU. All policies run over
+// identical Poisson traffic in the serving engine:
 //   * planned — TrimCaching Gen placement, static caches;
-//   * reactive cold — caches start empty, LRU on miss;
-//   * reactive warm — caches start from the Gen placement, LRU on miss.
+//   * reactive cold — caches start empty, block-LRU on miss;
+//   * reactive warm — caches start from the Gen placement, block-LRU on miss.
 #include <iostream>
 
 #include "src/core/solver_registry.h"
-#include "src/sim/event_sim.h"
+#include "src/serve/engine.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/support/table.h"
@@ -37,33 +37,34 @@ int main() {
   struct Variant {
     std::string label;
     const core::PlacementSolution* start;
-    sim::CachePolicy policy;
+    std::string policy;
   };
   const std::vector<Variant> variants = {
-      {"planned (Gen, static)", &placement, sim::CachePolicy::kStatic},
-      {"reactive LRU, cold start", &empty, sim::CachePolicy::kLruOnMiss},
-      {"reactive LRU, warm start (Gen)", &placement, sim::CachePolicy::kLruOnMiss},
+      {"planned (Gen, static)", &placement, "static"},
+      {"reactive LRU, cold start", &empty, "lru"},
+      {"reactive LRU, warm start (Gen)", &placement, "lru"},
   };
 
   support::Table table({"policy", "hit_ratio", "cloud_fetches", "mean_download_s",
                         "p95_download_s"});
   const double duration = sim::full_scale_requested() ? 6000.0 : 1500.0;
   for (const auto& variant : variants) {
-    sim::EventSimConfig des;
-    des.arrival_rate_per_user = 0.2;
-    des.duration_s = duration;
-    des.cache_policy = variant.policy;
-    support::Rng des_rng(7);  // identical traffic for all variants
+    serve::ServeConfig serving;
+    serving.arrival_rate_per_user = 0.2;
+    serving.duration_s = duration;
+    serving.policy = variant.policy;
+    serving.threads = 0;
+    const support::Rng serve_seed(7);  // identical traffic for all variants
     const auto result =
-        sim::simulate_downloads(scenario.topology, scenario.library,
-                                scenario.requests, *variant.start, des, des_rng);
+        serve::simulate_serving(scenario.topology, scenario.library,
+                                scenario.requests, *variant.start, serving, serve_seed);
     table.add_row({variant.label,
-                   support::Table::cell(result.empirical_hit_ratio, 4),
-                   support::Table::cell(result.cloud_fetches),
+                   support::Table::cell(result.hit_ratio, 4),
+                   support::Table::cell(result.totals.cloud_fetches),
                    support::Table::cell(result.mean_download_s, 3),
                    support::Table::cell(result.p95_download_s, 3)});
     std::cout << "[ablation_dynamic] " << variant.label << " done ("
-              << result.requests << " requests)\n";
+              << result.totals.requests << " requests)\n";
   }
   sim::emit_experiment(
       "ablation_dynamic",

@@ -26,7 +26,12 @@
 // in-place delta patches behind the record's wall time; emitted when >= 0)
 // and `plan_update_speedup` (the within-run full-rebuild over delta-path
 // per-slot maintenance ratio — hardware-independent, gated by
-// bench_diff metric=plan_update; emitted when > 0).
+// bench_diff metric=plan_update; emitted when > 0). The serving bench
+// (fig9_serving) records the tail-latency columns `p50_ms` / `p95_ms` /
+// `p99_ms` (download-latency quantiles in milliseconds) and `served_rps`
+// (completed downloads per second), all emitted when >= 0; its hit_ratio
+// column carries the *empirical* deadline-hit ratio of the replay and is
+// drop-gated by bench_diff metric=hit_ratio.
 //
 // The key set is LOCKED: read_bench_json() below is the one parser every
 // consumer (tools/bench_diff, tests/bench_schema_test) goes through, and it
@@ -58,6 +63,10 @@ struct JsonRecord {
   double plan_rebuilds = -1.0;       ///< full EvalPlan builds; < 0 = n/a
   double plan_deltas = -1.0;         ///< in-place delta patches; < 0 = n/a
   double plan_update_speedup = 0;    ///< full/delta maintenance ratio; > 0 = recorded
+  double p50_ms = -1.0;              ///< median download latency; < 0 = n/a
+  double p95_ms = -1.0;              ///< p95 download latency; < 0 = n/a
+  double p99_ms = -1.0;              ///< p99 download latency; < 0 = n/a
+  double served_rps = -1.0;          ///< completed downloads per second; < 0 = n/a
 };
 
 /// Git revision baked in at configure time (CMake), "unknown" otherwise.
@@ -109,6 +118,10 @@ inline void write_bench_json(const std::string& path,
     if (r.plan_update_speedup > 0) {
       out << ", \"plan_update_speedup\": " << r.plan_update_speedup;
     }
+    if (r.p50_ms >= 0) out << ", \"p50_ms\": " << r.p50_ms;
+    if (r.p95_ms >= 0) out << ", \"p95_ms\": " << r.p95_ms;
+    if (r.p99_ms >= 0) out << ", \"p99_ms\": " << r.p99_ms;
+    if (r.served_rps >= 0) out << ", \"served_rps\": " << r.served_rps;
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -189,6 +202,12 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     }
     if (const auto plan = find_number(name_end, "plan_update_speedup", limit)) {
       record.plan_update_speedup = *plan;
+    }
+    if (const auto p50 = find_number(name_end, "p50_ms", limit)) record.p50_ms = *p50;
+    if (const auto p95 = find_number(name_end, "p95_ms", limit)) record.p95_ms = *p95;
+    if (const auto p99 = find_number(name_end, "p99_ms", limit)) record.p99_ms = *p99;
+    if (const auto rps = find_number(name_end, "served_rps", limit)) {
+      record.served_rps = *rps;
     }
     out[record.name] = record;
     pos = record_end == std::string::npos ? name_end : record_end;

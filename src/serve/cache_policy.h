@@ -1,0 +1,111 @@
+// Pluggable per-server block caches for the online serving engine.
+//
+// The paper's placement is an *offline* decision: contents are pushed once
+// and never change. The serving engine generalizes that to a CachePolicy per
+// edge server, keyed at parameter-block granularity so sharing keeps paying
+// off online exactly as it does in the storage constraint (Eq. 7): admitting
+// a model only costs the bytes of its not-yet-cached blocks, and evicting a
+// block frees it for every model that referenced it.
+//
+// Policies (after the neu-spiral Caches exemplars — PriorityCache/EWMACache
+// — and classic block LRU):
+//
+//   * static    — the placement is the cache, forever (the paper's model).
+//     Misses are relayed from a holding server or go unserved; the engine
+//     never fetches from the cloud for a static cache.
+//   * lru       — block-level least-recently-used; misses are fetched from
+//     the cloud and admitted, evicting the stalest blocks.
+//   * ewma      — blocks are scored by an exponentially-weighted request
+//     rate (time constant tau_s); eviction removes the coldest block by
+//     decayed score. Reacts to popularity drift faster than LRU when bursts
+//     repeat, slower when they don't.
+//   * priority  — frequency cache: blocks are scored by cumulative request
+//     count (LFU); eviction removes the least-requested block.
+//
+// All scored policies share one mechanism: a score per block plus an ordered
+// (score, block) set over the *cached* blocks, giving O(log n) touch and
+// O(evicted) eviction instead of the O(J) full scans of the retired
+// sim::event_sim LRU. Scores are plain doubles updated deterministically, so
+// a policy's behavior is bit-reproducible across runs and thread counts.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/model/model_library.h"
+#include "src/support/ids.h"
+#include "src/support/units.h"
+
+namespace trimcaching::serve {
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Reactive policies serve misses via a cloud fetch followed by admit();
+  /// the static policy keeps the offline placement authoritative (misses
+  /// relay or go unserved).
+  [[nodiscard]] virtual bool reactive() const noexcept { return true; }
+
+  /// Binds the policy to a library and a server's storage budget. Must be
+  /// called once before any other method.
+  void bind(const model::ModelLibrary& library, support::Bytes capacity);
+
+  /// Seeds the cache with the blocks of the given models (the offline
+  /// placement; feasible by construction, so no eviction happens here).
+  void warm(const std::vector<ModelId>& models);
+
+  /// Bytes of model i's blocks not currently cached (0 = fully cached).
+  [[nodiscard]] support::Bytes missing_bytes(ModelId i) const;
+  [[nodiscard]] bool fully_cached(ModelId i) const { return missing_bytes(i) == 0; }
+
+  [[nodiscard]] support::Bytes used_bytes() const noexcept { return used_; }
+  [[nodiscard]] support::Bytes capacity_bytes() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+
+  /// Request-time bookkeeping (recency/frequency scores). Called for every
+  /// request routed to this server, hit or miss.
+  virtual void on_request(ModelId i, double now);
+
+  /// Admits a fetched model: inserts its missing blocks, then evicts the
+  /// lowest-scored blocks (never the admitted model's own) until the cache
+  /// fits. Models larger than the whole cache pass through uncached.
+  virtual void admit(ModelId i, double now);
+
+ protected:
+  /// New score for block j requested at `now`; higher survives longer.
+  /// `previous` is the block's current score (-inf if never touched). Must
+  /// not depend on call order beyond (previous, now).
+  [[nodiscard]] virtual double next_score(BlockId j, double now, double previous) = 0;
+
+  [[nodiscard]] const model::ModelLibrary& library() const { return *library_; }
+
+ private:
+  void insert_block(BlockId j);
+  void evict_until_fits(const std::vector<char>& pinned);
+
+  const model::ModelLibrary* library_ = nullptr;
+  support::Bytes capacity_ = 0;
+  support::Bytes used_ = 0;
+  std::size_t evictions_ = 0;
+  std::vector<char> cached_;
+  std::vector<double> score_;
+  /// Cached blocks ordered by (score, id); begin() is the eviction victim.
+  std::set<std::pair<double, BlockId>> order_;
+};
+
+/// Builds a policy from a "name" or "name:key=value,..." spec:
+///   static | lru | ewma[:tau_s=60] | priority
+/// Throws std::invalid_argument on unknown names/options, listing the
+/// alternatives.
+[[nodiscard]] std::unique_ptr<CachePolicy> make_cache_policy(const std::string& spec);
+
+/// Specs accepted by make_cache_policy (base names, ascending).
+[[nodiscard]] std::vector<std::string> known_cache_policies();
+
+}  // namespace trimcaching::serve

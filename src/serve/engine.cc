@@ -1,0 +1,492 @@
+#include "src/serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/serve/cache_policy.h"
+#include "src/support/parallel.h"
+#include "src/support/units.h"
+#include "src/wireless/channel.h"
+
+namespace trimcaching::serve {
+
+void ServeConfig::validate() const {
+  if (arrival_rate_per_user <= 0) {
+    throw std::invalid_argument("ServeConfig: arrival rate must be > 0");
+  }
+  if (duration_s <= 0) throw std::invalid_argument("ServeConfig: duration must be > 0");
+  if (cloud_rate_bps <= 0) {
+    throw std::invalid_argument("ServeConfig: cloud rate must be > 0");
+  }
+  (void)make_cache_policy(policy);  // throws on unknown spec
+}
+
+namespace {
+
+/// Counter-based stream id: user k's whole request trace (arrival gaps,
+/// model draws, fading gains) comes from seed.at(kUserStream, k).
+constexpr std::uint64_t kUserStream = 0x5e42e7e5;
+
+/// How a routed request reaches its payload. Routing happens at generation
+/// time against the *warm* (initial) cache state only, so the per-server
+/// replay shards stay independent; reactive routes are then re-resolved
+/// against live cache state inside the shard.
+enum class Route : std::uint8_t {
+  kBestCovering,  ///< reactive: hit/miss re-resolved against live cache state
+  kDirect,        ///< static: serving server fully caches the model
+  kRelay,         ///< static: payload crosses the backhaul first
+};
+
+struct Request {
+  double time = 0.0;
+  UserId user = 0;
+  ModelId model = 0;
+  double spectral_efficiency = 0.0;  ///< bits/s/Hz on the chosen downlink
+  Route route = Route::kBestCovering;
+  std::uint64_t seq = 0;  ///< global issue order; sort tie-break
+};
+
+struct Flow {
+  double request_time = 0.0;
+  double budget_s = 0.0;  ///< deadline minus inference latency
+  double work = 0.0;      ///< download bits / spectral efficiency (Hz·s)
+};
+
+enum class EventKind : std::uint8_t { kFlowStart, kFlowFinish };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kFlowStart;
+  std::size_t flow = 0;
+  std::uint64_t version = 0;  ///< stale-finish detection
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+/// One server's replay: an independent processor-sharing queue fed by its
+/// (time-sorted) request bucket, with its own cache policy, pending-fetch
+/// merge map and metrics slot.
+///
+/// Processor sharing is simulated in virtual time: every active flow's rate
+/// is (B/n)·SE, so its normalized work (bits/SE) drains at the common rate
+/// B/n and the finish *order* is fixed at attach time. The loop keeps the
+/// active flows in a set ordered by drain key (virtual time at attach plus
+/// normalized work) and schedules a single versioned finish event for the
+/// front flow — O(log n) per event instead of rescheduling all n flows on
+/// every change, which is what lets one run replay 10^6+ requests.
+class ServerLoop {
+ public:
+  ServerLoop(const wireless::NetworkTopology& topology,
+             const model::ModelLibrary& library,
+             const workload::RequestModel& requests, const ServeConfig& config,
+             CachePolicy& policy, const std::vector<char>& relayable,
+             std::vector<Request> bucket)
+      : topology_(&topology),
+        library_(&library),
+        requests_(&requests),
+        config_(&config),
+        policy_(&policy),
+        relayable_(&relayable),
+        reactive_(policy.reactive()),
+        bandwidth_hz_(topology.radio().total_bandwidth_hz),
+        bucket_(std::move(bucket)) {
+    std::sort(bucket_.begin(), bucket_.end(), [](const Request& a, const Request& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    });
+    if (config.queue_depth_samples > 0) {
+      metrics_.queue_depth.reserve(config.queue_depth_samples);
+    }
+  }
+
+  ServeMetrics run() {
+    std::size_t next = 0;
+    while (next < bucket_.size() || !queue_.empty()) {
+      // Simultaneous queue event vs arrival: the queue event goes first (a
+      // fixed rule, so replay order never depends on scheduling).
+      if (!queue_.empty() &&
+          (next >= bucket_.size() || queue_.top().time <= bucket_[next].time)) {
+        const Event event = queue_.top();
+        queue_.pop();
+        sample_queue_depth(event.time);
+        switch (event.kind) {
+          case EventKind::kFlowStart:
+            attach_flow(event.flow, event.time);
+            break;
+          case EventKind::kFlowFinish:
+            if (event.version == schedule_version_) {
+              finish_flow(event.time);
+            } else {
+              ++metrics_.stale_events;
+            }
+            break;
+        }
+      } else {
+        const Request& request = bucket_[next++];
+        sample_queue_depth(request.time);
+        handle_arrival(request);
+      }
+    }
+    // Grid points past the last event see an empty server.
+    sample_queue_depth(config_->duration_s * 2.0 + 1.0);
+    metrics_.cache_evictions = policy_->evictions();
+    return std::move(metrics_);
+  }
+
+ private:
+  void handle_arrival(const Request& request) {
+    const double now = request.time;
+    const ModelId i = request.model;
+    policy_->on_request(i, now);
+
+    Flow flow;
+    flow.request_time = now;
+    flow.budget_s = requests_->deadline_s(request.user, i) -
+                    requests_->inference_s(request.user, i);
+    flow.work = support::bits(library_->model_size(i)) / request.spectral_efficiency;
+    flows_.push_back(flow);
+    const std::size_t idx = flows_.size() - 1;
+
+    if (request.route == Route::kDirect) {
+      ++metrics_.edge_hits;
+      attach_flow(idx, now);
+      return;
+    }
+    if (!reactive_) {
+      // Static relay: the payload crosses the backhaul, the cache is
+      // untouched (the placement stays authoritative forever).
+      ++metrics_.relays;
+      const double backhaul_delay = support::bits(library_->model_size(i)) /
+                                    topology_->radio().backhaul_bps;
+      queue_.push(Event{now + backhaul_delay, EventKind::kFlowStart, idx, 0});
+      return;
+    }
+
+    // Reactive: resolve against live cache state, merging concurrent misses
+    // for one model into a single transfer (backhaul or cloud).
+    const support::Bytes missing = policy_->missing_bytes(i);
+    const auto pending = pending_fetch_.find(i);
+    const bool in_flight = pending != pending_fetch_.end() && pending->second > now;
+    if (missing == 0) {
+      if (in_flight) {
+        // Admitted optimistically by an earlier miss whose transfer is still
+        // on the wire: ride it instead of pretending the blocks are local.
+        ++metrics_.merged_fetches;
+        queue_.push(Event{pending->second, EventKind::kFlowStart, idx, 0});
+      } else {
+        ++metrics_.edge_hits;
+        attach_flow(idx, now);
+      }
+      return;
+    }
+    double ready = 0.0;
+    if ((*relayable_)[request.model] != 0) {
+      // Cache-on-relay: the warm placement put this model somewhere, so the
+      // missing blocks are pulled over the backhaul (not the cloud) and
+      // admitted — the first relay pays the price a static cache pays on
+      // every one, then the model serves locally.
+      ++metrics_.relays;
+      ready = now + support::bits(missing) / topology_->radio().backhaul_bps;
+    } else {
+      ++metrics_.cloud_fetches;
+      metrics_.cloud_bytes += missing;
+      ready = now + support::bits(missing) / config_->cloud_rate_bps;
+    }
+    // Blocks evicted while their model's transfer was still in flight: the
+    // new transfer completes no earlier than the one it overlaps.
+    if (in_flight) ready = std::max(ready, pending->second);
+    pending_fetch_[i] = ready;
+    policy_->admit(i, now);
+    queue_.push(Event{ready, EventKind::kFlowStart, idx, 0});
+  }
+
+  /// Advances the busy/flow-time integrals and the virtual drain clock to
+  /// `now` (piecewise linear: the active count is constant between changes).
+  void advance(double now) {
+    const double elapsed = now - last_change_;
+    const auto n = static_cast<double>(active_.size());
+    if (elapsed > 0 && !active_.empty()) {
+      metrics_.busy_time_s += elapsed;
+      metrics_.flow_time_s += elapsed * n;
+      virtual_time_ += elapsed * bandwidth_hz_ / n;
+    }
+    last_change_ = now;
+  }
+
+  /// (Re)schedules the single outstanding finish event for the front flow;
+  /// any previously scheduled finish goes stale via the version bump.
+  void schedule_next(double now) {
+    ++schedule_version_;
+    if (active_.empty()) return;
+    const double gap = std::max(0.0, (active_.begin()->first - virtual_time_) *
+                                         static_cast<double>(active_.size()) /
+                                         bandwidth_hz_);
+    queue_.push(Event{now + gap, EventKind::kFlowFinish, active_.begin()->second,
+                      schedule_version_});
+  }
+
+  void attach_flow(std::size_t idx, double now) {
+    advance(now);
+    active_.insert({virtual_time_ + flows_[idx].work, idx});
+    schedule_next(now);
+  }
+
+  void finish_flow(double now) {
+    advance(now);
+    const auto front = active_.begin();
+    const Flow& flow = flows_[front->second];
+    const double download = now - flow.request_time;
+    metrics_.download_sum_s += download;
+    metrics_.latency.add(download);
+    if (download <= flow.budget_s) {
+      ++metrics_.deadline_hits;
+    } else {
+      ++metrics_.late;
+    }
+    active_.erase(front);
+    schedule_next(now);
+  }
+
+  /// Records the active-flow count for every grid point strictly before
+  /// `now` that has not been sampled yet (events are processed in time
+  /// order, so the count is exact at each grid time).
+  void sample_queue_depth(double now) {
+    const std::size_t samples = config_->queue_depth_samples;
+    while (metrics_.queue_depth.size() < samples) {
+      const double grid_time = static_cast<double>(metrics_.queue_depth.size()) *
+                               config_->duration_s / static_cast<double>(samples);
+      if (grid_time >= now) break;
+      metrics_.queue_depth.push_back(static_cast<std::uint32_t>(active_.size()));
+    }
+  }
+
+  const wireless::NetworkTopology* topology_;
+  const model::ModelLibrary* library_;
+  const workload::RequestModel* requests_;
+  const ServeConfig* config_;
+  CachePolicy* policy_;
+  const std::vector<char>* relayable_;
+  bool reactive_ = false;
+  double bandwidth_hz_ = 0.0;
+  std::vector<Request> bucket_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Flow> flows_;
+  /// Active flows by (drain key, flow); begin() always finishes next.
+  std::set<std::pair<double, std::size_t>> active_;
+  std::unordered_map<ModelId, double> pending_fetch_;  ///< model -> ready time
+  double virtual_time_ = 0.0;  ///< integral of B/n over busy time (Hz·s)
+  double last_change_ = 0.0;
+  std::uint64_t schedule_version_ = 0;
+  ServeMetrics metrics_;
+};
+
+/// Stationary per-user sampling CDF over the RequestModel's p > 0 support.
+struct UserCdf {
+  std::vector<std::pair<double, ModelId>> entries;
+
+  [[nodiscard]] ModelId sample(support::Rng& rng) const {
+    const double x = rng.uniform(0.0, entries.back().first);
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), x,
+        [](const std::pair<double, ModelId>& e, double v) { return e.first < v; });
+    return it == entries.end() ? entries.back().second : it->second;
+  }
+};
+
+}  // namespace
+
+ServeResult simulate_serving(const wireless::NetworkTopology& topology,
+                             const model::ModelLibrary& library,
+                             const workload::RequestModel& requests,
+                             const core::PlacementSolution& placement,
+                             const ServeConfig& config, const support::Rng& seed) {
+  config.validate();
+  if (placement.num_servers() != topology.num_servers() ||
+      placement.num_models() != library.num_models() ||
+      requests.num_users() != topology.num_users()) {
+    throw std::invalid_argument("simulate_serving: dimension mismatch");
+  }
+  if (config.drift != nullptr && config.drift->num_models() != library.num_models()) {
+    throw std::invalid_argument("simulate_serving: drift/library model count mismatch");
+  }
+
+  const std::size_t num_servers = topology.num_servers();
+  const std::size_t num_users = topology.num_users();
+
+  // One cache per server, seeded from the offline placement.
+  std::vector<std::unique_ptr<CachePolicy>> policies;
+  policies.reserve(num_servers);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    policies.push_back(make_cache_policy(config.policy));
+    policies.back()->bind(library, topology.capacity(m));
+    policies.back()->warm(placement.models_on(m));
+  }
+  const bool reactive = num_servers > 0 && policies.front()->reactive();
+
+  // Per-link spectral efficiency at mean channel. SNR is share-invariant
+  // (power and bandwidth shares scale together), so the CSR mean SNR equals
+  // the full-band SNR and the share enters only through the flow rate.
+  const auto& offsets = topology.covering_offsets();
+  const auto& covering = topology.covering_flat();
+  const auto& snr = topology.link_mean_snr();
+  std::vector<double> mean_se(snr.size());
+  for (std::size_t l = 0; l < snr.size(); ++l) mean_se[l] = std::log2(1.0 + snr[l]);
+
+  std::vector<UserCdf> cdfs;
+  if (config.drift == nullptr) {
+    cdfs.resize(num_users);
+    for (UserId k = 0; k < num_users; ++k) {
+      double acc = 0.0;
+      for (const ModelId i : requests.requested_models(k)) {
+        acc += requests.probability(k, i);
+        cdfs[k].entries.emplace_back(acc, i);
+      }
+    }
+  }
+
+  // Routing consults the warm (initial) cache state only, so it can be
+  // tabulated once: warm_cached[m * I + i] = server m's warm cache fully
+  // holds model i, and relayable[i] = some server's does (the relay source
+  // set; for a static cache this never changes, for a reactive one the
+  // replay re-resolves live state inside the shard).
+  const std::size_t num_models = library.num_models();
+  std::vector<char> warm_cached(num_servers * num_models);
+  std::vector<char> relayable(num_models, 0);
+  for (ServerId m = 0; m < num_servers; ++m) {
+    for (ModelId i = 0; i < num_models; ++i) {
+      const char cached = policies[m]->fully_cached(i) ? 1 : 0;
+      warm_cached[m * num_models + i] = cached;
+      if (cached) relayable[i] = 1;
+    }
+  }
+  const auto warm_holds = [&](ServerId m, ModelId i) {
+    return warm_cached[m * num_models + i] != 0;
+  };
+
+  // Stage 1: serial trace generation into per-server buckets.
+  ServeMetrics generation;
+  std::vector<std::vector<Request>> buckets(num_servers);
+  std::uint64_t seq = 0;
+  for (UserId k = 0; k < num_users; ++k) {
+    support::Rng rng = seed.at(kUserStream, k);
+    const std::size_t begin = offsets[k];
+    const std::size_t end = offsets[k + 1];
+    for (double t = rng.exponential(config.arrival_rate_per_user);
+         t <= config.duration_s; t += rng.exponential(config.arrival_rate_per_user)) {
+      const ModelId i = config.drift != nullptr ? config.drift->sample(t, rng)
+                                                : cdfs[k].sample(rng);
+      const double gain = config.average_channel
+                              ? 1.0
+                              : wireless::sample_rayleigh_power_gain(rng);
+      ++generation.requests;
+      ++seq;
+
+      Request request;
+      request.time = t;
+      request.user = k;
+      request.model = i;
+      request.seq = seq;
+      ServerId serve = kInvalidId;
+      double best_se = 0.0;
+      const auto link_se = [&](std::size_t l) {
+        return config.average_channel ? mean_se[l] : std::log2(1.0 + snr[l] * gain);
+      };
+      if (reactive) {
+        // Mirror the static delivery rule against the *warm* cache state
+        // first — a reactive cache must never route worse than the placement
+        // it started from. Models without a covering warm holder go to the
+        // best covering server outright; the replay resolves the miss there
+        // (backhaul pull from a warm holder when one exists, cloud fetch
+        // when none does) and admits the model: cache-on-relay.
+        for (std::size_t l = begin; l < end; ++l) {
+          if (!warm_holds(covering[l], i)) continue;
+          const double se = link_se(l);
+          if (se > best_se) {
+            best_se = se;
+            serve = covering[l];
+          }
+        }
+        if (serve == kInvalidId) {
+          for (std::size_t l = begin; l < end; ++l) {
+            const double se = link_se(l);
+            if (se > best_se) {
+              best_se = se;
+              serve = covering[l];
+            }
+          }
+        }
+      } else {
+        // Paper delivery: best covering server whose cache fully contains
+        // the model, else relay from a holder over the backhaul.
+        for (std::size_t l = begin; l < end; ++l) {
+          if (!warm_holds(covering[l], i)) continue;
+          const double se = link_se(l);
+          if (se > best_se) {
+            best_se = se;
+            serve = covering[l];
+          }
+        }
+        request.route = Route::kDirect;
+        if (serve == kInvalidId && relayable[i] != 0) {
+          for (std::size_t l = begin; l < end; ++l) {
+            const double se = link_se(l);
+            if (se > best_se) {
+              best_se = se;
+              serve = covering[l];
+            }
+          }
+          request.route = Route::kRelay;
+        }
+      }
+      if (serve == kInvalidId || best_se <= 0.0) {
+        ++generation.unserved;
+        continue;
+      }
+      request.spectral_efficiency = best_se;
+      buckets[serve].push_back(request);
+    }
+  }
+
+  // Stage 2: independent per-server replays, one metrics slot each, folded
+  // in server order (bit-identical at any thread count).
+  std::vector<ServeMetrics> slots(num_servers);
+  support::parallel_for(num_servers, support::resolve_threads(config.threads),
+                        [&](std::size_t m) {
+                          ServerLoop loop(topology, library, requests, config,
+                                          *policies[m], relayable,
+                                          std::move(buckets[m]));
+                          slots[m] = loop.run();
+                        });
+
+  ServeResult result;
+  result.totals = std::move(generation);
+  for (ServerId m = 0; m < num_servers; ++m) result.totals.merge(slots[m]);
+
+  const ServeMetrics& totals = result.totals;
+  if (totals.requests > 0) {
+    result.hit_ratio = static_cast<double>(totals.deadline_hits) /
+                       static_cast<double>(totals.requests);
+  }
+  if (totals.completed() > 0) {
+    result.mean_download_s =
+        totals.download_sum_s / static_cast<double>(totals.completed());
+    result.p50_download_s = totals.latency.quantile(0.50);
+    result.p95_download_s = totals.latency.quantile(0.95);
+    result.p99_download_s = totals.latency.quantile(0.99);
+  }
+  if (totals.busy_time_s > 0) {
+    result.mean_concurrency = totals.flow_time_s / totals.busy_time_s;
+  }
+  result.served_rps = static_cast<double>(totals.completed()) / config.duration_s;
+  return result;
+}
+
+}  // namespace trimcaching::serve

@@ -1,0 +1,94 @@
+// Request-level online serving engine: the discrete-event processor-sharing
+// core grown out of the retired sim::event_sim, rebuilt for 10^6-10^7
+// request traces, pluggable per-server caches, and deterministic sharding.
+//
+// A run has two stages:
+//
+//  1. Trace generation (serial). Each user k owns the counter-derived stream
+//     seed.at(kUserStream, k) and emits a Poisson arrival process; per
+//     arrival the stream also draws the requested model (stationary
+//     RequestModel probabilities, or a workload::DriftingZipf when
+//     configured) and, with average_channel = false, one Rayleigh gain. The
+//     serving edge server is resolved at generation time against the *warm*
+//     (initial) cache state only — best covering warm holder, else best
+//     covering server outright — so every request lands in exactly one
+//     per-server bucket and the shards stay independent. Reactive routes are
+//     re-resolved against live cache state inside the shard: admitted models
+//     hit, evicted ones fetch again, and models a remote warm holder could
+//     relay are pulled over the backhaul and admitted (cache-on-relay).
+//
+//  2. Sharded replay (parallel). Servers are independent queueing systems:
+//     bandwidth B is processor-shared among a server's own active flows,
+//     relay and cloud delays are per-request constants, and cache state is
+//     per-server. parallel_for distributes the M per-server event loops
+//     across config.threads workers; each loop fills its own ServeMetrics
+//     slot and the slots are folded in ascending server order. Because the
+//     shard boundary is the *server* (fixed M) and not the worker, results
+//     are bit-identical for any thread count.
+//
+// Flow completion events carry a version stamp bumped on every rebalance;
+// stale finishes are discarded (and counted). Concurrent misses for the same
+// model on one server are merged: the first opens the cloud fetch, later
+// ones ride it (merged_fetches) and pay no additional cloud bytes.
+#pragma once
+
+#include <string>
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+#include "src/serve/metrics.h"
+#include "src/support/rng.h"
+#include "src/wireless/topology.h"
+#include "src/workload/drifting_zipf.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::serve {
+
+struct ServeConfig {
+  /// Mean request rate per user (requests/second).
+  double arrival_rate_per_user = 0.05;
+  double duration_s = 600.0;
+  /// Flow spectral efficiency uses each user's average channel (distance
+  /// path loss); set false to re-draw one Rayleigh gain per request.
+  bool average_channel = true;
+  /// Cache policy spec per make_cache_policy, one instance per server:
+  /// static | lru | ewma[:tau_s=60] | priority.
+  std::string policy = "static";
+  /// Effective cloud-to-edge fetch rate for reactive cache misses.
+  double cloud_rate_bps = 300e6;
+  /// Worker threads for the per-server replay (0 = hardware concurrency).
+  /// Results are bit-identical for every value.
+  std::size_t threads = 1;
+  /// Points of the queue-depth time series (0 = do not sample).
+  std::size_t queue_depth_samples = 0;
+  /// Optional drifting popularity; nullptr samples the stationary
+  /// RequestModel. Not owned; must outlive the call.
+  const workload::DriftingZipf* drift = nullptr;
+
+  void validate() const;
+};
+
+struct ServeResult {
+  ServeMetrics totals;
+
+  // Derived from `totals` (finalized once after the ordered reduction).
+  double hit_ratio = 0.0;        ///< deadline hits / requests issued
+  double mean_download_s = 0.0;  ///< over completed downloads
+  double p50_download_s = 0.0;   ///< histogram quantiles (log-bin midpoints)
+  double p95_download_s = 0.0;
+  double p99_download_s = 0.0;
+  double mean_concurrency = 0.0;  ///< time-averaged flows per busy server
+  double served_rps = 0.0;        ///< completed downloads / duration
+};
+
+/// Replays `config.duration_s` seconds of Poisson traffic against the
+/// placement. Deterministic in (inputs, seed) — `seed` is consumed via
+/// counter-based derivation only — and independent of config.threads.
+[[nodiscard]] ServeResult simulate_serving(const wireless::NetworkTopology& topology,
+                                           const model::ModelLibrary& library,
+                                           const workload::RequestModel& requests,
+                                           const core::PlacementSolution& placement,
+                                           const ServeConfig& config,
+                                           const support::Rng& seed);
+
+}  // namespace trimcaching::serve

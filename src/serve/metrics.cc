@@ -1,0 +1,78 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trimcaching::serve {
+
+namespace {
+// ln(kMax / kMin) — the histogram spans 8 decades.
+const double kLogSpan =
+    std::log(LatencyHistogram::kMaxSeconds / LatencyHistogram::kMinSeconds);
+}  // namespace
+
+void LatencyHistogram::add(double seconds) noexcept {
+  std::size_t bin = 0;  // underflow
+  if (seconds >= kMaxSeconds) {
+    bin = kBins + 1;  // overflow
+  } else if (seconds >= kMinSeconds) {
+    const double u = std::log(seconds / kMinSeconds) / kLogSpan;
+    bin = 1 + std::min(kBins - 1,
+                       static_cast<std::size_t>(u * static_cast<double>(kBins)));
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("LatencyHistogram::quantile: q outside [0, 1]");
+  }
+  if (total_ == 0) return 0.0;
+  // Rank of the q-th sample, clamped to the population (q = 1 -> last).
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+  if (rank >= total_) rank = total_ - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (seen <= rank) continue;
+    if (b == 0) return kMinSeconds;          // underflow: report the floor
+    if (b == kBins + 1) return kMaxSeconds;  // overflow: report the ceiling
+    const double width = kLogSpan / static_cast<double>(kBins);
+    const double lo = std::log(kMinSeconds) + static_cast<double>(b - 1) * width;
+    return std::exp(lo + 0.5 * width);  // geometric bin midpoint
+  }
+  return kMaxSeconds;  // unreachable: seen == total_ > rank by then
+}
+
+void ServeMetrics::merge(const ServeMetrics& other) {
+  requests += other.requests;
+  deadline_hits += other.deadline_hits;
+  late += other.late;
+  unserved += other.unserved;
+  edge_hits += other.edge_hits;
+  relays += other.relays;
+  cloud_fetches += other.cloud_fetches;
+  merged_fetches += other.merged_fetches;
+  cloud_bytes += other.cloud_bytes;
+  cache_evictions += other.cache_evictions;
+  stale_events += other.stale_events;
+  download_sum_s += other.download_sum_s;
+  latency.merge(other.latency);
+  busy_time_s += other.busy_time_s;
+  flow_time_s += other.flow_time_s;
+  if (queue_depth.size() < other.queue_depth.size()) {
+    queue_depth.resize(other.queue_depth.size(), 0);
+  }
+  for (std::size_t s = 0; s < other.queue_depth.size(); ++s) {
+    queue_depth[s] += other.queue_depth[s];
+  }
+}
+
+}  // namespace trimcaching::serve

@@ -1,0 +1,89 @@
+// Time-varying Zipf popularity for the online serving engine (extension
+// beyond the paper; the neu-spiral online-cache line of work is the model).
+//
+// The paper's RequestModel is stationary: p_{k,i} is fixed for the whole
+// experiment, so a static placement optimized against it can never be beaten
+// by an online cache. Real request streams drift — titles rise and fall —
+// and that drift is exactly where online replacement (serve::CachePolicy)
+// earns its keep. DriftingZipf models two drift mechanisms over a shared
+// global popularity order:
+//
+//   * exponent drift — the Zipf skew moves linearly from `exponent_start`
+//     to `exponent_end` over the trace (flattening or sharpening demand);
+//   * permutation drift — every `epoch_s` seconds, `swaps_per_epoch` random
+//     rank transpositions are applied cumulatively to the popularity order,
+//     so models migrate between head and tail over time.
+//
+// Time is discretized into epochs: within an epoch the distribution is a
+// fixed Zipf over a fixed rank->model order, so sampling stays O(log I) and
+// the per-epoch pmf is available in closed form (the chi-squared sanity
+// tests compare empirical counts against it). All randomness is derived
+// counter-based from the construction seed (Rng::at), so the trace is
+// deterministic and independent of sampling order or thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/ids.h"
+#include "src/support/rng.h"
+#include "src/workload/request_model.h"
+#include "src/workload/zipf.h"
+
+namespace trimcaching::workload {
+
+struct DriftingZipfConfig {
+  double exponent_start = 0.8;
+  double exponent_end = 0.8;
+  /// Epoch length in seconds; exponent and order are constant within one.
+  double epoch_s = 60.0;
+  /// Random rank transpositions applied (cumulatively) at each epoch start;
+  /// 0 = the order never changes.
+  std::size_t swaps_per_epoch = 0;
+
+  void validate() const;
+};
+
+class DriftingZipf {
+ public:
+  /// `base_order[r]` is the model occupying rank r at t = 0 (every model id
+  /// in [0, base_order.size()) exactly once). The trace covers
+  /// [0, duration_s); times beyond it clamp to the last epoch.
+  DriftingZipf(std::vector<ModelId> base_order, double duration_s,
+               const DriftingZipfConfig& config, const support::Rng& seed);
+
+  /// Rank->model order implied by a stationary RequestModel: user k's models
+  /// by descending request probability (ties and never-requested models by
+  /// ascending id). Feeding this as `base_order` makes epoch 0 agree with
+  /// the distribution a placement solver optimized against.
+  [[nodiscard]] static std::vector<ModelId> popularity_order(const RequestModel& requests,
+                                                             UserId k = 0);
+
+  [[nodiscard]] std::size_t num_models() const noexcept { return rank_to_model_[0].size(); }
+  [[nodiscard]] std::size_t num_epochs() const noexcept { return rank_to_model_.size(); }
+  [[nodiscard]] double epoch_seconds() const noexcept { return config_.epoch_s; }
+  [[nodiscard]] std::size_t epoch_of(double t) const;
+
+  /// Zipf exponent in force during epoch e (evaluated at the epoch midpoint
+  /// of the linear start->end ramp).
+  [[nodiscard]] double exponent_at(std::size_t epoch) const;
+
+  /// Rank->model order in force during epoch e.
+  [[nodiscard]] const std::vector<ModelId>& order_at(std::size_t epoch) const {
+    return rank_to_model_.at(epoch);
+  }
+
+  /// Samples a model for a request at time t. Advances `rng`.
+  [[nodiscard]] ModelId sample(double t, support::Rng& rng) const;
+
+  /// P(model i requested at time t) — the epoch's Zipf pmf at i's rank.
+  [[nodiscard]] double pmf(double t, ModelId i) const;
+
+ private:
+  DriftingZipfConfig config_;
+  std::vector<ZipfDistribution> zipf_;              // per epoch
+  std::vector<std::vector<ModelId>> rank_to_model_; // per epoch
+  std::vector<std::vector<std::uint32_t>> model_to_rank_;
+};
+
+}  // namespace trimcaching::workload

@@ -56,13 +56,18 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
   full.plan_rebuilds = 2.0;
   full.plan_deltas = 10.0;
   full.plan_update_speedup = 4.5;
+  full.p50_ms = 120.0;
+  full.p95_ms = 480.0;
+  full.p99_ms = 950.0;
+  full.served_rps = 1250.0;
   write_bench_json(path, {full});
 
   const std::set<std::string> expected = {
       "schema",  "git_rev",           "hardware_threads", "benchmarks",
       "name",    "wall_seconds",      "throughput",       "threads",
       "speedup_vs_serial", "hit_ratio", "duplication_factor",
-      "plan_rebuilds", "plan_deltas", "plan_update_speedup"};
+      "plan_rebuilds", "plan_deltas", "plan_update_speedup",
+      "p50_ms", "p95_ms", "p99_ms", "served_rps"};
   EXPECT_EQ(keys_in(slurp(path)), expected);
 
   // Optional columns disappear when not recorded; required ones never do.
@@ -90,6 +95,10 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   full.plan_rebuilds = 2.0;
   full.plan_deltas = 10.0;
   full.plan_update_speedup = 4.5;
+  full.p50_ms = 120.0;
+  full.p95_ms = 480.0;
+  full.p99_ms = 950.0;
+  full.served_rps = 1250.0;
   JsonRecord minimal;
   minimal.name = "kernel_minimal";
   minimal.wall_seconds = 0.125;
@@ -107,6 +116,10 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_DOUBLE_EQ(f.plan_rebuilds, 2.0);
   EXPECT_DOUBLE_EQ(f.plan_deltas, 10.0);
   EXPECT_DOUBLE_EQ(f.plan_update_speedup, 4.5);
+  EXPECT_DOUBLE_EQ(f.p50_ms, 120.0);
+  EXPECT_DOUBLE_EQ(f.p95_ms, 480.0);
+  EXPECT_DOUBLE_EQ(f.p99_ms, 950.0);
+  EXPECT_DOUBLE_EQ(f.served_rps, 1250.0);
   const JsonRecord& m = records.at("kernel_minimal");
   EXPECT_DOUBLE_EQ(m.wall_seconds, 0.125);
   // Absent optional columns keep their "not recorded" defaults.
@@ -116,6 +129,10 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_LT(m.plan_rebuilds, 0.0);
   EXPECT_LT(m.plan_deltas, 0.0);
   EXPECT_DOUBLE_EQ(m.plan_update_speedup, 0.0);
+  EXPECT_LT(m.p50_ms, 0.0);
+  EXPECT_LT(m.p95_ms, 0.0);
+  EXPECT_LT(m.p99_ms, 0.0);
+  EXPECT_LT(m.served_rps, 0.0);
 }
 
 TEST(BenchJsonSchema, MergePreservesForeignRecordsAndOverwritesByName) {
@@ -212,6 +229,36 @@ TEST(BenchJsonSchema, CommittedScaleBaselineMatchesTheLock) {
   // the 100x point, repair pulls it back under 1.5x.
   EXPECT_GT(records.at("fig8_scale_100x_tiled_serial").duplication_factor, 2.0);
   EXPECT_LT(records.at("fig8_scale_100x_tiled_repaired").duplication_factor, 1.5);
+}
+
+TEST(BenchJsonSchema, CommittedServingBaselineMatchesTheLock) {
+  // The serving baseline the hit_ratio gate runs against: every load/policy
+  // record must parse under the strict reader and carry the serving columns
+  // (empirical hit ratio, latency quantiles, served throughput). The values
+  // are deterministic replays — the gate compares them machine-independently.
+  const std::string path = std::string(TRIMCACHING_SOURCE_DIR) +
+                           "/bench/baselines/BENCH_serving_baseline.json";
+  const auto records = read_bench_json(path);
+  for (const std::string load : {"4rps", "10rps", "25rps"}) {
+    for (const std::string policy : {"static", "lru", "ewma", "priority"}) {
+      const std::string name = "fig9_serving_" + load + "_" + policy;
+      ASSERT_TRUE(records.count(name)) << "baseline is missing " << name;
+      const JsonRecord& record = records.at(name);
+      EXPECT_GT(record.wall_seconds, 0.0) << name;
+      EXPECT_GE(record.hit_ratio, 0.0) << name;
+      EXPECT_GE(record.p50_ms, 0.0) << name;
+      EXPECT_LE(record.p50_ms, record.p95_ms) << name;
+      EXPECT_LE(record.p95_ms, record.p99_ms) << name;
+      EXPECT_GT(record.served_rps, 0.0) << name;
+    }
+  }
+  // The story fig9 tells: under popularity drift the online policies beat
+  // the drift-blind static placement at every load point.
+  for (const std::string load : {"4rps", "10rps", "25rps"}) {
+    const double fixed = records.at("fig9_serving_" + load + "_static").hit_ratio;
+    EXPECT_GT(records.at("fig9_serving_" + load + "_lru").hit_ratio, fixed) << load;
+    EXPECT_GT(records.at("fig9_serving_" + load + "_ewma").hit_ratio, fixed) << load;
+  }
 }
 
 }  // namespace

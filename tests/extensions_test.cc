@@ -1,12 +1,12 @@
 // Tests for the extension modules: CountedCoverage, 1-swap local search,
-// greedy scoring rules, the discrete-event download simulator, and the
+// greedy scoring rules, the discrete-event serving engine, and the
 // key=value option parser.
 #include <gtest/gtest.h>
 
 #include "src/core/independent_caching.h"
 #include "src/core/local_search.h"
 #include "src/core/trimcaching_gen.h"
-#include "src/sim/event_sim.h"
+#include "src/serve/engine.h"
 #include "src/sim/scenario.h"
 #include "src/support/options.h"
 #include "tests/test_util.h"
@@ -158,11 +158,11 @@ TEST_P(GreedyRuleTest, PerByteRuleFeasibleAndComparable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GreedyRuleTest, ::testing::Range<std::uint64_t>(0, 6));
 
-// -------------------------------------------------------------------- EventSim
+// -------------------------------------------------------------- ServingEngine
 
-class EventSimTest : public ::testing::Test {
+class ServingEngineTest : public ::testing::Test {
  protected:
-  EventSimTest() {
+  ServingEngineTest() {
     sim::ScenarioConfig config;
     config.num_servers = 5;
     config.num_users = 10;
@@ -181,87 +181,86 @@ class EventSimTest : public ::testing::Test {
   std::unique_ptr<core::PlacementSolution> placement_;
 };
 
-TEST_F(EventSimTest, RequestConservation) {
-  sim::EventSimConfig config;
+TEST_F(ServingEngineTest, RequestConservation) {
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.1;
   config.duration_s = 400.0;
-  Rng rng(1);
-  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                              scenario_->requests, *placement_, config,
-                                              rng);
-  EXPECT_GT(result.requests, 0u);
-  EXPECT_EQ(result.requests, result.hits + result.late + result.unserved);
+  const auto result =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, config, Rng(1));
+  const auto& totals = result.totals;
+  EXPECT_GT(totals.requests, 0u);
+  EXPECT_EQ(totals.requests, totals.deadline_hits + totals.late + totals.unserved);
+  EXPECT_EQ(totals.completed(), totals.latency.count());
   EXPECT_GE(result.mean_download_s, 0.0);
   EXPECT_GE(result.p95_download_s, result.mean_download_s * 0.5);
 }
 
-TEST_F(EventSimTest, LowLoadMatchesSnapshotModel) {
+TEST_F(ServingEngineTest, LowLoadMatchesSnapshotModel) {
   // With nearly no contention, the empirical hit ratio approaches the
   // snapshot expectation (Eq. 2 evaluated at average rates).
-  sim::EventSimConfig config;
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.002;  // one request per user per ~8 min
   config.duration_s = 40000.0;
-  Rng rng(2);
-  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                              scenario_->requests, *placement_, config,
-                                              rng);
+  const auto result =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, config, Rng(2));
   const double expected = core::expected_hit_ratio(*problem_, *placement_);
-  EXPECT_NEAR(result.empirical_hit_ratio, expected, 0.08);
+  EXPECT_NEAR(result.hit_ratio, expected, 0.08);
   EXPECT_LT(result.mean_concurrency, 1.2);
 }
 
-TEST_F(EventSimTest, HeavyLoadDegrades) {
-  sim::EventSimConfig light;
+TEST_F(ServingEngineTest, HeavyLoadDegrades) {
+  serve::ServeConfig light;
   light.arrival_rate_per_user = 0.01;
   light.duration_s = 3000.0;
-  sim::EventSimConfig heavy = light;
+  serve::ServeConfig heavy = light;
   heavy.arrival_rate_per_user = 3.0;
   heavy.duration_s = 60.0;
-  Rng rng_a(3), rng_b(3);
-  const auto light_result = sim::simulate_downloads(
-      scenario_->topology, scenario_->library, scenario_->requests, *placement_, light,
-      rng_a);
-  const auto heavy_result = sim::simulate_downloads(
-      scenario_->topology, scenario_->library, scenario_->requests, *placement_, heavy,
-      rng_b);
-  EXPECT_LT(heavy_result.empirical_hit_ratio, light_result.empirical_hit_ratio);
+  const auto light_result =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, light, Rng(3));
+  const auto heavy_result =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, heavy, Rng(3));
+  EXPECT_LT(heavy_result.hit_ratio, light_result.hit_ratio);
   EXPECT_GT(heavy_result.mean_concurrency, light_result.mean_concurrency);
 }
 
-TEST_F(EventSimTest, EmptyPlacementAllUnserved) {
+TEST_F(ServingEngineTest, EmptyPlacementAllUnserved) {
   core::PlacementSolution empty(scenario_->topology.num_servers(),
                                 scenario_->library.num_models());
-  sim::EventSimConfig config;
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.1;
   config.duration_s = 200.0;
-  Rng rng(4);
-  const auto result = sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                              scenario_->requests, empty, config, rng);
-  EXPECT_EQ(result.unserved, result.requests);
-  EXPECT_EQ(result.hits, 0u);
+  const auto result = serve::simulate_serving(
+      scenario_->topology, scenario_->library, scenario_->requests, empty, config,
+      Rng(4));
+  EXPECT_EQ(result.totals.unserved, result.totals.requests);
+  EXPECT_EQ(result.totals.deadline_hits, 0u);
 }
 
-TEST_F(EventSimTest, Deterministic) {
-  sim::EventSimConfig config;
+TEST_F(ServingEngineTest, Deterministic) {
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.05;
   config.duration_s = 500.0;
-  Rng a(9), b(9);
-  const auto r1 = sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                          scenario_->requests, *placement_, config, a);
-  const auto r2 = sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                          scenario_->requests, *placement_, config, b);
-  EXPECT_EQ(r1.requests, r2.requests);
-  EXPECT_EQ(r1.hits, r2.hits);
+  const auto r1 =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, config, Rng(9));
+  const auto r2 =
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, config, Rng(9));
+  EXPECT_EQ(r1.totals.requests, r2.totals.requests);
+  EXPECT_EQ(r1.totals.deadline_hits, r2.totals.deadline_hits);
   EXPECT_DOUBLE_EQ(r1.mean_download_s, r2.mean_download_s);
 }
 
-TEST_F(EventSimTest, InvalidConfigRejected) {
-  sim::EventSimConfig config;
+TEST_F(ServingEngineTest, InvalidConfigRejected) {
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.0;
-  Rng rng(5);
   EXPECT_THROW(
-      (void)sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                    scenario_->requests, *placement_, config, rng),
+      (void)serve::simulate_serving(scenario_->topology, scenario_->library,
+                                    scenario_->requests, *placement_, config, Rng(5)),
       std::invalid_argument);
 }
 

@@ -1,5 +1,5 @@
 // Tests for the serialization module, the extra placement baselines, and
-// the reactive LRU mode of the discrete-event simulator.
+// the reactive LRU mode of the serving engine.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -8,7 +8,7 @@
 #include "src/core/trimcaching_gen.h"
 #include "src/io/serialization.h"
 #include "src/model/special_case_generator.h"
-#include "src/sim/event_sim.h"
+#include "src/serve/engine.h"
 #include "src/sim/scenario.h"
 #include "tests/test_util.h"
 
@@ -162,7 +162,7 @@ TEST(Baselines, TopPopularityFillsEveryServerIdentically) {
   }
 }
 
-// --------------------------------------------------------------- LRU-mode DES
+// ----------------------------------------------------------- LRU-mode serving
 
 class LruModeTest : public ::testing::Test {
  protected:
@@ -182,9 +182,9 @@ class LruModeTest : public ::testing::Test {
                                                        problem_->num_models());
   }
 
-  sim::EventSimConfig lru_config(double rate = 0.2, double duration = 1000.0) const {
-    sim::EventSimConfig config;
-    config.cache_policy = sim::CachePolicy::kLruOnMiss;
+  serve::ServeConfig lru_config(double rate = 0.2, double duration = 1000.0) const {
+    serve::ServeConfig config;
+    config.policy = "lru";
     config.arrival_rate_per_user = rate;
     config.duration_s = duration;
     return config;
@@ -197,58 +197,56 @@ class LruModeTest : public ::testing::Test {
 };
 
 TEST_F(LruModeTest, ColdStartFetchesFromCloud) {
-  Rng rng(1);
   const auto result =
-      sim::simulate_downloads(scenario_->topology, scenario_->library,
-                              scenario_->requests, *empty_, lru_config(), rng);
-  EXPECT_GT(result.cloud_fetches, 0u);
-  EXPECT_EQ(result.requests, result.hits + result.late + result.unserved);
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), Rng(1));
+  const auto& totals = result.totals;
+  EXPECT_GT(totals.cloud_fetches, 0u);
+  EXPECT_GT(totals.cloud_bytes, 0u);
+  EXPECT_EQ(totals.requests, totals.deadline_hits + totals.late + totals.unserved);
 }
 
 TEST_F(LruModeTest, WarmStartFetchesLess) {
-  Rng rng_a(2), rng_b(2);
   const auto cold =
-      sim::simulate_downloads(scenario_->topology, scenario_->library,
-                              scenario_->requests, *empty_, lru_config(), rng_a);
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), Rng(2));
   const auto warm =
-      sim::simulate_downloads(scenario_->topology, scenario_->library,
-                              scenario_->requests, *placement_, lru_config(), rng_b);
-  EXPECT_LE(warm.cloud_fetches, cold.cloud_fetches);
-  EXPECT_GE(warm.empirical_hit_ratio, cold.empirical_hit_ratio - 0.05);
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *placement_, lru_config(), Rng(2));
+  EXPECT_LE(warm.totals.cloud_fetches, cold.totals.cloud_fetches);
+  EXPECT_GE(warm.hit_ratio, cold.hit_ratio - 0.05);
 }
 
 TEST_F(LruModeTest, StaticModeReportsNoCloudFetches) {
-  Rng rng(3);
-  sim::EventSimConfig config;
+  serve::ServeConfig config;
   config.arrival_rate_per_user = 0.2;
   config.duration_s = 500.0;
-  const auto result = sim::simulate_downloads(
+  const auto result = serve::simulate_serving(
       scenario_->topology, scenario_->library, scenario_->requests, *placement_,
-      config, rng);
-  EXPECT_EQ(result.cloud_fetches, 0u);
+      config, Rng(3));
+  EXPECT_EQ(result.totals.cloud_fetches, 0u);
+  EXPECT_EQ(result.totals.cloud_bytes, 0u);
 }
 
 TEST_F(LruModeTest, PlannedBeatsColdReactive) {
-  Rng rng_a(4), rng_b(4);
-  sim::EventSimConfig planned;
+  serve::ServeConfig planned;
   planned.arrival_rate_per_user = 0.2;
   planned.duration_s = 1000.0;
-  const auto static_result = sim::simulate_downloads(
+  const auto static_result = serve::simulate_serving(
       scenario_->topology, scenario_->library, scenario_->requests, *placement_,
-      planned, rng_a);
+      planned, Rng(4));
   const auto reactive =
-      sim::simulate_downloads(scenario_->topology, scenario_->library,
-                              scenario_->requests, *empty_, lru_config(), rng_b);
-  EXPECT_GE(static_result.empirical_hit_ratio, reactive.empirical_hit_ratio - 0.02);
+      serve::simulate_serving(scenario_->topology, scenario_->library,
+                              scenario_->requests, *empty_, lru_config(), Rng(4));
+  EXPECT_GE(static_result.hit_ratio, reactive.hit_ratio - 0.02);
 }
 
 TEST_F(LruModeTest, InvalidCloudRateRejected) {
-  Rng rng(5);
   auto config = lru_config();
   config.cloud_rate_bps = 0.0;
   EXPECT_THROW(
-      (void)sim::simulate_downloads(scenario_->topology, scenario_->library,
-                                    scenario_->requests, *empty_, config, rng),
+      (void)serve::simulate_serving(scenario_->topology, scenario_->library,
+                                    scenario_->requests, *empty_, config, Rng(5)),
       std::invalid_argument);
 }
 

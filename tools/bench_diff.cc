@@ -35,7 +35,11 @@
 //                   within-run full-rebuild over delta-path per-slot
 //                   maintenance ratio, hardware-independent) and fails when
 //                   it *drops* by more than threshold_pct — the delta-path
-//                   regression gate
+//                   regression gate; hit_ratio compares the hit_ratio column
+//                   (for serving records the deterministic empirical
+//                   deadline-hit ratio of the replay, hardware-independent)
+//                   and fails when it *drops* by more than threshold_pct —
+//                   the serving-quality gate (pair with filter=serving)
 //
 // Matching is by benchmark name; parsing goes through the shared strict
 // bench::read_bench_json, so a record missing the locked schema keys aborts
@@ -67,9 +71,10 @@ int main(int argc, char** argv) {
     const std::string filter = options.get_string("filter", "");
     const std::string metric = options.get_string("metric", "wall");
     if (metric != "wall" && metric != "speedup" && metric != "duplication" &&
-        metric != "plan_update") {
+        metric != "plan_update" && metric != "hit_ratio") {
       throw std::invalid_argument(
-          "bench_diff: metric must be wall|speedup|duplication|plan_update, got '" +
+          "bench_diff: metric must be wall|speedup|duplication|plan_update|"
+          "hit_ratio, got '" +
           metric + "'");
     }
 
@@ -113,6 +118,19 @@ int main(int argc, char** argv) {
         after = it->second.*ratio;
         delta_pct = (before - after) / before * 100.0;
         unit = "x";
+        direction = " drop";
+      } else if (metric == "hit_ratio") {
+        // Quality gate: regression = the hit ratio *dropped*. Baseline
+        // records without the column are skipped; a candidate that stops
+        // recording it reads as a 100% drop and fails loudly.
+        if (entry.hit_ratio < 0) {
+          std::cout << "skip     " << name << "  (no baseline hit_ratio column)\n";
+          continue;
+        }
+        before = entry.hit_ratio;
+        after = it->second.hit_ratio < 0 ? 0.0 : it->second.hit_ratio;
+        delta_pct = before > 0 ? (before - after) / before * 100.0 : 0.0;
+        unit = "";
         direction = " drop";
       } else if (metric == "duplication") {
         // Duplication gate: regression = the placement duplication *rose*.

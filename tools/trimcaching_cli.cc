@@ -26,7 +26,9 @@
 //                        hardware concurrency (default: hardware
 //                        concurrency); solver inner loops take their own
 //                        threads option, e.g. algo=gen:threads=8
-//   arrivals             per-user req/s for the DES replay, 0=off (0)
+//   arrivals             per-user req/s for the serving replay, 0=off (0)
+//   policy               serving cache policy for the replay:
+//                        static | lru | ewma[:tau_s=60] | priority (static)
 //   tiles                solve through ScenarioTiler on an NxN spatial
 //                        grid, 0 = untiled (0); servers stay tile-disjoint,
 //                        boundary users ride along in halo tiles, hit
@@ -44,8 +46,8 @@
 
 #include "src/core/solver_registry.h"
 #include "src/io/serialization.h"
+#include "src/serve/engine.h"
 #include "src/sim/evaluator.h"
-#include "src/sim/event_sim.h"
 #include "src/sim/experiment.h"
 #include "src/sim/scenario.h"
 #include "src/sim/tiler.h"
@@ -97,15 +99,18 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
   }
   const double arrivals = options.get_double("arrivals", 0.0);
   if (arrivals > 0) {
-    sim::EventSimConfig des;
-    des.arrival_rate_per_user = arrivals;
+    serve::ServeConfig serving;
+    serving.arrival_rate_per_user = arrivals;
+    serving.policy = options.get_string("policy", "static");
+    serving.threads = threads;
     const auto replay =
-        sim::simulate_downloads(scenario.topology, scenario.library,
-                                scenario.requests, outcome.placement, des, rng);
-    std::cout << "  DES replay:         hit " << replay.empirical_hit_ratio << " ("
-              << replay.requests << " requests, mean download "
-              << replay.mean_download_s << " s, p95 " << replay.p95_download_s
-              << " s, concurrency " << replay.mean_concurrency << ")\n";
+        serve::simulate_serving(scenario.topology, scenario.library,
+                                scenario.requests, outcome.placement, serving, rng);
+    std::cout << "  serving replay:     hit " << replay.hit_ratio << " ("
+              << serving.policy << ", " << replay.totals.requests
+              << " requests, mean download " << replay.mean_download_s << " s, p95 "
+              << replay.p95_download_s << " s, concurrency "
+              << replay.mean_concurrency << ")\n";
   }
 }
 
@@ -117,7 +122,8 @@ int main(int argc, char** argv) {
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
                            "models", "requested", "zipf", "algo", "local_search",
                            "time_budget_s", "seed", "fading", "threads", "arrivals",
-                           "save_library", "save_placement", "tiles", "tile_halo_m",
+                           "policy", "save_library", "save_placement", "tiles",
+                           "tile_halo_m",
                            "repair", "repair_tol"});
 
     const auto& registry = core::SolverRegistry::instance();
