@@ -17,6 +17,7 @@
 #include "src/sim/evaluator.h"
 #include "src/sim/monte_carlo.h"
 #include "src/sim/scenario.h"
+#include "src/support/simd.h"
 #include "src/workload/zipf.h"
 
 namespace {
@@ -37,6 +38,20 @@ const sim::Scenario& shared_scenario() {
   static const sim::Scenario scenario = [] {
     support::Rng rng(99);
     return sim::build_scenario(bench_config(20), rng);
+  }();
+  return scenario;
+}
+
+// ~1000-link arena for the SIMD fading A/B: with the default 275 m coverage
+// in a 1 km^2 area each (server, user) pair covers with probability ~0.2,
+// so 48 servers x 120 users lands E[links] comfortably above 1000 (the
+// BM_FadingKernel `links` counter reports the realized count).
+const sim::Scenario& big_scenario() {
+  static const sim::Scenario scenario = [] {
+    support::Rng rng(77);
+    sim::ScenarioConfig config = bench_config(120);
+    config.num_servers = 48;
+    return sim::build_scenario(config, rng);
   }();
   return scenario;
 }
@@ -166,27 +181,98 @@ void BM_SpecScalingInLibrary(benchmark::State& state) {
 }
 BENCHMARK(BM_SpecScalingInLibrary)->Arg(30)->Arg(90)->Arg(180)->Arg(300)->Complexity();
 
-// A/B of the fading inner loops on one arena: the pre-lowering scalar
-// reference (placement bitset chased per link per row per realization)
-// versus the batched kernel (per-call placement lowering + SoA transform +
-// holder-list min-reductions). Results are bit-identical; only the wall
-// time should differ. First arg = realizations, second = kernel
-// (0 = scalar reference, 1 = batched).
+// A/B/C of the fading inner loops on one arena: the pre-lowering scalar
+// reference (placement bitset chased per link per row per realization), the
+// batched scalar kernel (cached placement lowering + SoA transform +
+// holder-list min-reductions) and the SIMD kernel (counter-based
+// lane-parallel gains + vectorized transform + vector min-reductions through
+// the runtime-dispatched backend). First arg = arena scale (0 = the shared
+// ~50-link scenario, 1 = the ~1000-link scenario), second = kernel
+// (0 = scalar reference, 1 = batched, 2 = simd). 100 realizations each.
+// main() below derives the hardware-independent fading_simd_speedup_*
+// records (batched wall over simd wall) from the /1 vs /2 rows.
 void BM_FadingKernel(benchmark::State& state) {
-  const auto& scenario = shared_scenario();
+  const auto& scenario = state.range(0) == 0 ? shared_scenario() : big_scenario();
   const core::PlacementProblem problem = scenario.problem();
   const auto placement = core::trimcaching_gen(problem).placement;
   const sim::EvalPlan plan(scenario.topology, scenario.library, scenario.requests);
   const support::Rng rng(5);
-  const auto realizations = static_cast<std::size_t>(state.range(0));
-  const auto kernel = state.range(1) == 0 ? sim::FadingKernel::kScalarReference
-                                          : sim::FadingKernel::kBatched;
+  const auto kernel = state.range(1) == 0   ? sim::FadingKernel::kScalarReference
+                      : state.range(1) == 1 ? sim::FadingKernel::kBatched
+                                            : sim::FadingKernel::kSimd;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        plan.fading_hit_ratio(placement, realizations, rng, 1, kernel));
+    benchmark::DoNotOptimize(plan.fading_hit_ratio(placement, 100, rng, 1, kernel));
   }
+  state.counters["links"] = static_cast<double>(plan.num_links());
 }
-BENCHMARK(BM_FadingKernel)->Args({100, 0})->Args({100, 1})->Args({1000, 0})->Args({1000, 1});
+BENCHMARK(BM_FadingKernel)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2});
+
+// The raw counter-based Rayleigh batch (support/simd.h rayleigh_gains):
+// scalar backend vs the runtime-dispatched one. First arg = batch length,
+// second = backend (0 = scalar, 1 = active — avx2/neon where available, else
+// scalar again, so the benchmark never skips).
+void BM_RayleighBatch(benchmark::State& state) {
+  namespace simd = support::simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const simd::Backend backend =
+      state.range(1) == 0 ? simd::Backend::kScalar : simd::active_backend();
+  const simd::Ops& ops = simd::ops(backend);
+  std::vector<double> gains(n);
+  std::uint64_t key = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    ops.rayleigh_gains(key, n, gains.data());
+    benchmark::DoNotOptimize(gains.data());
+    benchmark::ClobberMemory();
+    ++key;  // a fresh realization key per iteration, like the fading loop
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(simd::backend_name(backend));
+}
+BENCHMARK(BM_RayleighBatch)->Args({1000, 0})->Args({1000, 1});
+
+// The min-reduction half of hit_ratio_lowered in isolation: per-user span
+// mins plus gathered holder mins over a synthetic inverse-rate array shaped
+// like the big arena (spans of 12 links, rows gathering 6 holder links).
+// Args as BM_RayleighBatch: {array length, backend (0 = scalar, 1 = active)}.
+void BM_HitRatioLowered(benchmark::State& state) {
+  namespace simd = support::simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const simd::Backend backend =
+      state.range(1) == 0 ? simd::Backend::kScalar : simd::active_backend();
+  const simd::Ops& ops = simd::ops(backend);
+  std::vector<double> inv(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    inv[l] = 1e-6 * static_cast<double>(1 + (support::mix64(l) >> 40));
+  }
+  constexpr std::size_t kSpan = 12;
+  constexpr std::size_t kHolders = 6;
+  std::vector<std::uint32_t> holder_links;
+  for (std::size_t r = 0; r * 2 + kHolders < n; ++r) {
+    for (std::size_t h = 0; h < kHolders; ++h) {
+      holder_links.push_back(
+          static_cast<std::uint32_t>(support::mix64(r * kHolders + h) % n));
+    }
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t begin = 0; begin + kSpan <= n; begin += kSpan) {
+      acc += ops.min_span(inv.data() + begin, kSpan);
+    }
+    for (std::size_t h = 0; h + kHolders <= holder_links.size(); h += kHolders) {
+      acc += ops.min_gather(inv.data(), holder_links.data() + h, kHolders);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(simd::backend_name(backend));
+}
+BENCHMARK(BM_HitRatioLowered)->Args({1000, 0})->Args({1000, 1});
 
 // Incremental plan maintenance: apply_user_moves + EvalPlan::apply_delta
 // per iteration (jittered user subset), against BM_EvalPlanBuild's full
@@ -303,6 +389,39 @@ int main(int argc, char** argv) {
   JsonMirrorReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  // Derived hardware-independent ratios: SIMD fading kernel over the batched
+  // scalar kernel on the same arena, carried in speedup_vs_serial so the CI
+  // ratio gate (bench_diff metric=speedup min_ratio=2) can pin the >= 2x
+  // contract. Only emitted when the source rows ran (benchmark_filter).
+  struct RatioSpec {
+    const char* name;
+    const char* batched;
+    const char* simd;
+  };
+  constexpr RatioSpec kRatios[] = {
+      {"fading_simd_speedup_100", "BM_FadingKernel/0/1", "BM_FadingKernel/0/2"},
+      {"fading_simd_speedup_1000", "BM_FadingKernel/1/1", "BM_FadingKernel/1/2"},
+  };
+  const auto wall_of = [&reporter](const char* name) -> double {
+    for (const auto& record : reporter.records) {
+      if (record.name == name) return record.wall_seconds;
+    }
+    return 0.0;
+  };
+  for (const RatioSpec& spec : kRatios) {
+    const double batched = wall_of(spec.batched);
+    const double simd = wall_of(spec.simd);
+    if (batched <= 0 || simd <= 0) continue;
+    trimcaching::bench::JsonRecord record;
+    record.name = spec.name;
+    record.wall_seconds = simd;
+    record.throughput = 1.0 / simd;
+    record.threads = 1;
+    record.speedup_vs_serial = batched / simd;
+    reporter.records.push_back(std::move(record));
+  }
+
   trimcaching::bench::write_bench_json("BENCH_micro.json", reporter.records);
   return 0;
 }

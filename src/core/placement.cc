@@ -1,16 +1,25 @@
 #include "src/core/placement.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace trimcaching::core {
+
+std::uint64_t PlacementSolution::next_revision() noexcept {
+  // Process-global so revisions are unique across all placements, which is
+  // what lets equal revision() imply equal content (see header).
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 PlacementSolution::PlacementSolution(std::size_t num_servers, std::size_t num_models)
     : num_servers_(num_servers),
       num_models_(num_models),
       placed_(num_servers * num_models, 0),
       per_server_(num_servers),
-      per_model_(num_models) {
+      per_model_(num_models),
+      revision_(next_revision()) {
   if (num_servers == 0 || num_models == 0) {
     throw std::invalid_argument("PlacementSolution: empty dimension");
   }
@@ -26,6 +35,7 @@ void PlacementSolution::place(ServerId m, ModelId i) {
   per_server_[m].push_back(i);
   per_model_[i].push_back(m);
   ++count_;
+  revision_ = next_revision();  // idempotent re-place returned above
 }
 
 void PlacementSolution::remove(ServerId m, ModelId i) {
@@ -40,6 +50,7 @@ void PlacementSolution::remove(ServerId m, ModelId i) {
   auto& holders = per_model_[i];
   holders.erase(std::find(holders.begin(), holders.end(), m));
   --count_;
+  revision_ = next_revision();
 }
 
 bool PlacementSolution::placed(ServerId m, ModelId i) const {

@@ -2,6 +2,7 @@
 // edge server.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/support/ids.h"
@@ -36,13 +37,23 @@ class PlacementSolution {
   /// Number of models cached on at least one server.
   [[nodiscard]] std::size_t distinct_models_placed() const noexcept;
 
+  /// Content-version tag: every mutation (a place() that actually places, a
+  /// remove()) stamps a process-globally unique value, so two observations
+  /// with equal revision() are guaranteed content-identical — copies keep
+  /// the source's revision until they mutate. Never 0. Used by EvalPlan to
+  /// key its placement-lowering cache without hashing the bitset.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
  private:
+  static std::uint64_t next_revision() noexcept;
+
   std::size_t num_servers_;
   std::size_t num_models_;
   std::vector<char> placed_;                      // dense M x I
   std::vector<std::vector<ModelId>> per_server_;  // models per server
   std::vector<std::vector<ServerId>> per_model_;  // holders per model
   std::size_t count_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 /// Placement duplication factor: total placements divided by distinct placed

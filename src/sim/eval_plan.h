@@ -33,12 +33,29 @@
 // NetworkTopology::last_delta() against its cached plan's revision, falling
 // back to a full rebuild when the delta does not chain.
 //
-// Fading kernels: fading_hit_ratio lowers the placement once per call into
-// flat per-row holder-link lists and then runs a batched, branch-free
-// realization kernel over SoA scratch (gains, then inverse rates, then
-// per-user min-reductions) — FadingKernel::kBatched. The pre-lowering
-// kernel survives as FadingKernel::kScalarReference for A/B benchmarks and
-// equivalence tests; both produce bit-identical summaries.
+// Fading kernels: fading_hit_ratio lowers the placement once (cached across
+// calls, keyed on PlacementSolution::revision()) into flat per-row
+// holder-link lists and then runs a batched, branch-free realization kernel
+// over SoA scratch (gains, then inverse rates, then per-user
+// min-reductions). Three kernels share that structure:
+//
+//   * kSimd (default) — counter-based lane-parallel gain generation plus
+//     vectorized transform and min-reductions through the runtime-dispatched
+//     backend of support/simd.h. Deterministic and thread-count invariant,
+//     but its gain stream is a *different* derivation than the mt19937 draws
+//     of the other two kernels (a sequential engine cannot be lane-split),
+//     and summaries may differ across SIMD backends by transcendental
+//     rounding only (see simd.h's contract). The min-reductions and the hit
+//     decision are bit-exact across backends.
+//   * kBatched — the scalar SoA kernel, bit-identical to kScalarReference;
+//     the cross-machine bit-stability reference.
+//   * kScalarReference — the pre-lowering per-link scalar loop (A/B
+//     benchmarks and equivalence tests).
+//
+// Scratch buffers live in the per-thread WorkerArena (support/parallel.h) —
+// reused across realizations, shrunk when a small scenario follows a huge
+// one — and the SoA link arrays are FirstTouchArrays filled chunk-parallel,
+// so on NUMA machines the pages sit next to the workers that stream them.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +64,9 @@
 #include "src/core/placement.h"
 #include "src/model/model_library.h"
 #include "src/support/ids.h"
+#include "src/support/parallel.h"
 #include "src/support/rng.h"
+#include "src/support/simd.h"
 #include "src/support/stats.h"
 #include "src/wireless/topology.h"
 #include "src/workload/request_model.h"
@@ -57,19 +76,27 @@ namespace trimcaching::sim {
 /// Stream tag for the counter-based per-realization fading derivation.
 inline constexpr std::uint64_t kFadingStream = 0xFADEull;
 
-/// Which inner loop fading_hit_ratio runs; results are bit-identical.
+/// Which inner loop fading_hit_ratio runs. kBatched and kScalarReference
+/// are bit-identical to each other; kSimd draws its own (deterministic,
+/// thread-count-invariant) counter-based gain stream — see the header
+/// comment.
 enum class FadingKernel {
-  kBatched,          ///< per-call placement lowering + SoA realization kernel
+  kBatched,          ///< scalar SoA kernel (bit-identical to kScalarReference)
   kScalarReference,  ///< the pre-lowering per-link scalar loop (benchmarks)
+  kSimd,             ///< vectorized counter-based kernel (runtime dispatch)
 };
 
 class EvalPlan {
  public:
   /// Snapshots the topology's current association/gain structure. Throws
-  /// std::invalid_argument on dimension mismatches.
+  /// std::invalid_argument on dimension mismatches. `build_threads` workers
+  /// (0 = hardware concurrency) fill the SoA link arrays chunk-parallel with
+  /// the same static partition the evaluation loops use — the NUMA
+  /// first-touch handshake; the arrays' *values* do not depend on it.
   EvalPlan(const wireless::NetworkTopology& topology,
            const model::ModelLibrary& library,
-           const workload::RequestModel& requests);
+           const workload::RequestModel& requests,
+           std::size_t build_threads = 1);
 
   /// Patches the plan in place to the topology's current snapshot using the
   /// dirty user set of `delta`: only the named users' link spans have their
@@ -93,12 +120,24 @@ class EvalPlan {
 
   /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
   /// up to `threads` pool workers (0 = hardware concurrency, 1 = inline).
-  /// Bit-identical for any thread count and either kernel; does not advance
-  /// `rng`.
+  /// Bit-identical for any thread count under every kernel; does not advance
+  /// `rng`. Maintains the placement-lowering cache, so concurrent calls on
+  /// the SAME EvalPlan are not safe (distinct plans, as the Monte-Carlo
+  /// shards use, are fine).
   [[nodiscard]] support::Summary fading_hit_ratio(
       const core::PlacementSolution& placement, std::size_t realizations,
       const support::Rng& rng, std::size_t threads = 1,
-      FadingKernel kernel = FadingKernel::kBatched) const;
+      FadingKernel kernel = FadingKernel::kSimd) const;
+
+  /// Placement-lowering cache counters: how many fading_hit_ratio calls
+  /// rebuilt the lowering vs reused the cached one (keyed on
+  /// PlacementSolution::revision(); invalidated by apply_delta).
+  [[nodiscard]] std::uint64_t lowering_builds() const noexcept {
+    return lowering_builds_;
+  }
+  [[nodiscard]] std::uint64_t lowering_hits() const noexcept {
+    return lowering_hits_;
+  }
 
  private:
   struct Row {
@@ -112,14 +151,37 @@ class EvalPlan {
   /// row, the covering links that hold the row's model (indices into the
   /// flat link arrays) and whether a relay through the best covering server
   /// can reach an out-of-coverage holder (Eq. 5 eligibility).
+  ///
+  /// Two views of the same lowering: the row-aligned arrays (one entry per
+  /// arena row, inactive rows with empty holder spans) feed the batched
+  /// scalar kernel, and a compact user-major SoA over the *active* rows
+  /// only — sequential payload/budget/probability/holder-span streams with
+  /// no inactive-row branch and no strided Row loads — feeds the SIMD hit
+  /// passes, which walk it once per realization (or per lane block).
   struct PlacementLowering {
     std::vector<std::uint32_t> holder_offsets;  ///< per row, size rows + 1
     std::vector<std::uint32_t> holder_links;    ///< flat link indices
     std::vector<std::uint8_t> relay_eligible;   ///< per row
     std::vector<std::uint8_t> active;           ///< per row: model placed at all
+
+    // Compact active-row SoA, user-major: user k owns compact rows
+    // [user_offsets[k], user_offsets[k + 1]). holder_begin/holder_count
+    // index into holder_links (same flat array as holder_offsets).
+    std::vector<std::uint32_t> user_offsets;   ///< size num_users + 1
+    std::vector<double> payload_bits;          ///< per active row
+    std::vector<double> budget_s;              ///< per active row
+    std::vector<double> probability;           ///< per active row
+    std::vector<std::uint32_t> holder_begin;   ///< per active row
+    std::vector<std::uint32_t> holder_count;   ///< per active row
+    std::vector<std::uint8_t> relay;           ///< per active row
   };
 
   [[nodiscard]] PlacementLowering lower_placement(
+      const core::PlacementSolution& placement) const;
+
+  /// The cached lowering for `placement`, rebuilt when the placement's
+  /// revision does not match the cached one (see lowering_builds/hits).
+  [[nodiscard]] const PlacementLowering& lowered(
       const core::PlacementSolution& placement) const;
 
   /// Hit ratio for one realized per-link inverse-rate array (scalar
@@ -132,6 +194,22 @@ class EvalPlan {
   [[nodiscard]] double hit_ratio_lowered(const PlacementLowering& lowering,
                                          const double* inv_rate) const;
 
+  /// SIMD kernel: bit-identical decision logic with a short-circuited Eq. 4
+  /// holder scan and the per-user relay min computed lazily through the
+  /// backend's span reduction — same mass as hit_ratio_lowered for the same
+  /// inv_rate array.
+  [[nodiscard]] double hit_ratio_lowered_simd(const PlacementLowering& lowering,
+                                              const double* inv_rate,
+                                              const support::simd::Ops& ops) const;
+
+  /// Lane-blocked SIMD hit pass: 4 realizations per row walk over the
+  /// vertically interleaved inverse rates (inv_blocked[link * 4 + lane]).
+  /// Writes ratios[0..3]; each lane bit-identical to hit_ratio_lowered_simd
+  /// on that lane's own inv_rate array.
+  void hit_ratio_lowered_block4(const PlacementLowering& lowering,
+                                const double* inv_blocked,
+                                double* ratios) const;
+
   void check_placement(const core::PlacementSolution& placement) const;
 
   std::size_t num_users_ = 0;
@@ -141,12 +219,16 @@ class EvalPlan {
   double backhaul_bps_ = 0.0;
   double total_mass_ = 0.0;
 
-  // Link spans: user k owns [link_offsets_[k], link_offsets_[k+1]).
+  std::size_t build_threads_ = 1;
+
+  // Link spans: user k owns [link_offsets_[k], link_offsets_[k+1]). The
+  // double arrays are FirstTouchArrays filled chunk-parallel so their pages
+  // land on the NUMA nodes of the workers that stream them.
   std::vector<std::size_t> link_offsets_;
   std::vector<ServerId> link_server_;
-  std::vector<double> link_bandwidth_hz_;
-  std::vector<double> link_mean_snr_;
-  std::vector<double> avg_inv_rate_;  ///< 1 / C̄, +inf where the rate is 0
+  support::FirstTouchArray link_bandwidth_hz_;
+  support::FirstTouchArray link_mean_snr_;
+  support::FirstTouchArray avg_inv_rate_;  ///< 1 / C̄, +inf where the rate is 0
 
   // Request rows: user k owns [row_offsets_[k], row_offsets_[k+1]).
   std::vector<std::size_t> row_offsets_;
@@ -154,7 +236,17 @@ class EvalPlan {
 
   // apply_delta ping-pong scratch: keeps capacity across mobility slots so
   // steady-state incremental updates do not allocate.
-  std::vector<double> inv_scratch_;
+  support::FirstTouchArray inv_scratch_;
+
+  // Placement-lowering cache (fading_hit_ratio's per-call setup). A cached
+  // revision of 0 means "empty" — PlacementSolution revisions are never 0.
+  // apply_delta invalidates (link indices shift with the spans). mutable:
+  // a cache behind a const evaluation API; see fading_hit_ratio's
+  // thread-safety note.
+  mutable PlacementLowering lowering_cache_;
+  mutable std::uint64_t lowering_cache_revision_ = 0;
+  mutable std::uint64_t lowering_builds_ = 0;
+  mutable std::uint64_t lowering_hits_ = 0;
 };
 
 }  // namespace trimcaching::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/support/parallel.h"
 #include "src/support/timing.h"
 
 namespace trimcaching::sim {
@@ -41,7 +42,8 @@ const EvalPlan& Evaluator::plan() const {
   // Full rebuild: first use, a full-rebuild delta, or a delta chain we
   // missed (more than one revision behind).
   const auto start = Clock::now();
-  plan_ = std::make_unique<EvalPlan>(*topology_, *library_, *requests_);
+  plan_ = std::make_unique<EvalPlan>(*topology_, *library_, *requests_,
+                                     build_threads_);
   stats_.build_seconds += seconds_since(start);
   ++stats_.builds;
   return *plan_;
@@ -54,8 +56,20 @@ double Evaluator::expected_hit_ratio(const core::PlacementSolution& placement) c
 support::Summary Evaluator::fading_hit_ratio(const core::PlacementSolution& placement,
                                              std::size_t realizations,
                                              const support::Rng& rng,
-                                             std::size_t threads) const {
-  return plan().fading_hit_ratio(placement, realizations, rng, threads);
+                                             std::size_t threads,
+                                             FadingKernel kernel) const {
+  build_threads_ = support::resolve_threads(threads);
+  const EvalPlan& current = plan();
+  // The plan's lowering counters restart with each rebuilt plan; fold the
+  // per-call increments into the cumulative stats (delta accumulation, the
+  // same pattern as the build/delta timers).
+  const std::uint64_t builds_before = current.lowering_builds();
+  const std::uint64_t hits_before = current.lowering_hits();
+  const support::Summary summary =
+      current.fading_hit_ratio(placement, realizations, rng, threads, kernel);
+  stats_.lowering_builds += current.lowering_builds() - builds_before;
+  stats_.lowering_hits += current.lowering_hits() - hits_before;
+  return summary;
 }
 
 }  // namespace trimcaching::sim

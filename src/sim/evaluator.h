@@ -48,6 +48,10 @@ struct PlanMaintenanceStats {
   std::size_t deltas = 0;        ///< in-place apply_delta patches
   double build_seconds = 0.0;    ///< wall-clock spent in full builds
   double delta_seconds = 0.0;    ///< wall-clock spent in delta patches
+  /// Placement-lowering cache traffic of fading_hit_ratio calls through this
+  /// Evaluator: rebuilds vs revision-keyed reuses (EvalPlan::lowering_*).
+  std::uint64_t lowering_builds = 0;
+  std::uint64_t lowering_hits = 0;
 };
 
 class Evaluator {
@@ -62,13 +66,16 @@ class Evaluator {
 
   /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
   /// up to `threads` workers (0 = hardware concurrency). Bit-identical for
-  /// any thread count; `rng` is not advanced — realization r draws from the
-  /// counter-based stream rng.at(kFadingStream, r), so evaluating several
-  /// placements against the same base Rng compares them under identical
-  /// channel draws.
+  /// any thread count; `rng` is not advanced — realization r draws from a
+  /// counter-based stream keyed on (rng seed, kFadingStream, r), so
+  /// evaluating several placements against the same base Rng compares them
+  /// under identical channel draws. `kernel` selects the inner loop (see
+  /// FadingKernel); the default SIMD kernel dispatches to the widest
+  /// available backend at runtime.
   [[nodiscard]] support::Summary fading_hit_ratio(
       const core::PlacementSolution& placement, std::size_t realizations,
-      const support::Rng& rng, std::size_t threads = 1) const;
+      const support::Rng& rng, std::size_t threads = 1,
+      FadingKernel kernel = FadingKernel::kSimd) const;
 
   /// The plan for the topology's current snapshot (delta-patched or rebuilt
   /// after mobility; untouched by placement-only changes).
@@ -87,6 +94,9 @@ class Evaluator {
   const workload::RequestModel* requests_;
   mutable std::unique_ptr<EvalPlan> plan_;
   mutable PlanMaintenanceStats stats_;
+  /// Thread count the next full plan build first-touches its arrays with
+  /// (kept at the last fading_hit_ratio's resolved count).
+  mutable std::size_t build_threads_ = 1;
 };
 
 }  // namespace trimcaching::sim

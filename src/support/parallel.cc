@@ -1,17 +1,54 @@
 #include "src/support/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace trimcaching::support {
 
 namespace {
 
 thread_local bool tl_in_region = false;
+
+// Opt-in worker pinning (TRIMCACHING_AFFINITY=1/on/true): worker i is bound
+// to cpu i mod hardware_threads() at creation. Pinning keeps a worker's
+// first-touched pages local to it for the life of the process (the scheduler
+// can no longer migrate the thread off its NUMA node), at the cost of
+// sharing badly with other processes — hence opt-in, benchmarks only.
+bool affinity_requested() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("TRIMCACHING_AFFINITY");
+    if (env == nullptr) return false;
+    const std::string value(env);
+    return value == "1" || value == "on" || value == "true";
+  }();
+  return enabled;
+}
+
+void pin_to_cpu([[maybe_unused]] std::thread& worker,
+                [[maybe_unused]] std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu), &set);
+  // Best-effort: a failure (cgroup cpuset smaller than hardware_threads,
+  // exotic topology) just leaves the worker unpinned.
+  pthread_setaffinity_np(worker.native_handle(), sizeof(set), &set);
+#endif
+}
 
 // Lazily-grown shared worker pool. Workers pull whole shard tasks; each
 // shard task pulls indices from the parallel_for call's atomic counter, so
@@ -28,6 +65,9 @@ class ThreadPool {
     std::lock_guard<std::mutex> lock(mutex_);
     while (workers_.size() < count) {
       workers_.emplace_back([this] { worker_loop(); });
+      if (affinity_requested()) {
+        pin_to_cpu(workers_.back(), (workers_.size() - 1) % hardware_threads());
+      }
     }
   }
 
@@ -136,6 +176,89 @@ void parallel_for(std::size_t n, std::size_t threads,
   std::unique_lock<std::mutex> lock(state.mutex);
   state.done.wait(lock, [&state, shards] { return state.finished == shards; });
   if (state.error) std::rethrow_exception(state.error);
+}
+
+void parallel_for_chunks(std::size_t n, std::size_t threads,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  threads = resolve_threads(threads);
+  if (n == 0) return;
+  const std::size_t chunks = std::min(threads, n);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get one more
+  parallel_for(chunks, threads, [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    body(begin, end);
+  });
+}
+
+std::vector<double>& WorkerArena::doubles(std::size_t slot, std::size_t n) {
+  while (slot >= slots_.size()) slots_.emplace_back();
+  std::vector<double>& buffer = slots_[slot];
+  // Shrink policy: a buffer well above both the floor and the current
+  // request gives its memory back before being reused. vector::resize never
+  // shrinks capacity on its own, which is exactly the unbounded-growth
+  // failure mode this class exists to fix.
+  if (buffer.capacity() > 4096 && buffer.capacity() / 4 > n) {
+    buffer.clear();
+    buffer.shrink_to_fit();
+  }
+  buffer.resize(n);
+  return buffer;
+}
+
+void WorkerArena::release() noexcept { slots_.clear(); }
+
+namespace {
+
+// Registry of every thread's arena, for trim_worker_arenas. Leaked on
+// purpose: pool workers (and their thread_local pointers into the registry)
+// can outlive any static with a destructor, so the registry must never be
+// torn down.
+struct ArenaRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<WorkerArena>> arenas;
+};
+
+ArenaRegistry& arena_registry() {
+  static ArenaRegistry* registry = new ArenaRegistry;
+  return *registry;
+}
+
+}  // namespace
+
+WorkerArena& this_worker_arena() {
+  thread_local WorkerArena* arena = nullptr;
+  if (arena == nullptr) {
+    ArenaRegistry& registry = arena_registry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.arenas.push_back(std::make_unique<WorkerArena>());
+    arena = registry.arenas.back().get();
+  }
+  return *arena;
+}
+
+void trim_worker_arenas() {
+  ArenaRegistry& registry = arena_registry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& arena : registry.arenas) arena->release();
+}
+
+void FirstTouchArray::reallocate(std::size_t n) {
+  if (n > capacity_) {
+    // Uninitialized on purpose — see the class comment. make_unique would
+    // value-initialize (= first-touch everything on this thread).
+    data_ = std::unique_ptr<double[]>(new double[n]);
+    capacity_ = n;
+  }
+  size_ = n;
+}
+
+void first_touch_copy(double* dst, const double* src, std::size_t n,
+                      std::size_t threads) {
+  parallel_for_chunks(n, threads, [dst, src](std::size_t begin, std::size_t end) {
+    std::memcpy(dst + begin, src + begin, (end - begin) * sizeof(double));
+  });
 }
 
 }  // namespace trimcaching::support

@@ -40,27 +40,13 @@ bool Rng::bernoulli(double p) {
   return dist(engine_);
 }
 
-namespace {
-
-// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 Rng Rng::fork(std::uint64_t stream) {
   // splitmix64-style mixing so that forks of nearby streams decorrelate.
   return Rng(mix64(engine_() + 0x9e3779b97f4a7c15ull + stream * 0xbf58476d1ce4e5b9ull));
 }
 
 Rng Rng::at(std::uint64_t stream, std::uint64_t index) const {
-  // Two mixing rounds so (stream, index) pairs on the same diagonal do not
-  // collide; depends only on seed_, never on engine state.
-  const std::uint64_t a = mix64(seed_ + 0x9e3779b97f4a7c15ull + stream * 0xbf58476d1ce4e5b9ull);
-  return Rng(mix64(a + index * 0x94d049bb133111ebull));
+  return Rng(stream_key(stream, index));
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {

@@ -11,6 +11,17 @@
 
 namespace trimcaching::support {
 
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit word. This is
+/// the primitive behind Rng::fork / Rng::at and the lane-parallel
+/// counter-based fading streams (support/simd.h): exporting it keeps every
+/// consumer on the *same* derivation, so a SIMD kernel that mixes
+/// (key + counter) per lane reproduces Rng::at's stream keys bit for bit.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5eed) : seed_(seed), engine_(seed) {}
@@ -46,6 +57,18 @@ class Rng {
   /// always yields the same stream — the foundation of the deterministic
   /// parallel Monte-Carlo contract (sim/eval_plan.h).
   [[nodiscard]] Rng at(std::uint64_t stream, std::uint64_t index) const;
+
+  /// The seed at(stream, index) would construct its generator from —
+  /// i.e. at(s, i).seed() without paying for an engine. The counter-based
+  /// fading kernels use this as the per-realization key.
+  [[nodiscard]] std::uint64_t stream_key(std::uint64_t stream,
+                                         std::uint64_t index) const noexcept {
+    // Two mixing rounds so (stream, index) pairs on the same diagonal do
+    // not collide; depends only on seed_, never on engine state.
+    const std::uint64_t a =
+        mix64(seed_ + 0x9e3779b97f4a7c15ull + stream * 0xbf58476d1ce4e5b9ull);
+    return mix64(a + index * 0x94d049bb133111ebull);
+  }
 
   /// The seed this Rng was constructed from (stable under use).
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }

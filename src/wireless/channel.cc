@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/support/simd.h"
+
 namespace trimcaching::wireless {
 
 void ChannelParams::validate() const {
@@ -39,5 +41,9 @@ double shannon_rate(const ChannelParams& params, double bandwidth_hz,
 }
 
 double sample_rayleigh_power_gain(support::Rng& rng) { return rng.exponential(1.0); }
+
+void sample_rayleigh_power_gains(std::uint64_t key, std::size_t n, double* gains) {
+  support::simd::ops().rayleigh_gains(key, n, gains);
+}
 
 }  // namespace trimcaching::wireless

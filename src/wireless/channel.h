@@ -10,6 +10,9 @@
 // received power is multiplied by |h|^2 ~ Exp(1).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "src/support/rng.h"
 
 namespace trimcaching::wireless {
@@ -44,5 +47,14 @@ struct ChannelParams {
 
 /// Samples a Rayleigh-fading power gain |h|^2 ~ Exp(1).
 [[nodiscard]] double sample_rayleigh_power_gain(support::Rng& rng);
+
+/// Batch variant: fills gains[0..n) with i.i.d. |h|^2 ~ Exp(1) draws derived
+/// counter-based from `key` (typically Rng::at(stream, realization).seed()),
+/// lane-parallel through the active SIMD backend (support/simd.h). Unlike
+/// the sequential overload, the draw for link l depends only on (key, l) —
+/// never on call order — which is what makes the batch vectorizable and the
+/// parallel Monte-Carlo bit-stable per backend. NOTE: the two overloads use
+/// different derivations and do NOT produce the same stream.
+void sample_rayleigh_power_gains(std::uint64_t key, std::size_t n, double* gains);
 
 }  // namespace trimcaching::wireless

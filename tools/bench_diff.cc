@@ -40,6 +40,14 @@
 //                   deadline-hit ratio of the replay, hardware-independent)
 //                   and fails when it *drops* by more than threshold_pct —
 //                   the serving-quality gate (pair with filter=serving)
+//   min_ratio       absolute floor on the candidate's ratio for the ratio
+//                   metrics (speedup | plan_update): the candidate fails when
+//                   its ratio lands below this value even if the relative
+//                   drop stays inside threshold_pct (0 = off). Unlike the
+//                   relative gate, a floor does not erode when the baseline
+//                   is regenerated — e.g. min_ratio=2 pins the SIMD fading
+//                   kernel's contract of >= 2x over the batched scalar
+//                   kernel on any machine
 //
 // Matching is by benchmark name; parsing goes through the shared strict
 // bench::read_bench_json, so a record missing the locked schema keys aborts
@@ -57,7 +65,7 @@ int main(int argc, char** argv) {
   try {
     const auto options = trimcaching::support::Options::parse(argc, argv);
     options.check_unknown({"base", "new", "threshold_pct", "allow_missing",
-                           "min_wall_s", "metric", "filter"});
+                           "min_wall_s", "metric", "filter", "min_ratio"});
     const std::string base_path = options.get_string("base", "");
     const std::string new_path = options.get_string("new", "");
     if (base_path.empty() || new_path.empty()) {
@@ -76,6 +84,12 @@ int main(int argc, char** argv) {
           "bench_diff: metric must be wall|speedup|duplication|plan_update|"
           "hit_ratio, got '" +
           metric + "'");
+    }
+    const double min_ratio = options.get_double("min_ratio", 0.0);
+    if (min_ratio > 0 && metric != "speedup" && metric != "plan_update") {
+      throw std::invalid_argument(
+          "bench_diff: min_ratio only applies to the ratio metrics "
+          "(speedup|plan_update)");
     }
 
     const auto base = trimcaching::bench::read_bench_json(base_path);
@@ -145,11 +159,14 @@ int main(int argc, char** argv) {
         unit = "x";
         direction = " rise";
       }
-      const bool regressed = delta_pct > threshold_pct;
+      const bool below_floor = min_ratio > 0 && after < min_ratio;
+      const bool regressed = delta_pct > threshold_pct || below_floor;
       std::cout << (regressed ? "REGRESS  " : "ok       ") << name << "  " << before
                 << unit << " -> " << after << unit << "  ("
                 << (delta_pct >= 0 ? "+" : "") << delta_pct << "%" << direction
-                << ")\n";
+                << ")";
+      if (below_floor) std::cout << "  [below min_ratio=" << min_ratio << "]";
+      std::cout << "\n";
       if (regressed) ++regressions;
     }
     for (const auto& [name, entry] : fresh) {
