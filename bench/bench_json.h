@@ -31,7 +31,10 @@
 // `p99_ms` (download-latency quantiles in milliseconds) and `served_rps`
 // (completed downloads per second), all emitted when >= 0; its hit_ratio
 // column carries the *empirical* deadline-hit ratio of the replay and is
-// drop-gated by bench_diff metric=hit_ratio.
+// drop-gated by bench_diff metric=hit_ratio. Memory-sensitive variants
+// (fig8_scale's distributed-tiles comparison) record `peak_rss_mb` — the
+// variant's peak resident set in MB, sampled by support/resource.h —
+// emitted when >= 0 and rise-gated by bench_diff metric=rss.
 //
 // The key set is LOCKED: read_bench_json() below is the one parser every
 // consumer (tools/bench_diff, tests/bench_schema_test) goes through, and it
@@ -67,6 +70,9 @@ struct JsonRecord {
   double p95_ms = -1.0;              ///< p95 download latency; < 0 = n/a
   double p99_ms = -1.0;              ///< p99 download latency; < 0 = n/a
   double served_rps = -1.0;          ///< completed downloads per second; < 0 = n/a
+  double peak_rss_mb = -1.0;         ///< peak resident set during the variant,
+                                     ///< MB (support/resource.h); < 0 = n/a.
+                                     ///< Gated rising by bench_diff metric=rss.
 };
 
 /// Git revision baked in at configure time (CMake), "unknown" otherwise.
@@ -122,6 +128,7 @@ inline void write_bench_json(const std::string& path,
     if (r.p95_ms >= 0) out << ", \"p95_ms\": " << r.p95_ms;
     if (r.p99_ms >= 0) out << ", \"p99_ms\": " << r.p99_ms;
     if (r.served_rps >= 0) out << ", \"served_rps\": " << r.served_rps;
+    if (r.peak_rss_mb >= 0) out << ", \"peak_rss_mb\": " << r.peak_rss_mb;
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -208,6 +215,9 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     if (const auto p99 = find_number(name_end, "p99_ms", limit)) record.p99_ms = *p99;
     if (const auto rps = find_number(name_end, "served_rps", limit)) {
       record.served_rps = *rps;
+    }
+    if (const auto rss = find_number(name_end, "peak_rss_mb", limit)) {
+      record.peak_rss_mb = *rss;
     }
     out[record.name] = record;
     pos = record_end == std::string::npos ? name_end : record_end;

@@ -18,23 +18,40 @@
 //   * tiled threaded   — the same tiler at threads=N (tile-level fan-out);
 //   * tiled repaired   — the threaded stitch plus the PlacementRepair
 //                        cross-tile pass (global dedup of halo duplicates +
-//                        marginal-gain refill of the freed capacity).
-// Tiled and repaired results must be bit-identical across thread counts
+//                        marginal-gain refill of the freed capacity);
+//   * tiled workers    — with workers=N: the same tiler solving each tile
+//                        in a spawned worker *process* (sim/tiler.h
+//                        distributed mode), the single-host memory-ceiling
+//                        escape hatch.
+// Tiled and repaired results must be bit-identical across thread counts,
+// and the workers variant bit-identical to the in-process tiled solve
 // (checked; a mismatch fails the run); the tiled-vs-untiled hit-ratio
 // deviation — the halo approximation error — and the placement duplication
 // factor (placements per distinct cached model; the raw stitch re-caches
 // popular models across halos, repair pulls it back toward the untiled
-// level) are reported per point and per variant. Everything lands in
-// BENCH_scale.json (bench/bench_json.h schema, incl. the hit_ratio and
-// duplication_factor columns) for the perf trajectory and tools/bench_diff
-// regression gating (metric=speedup and metric=duplication in CI).
+// level) are reported per point and per variant.
+//
+// Each solve variant additionally samples its own peak resident set
+// (support/resource.h RssSampler, with release_freed_memory() between
+// variants so one variant's freed pages do not inflate the next variant's
+// watermark): the distributed mode's whole point is that the *coordinator*
+// peak at 100x drops below the in-process tiled peak, because solver
+// working memory lives in the short-lived workers. Everything lands in
+// BENCH_scale.json (bench/bench_json.h schema, incl. the hit_ratio,
+// duplication_factor and peak_rss_mb columns) for the perf trajectory and
+// tools/bench_diff regression gating (metric=speedup, metric=duplication
+// and metric=rss in CI).
 //
 //   ./fig8_scale                        # 10x + 100x
 //   ./fig8_scale scale=2x threads=4    # CI smoke
 //   ./fig8_scale scale=10x,100x reps=3
+//   ./fig8_scale scale=100x workers=4  # distributed tiles (CI memory gate);
+//                                      # worker_bin= overrides
+//                                      # $TRIMCACHING_WORKER_BIN
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -45,6 +62,7 @@
 #include "src/sim/scenario.h"
 #include "src/sim/tiler.h"
 #include "src/support/options.h"
+#include "src/support/resource.h"
 #include "src/support/table.h"
 
 namespace {
@@ -105,9 +123,11 @@ bool same_placements(const core::PlacementSolution& a,
 int main(int argc, char** argv) {
   try {
     const auto options = support::Options::parse(argc, argv);
-    options.check_unknown({"threads", "scale", "reps"});
+    options.check_unknown({"threads", "scale", "reps", "workers", "worker_bin"});
     const std::size_t threads = support::resolve_threads(sim::threads_option(options));
     const std::size_t reps = std::max<std::size_t>(1, options.get_size("reps", 2));
+    const std::size_t workers = options.get_size("workers", 0);
+    const std::string worker_bin = options.get_string("worker_bin", "");
     const auto wanted = split_csv(options.get_string("scale", "10x,100x"));
 
     std::vector<ScalePoint> points;
@@ -122,10 +142,12 @@ int main(int argc, char** argv) {
       points.push_back(*it);
     }
 
-    std::cout << "[fig8_scale] " << sim::describe_threads(threads) << ", reps=" << reps
-              << "\n";
+    std::cout << "[fig8_scale] " << sim::describe_threads(threads) << ", reps=" << reps;
+    if (workers > 0) std::cout << ", workers=" << workers;
+    std::cout << "\n";
     support::Table table({"scale", "variant", "wall_s", "hit_ratio",
-                          "speedup_vs_untiled", "halo_deviation_pct", "dup_factor"});
+                          "speedup_vs_untiled", "halo_deviation_pct", "dup_factor",
+                          "peak_rss_mb"});
     std::vector<bench::JsonRecord> records;
 
     for (const ScalePoint& point : points) {
@@ -147,10 +169,17 @@ int main(int argc, char** argv) {
       tiler_config.tiles_y = point.tiles;
       const sim::ScenarioTiler tiler(scenario, tiler_config);
 
+      // Each variant runs inside its own RSS sampling scope; the allocator
+      // returns freed pages to the kernel first so the previous variant's
+      // retained arenas do not inflate this variant's sampled peak (the
+      // ru_maxrss watermark is useless here — it never comes back down).
+
       // Untiled serial baseline: full problem + serial Gen, end to end.
       double untiled_wall = 0.0;
       double untiled_hit = 0.0;
       double untiled_dup = 1.0;
+      support::release_freed_memory();
+      support::RssSampler untiled_sampler;
       for (std::size_t r = 0; r < reps; ++r) {
         const auto start = Clock::now();
         const core::PlacementProblem problem = scenario.problem();
@@ -162,20 +191,31 @@ int main(int argc, char** argv) {
         untiled_dup = core::duplication_factor(outcome.placement);
         untiled_wall = r == 0 ? wall : std::min(untiled_wall, wall);
       }
+      const double untiled_rss = untiled_sampler.stop_and_peak_mb();
 
-      // Tiled, serial and threaded, same tiling and seeds.
+      // Tiled, serial then threaded, same tiling and seeds.
+      support::release_freed_memory();
+      support::RssSampler tiled_serial_sampler;
       sim::TiledSolveResult tiled_serial = tiler.solve("gen", 42, 1);
-      sim::TiledSolveResult tiled_threaded = tiler.solve("gen", 42, threads);
       for (std::size_t r = 1; r < reps; ++r) {
-        auto again_serial = tiler.solve("gen", 42, 1);
-        if (again_serial.wall_seconds < tiled_serial.wall_seconds) {
-          tiled_serial = std::move(again_serial);
-        }
-        auto again_threaded = tiler.solve("gen", 42, threads);
-        if (again_threaded.wall_seconds < tiled_threaded.wall_seconds) {
-          tiled_threaded = std::move(again_threaded);
+        auto again = tiler.solve("gen", 42, 1);
+        if (again.wall_seconds < tiled_serial.wall_seconds) {
+          tiled_serial = std::move(again);
         }
       }
+      const double tiled_serial_rss = tiled_serial_sampler.stop_and_peak_mb();
+
+      support::release_freed_memory();
+      support::RssSampler tiled_threaded_sampler;
+      sim::TiledSolveResult tiled_threaded = tiler.solve("gen", 42, threads);
+      for (std::size_t r = 1; r < reps; ++r) {
+        auto again = tiler.solve("gen", 42, threads);
+        if (again.wall_seconds < tiled_threaded.wall_seconds) {
+          tiled_threaded = std::move(again);
+        }
+      }
+      const double tiled_threaded_rss = tiled_threaded_sampler.stop_and_peak_mb();
+
       // Full placement bit-identity across thread counts, per server.
       if (tiled_serial.hit_ratio != tiled_threaded.hit_ratio ||
           !same_placements(tiled_serial.placement, tiled_threaded.placement)) {
@@ -183,6 +223,37 @@ int main(int argc, char** argv) {
                      "counts at "
                   << point.name << "\n";
         return 1;
+      }
+
+      // Distributed tiles (workers=N): tile solves offloaded to spawned
+      // worker processes, the coordinator keeping only one serialized view
+      // in flight at a time. Must reproduce the in-process tiled solve bit
+      // for bit; its sampled peak is the memory-ceiling headline number.
+      std::optional<sim::TiledSolveResult> tiled_workers;
+      double tiled_workers_rss = -1.0;
+      if (workers > 0) {
+        sim::TilerConfig workers_config = tiler_config;
+        workers_config.workers = workers;
+        workers_config.worker_bin = worker_bin;
+        const sim::ScenarioTiler distributed(scenario, workers_config);
+        support::release_freed_memory();
+        support::RssSampler workers_sampler;
+        tiled_workers = distributed.solve("gen", 42);
+        for (std::size_t r = 1; r < reps; ++r) {
+          auto again = distributed.solve("gen", 42);
+          if (again.wall_seconds < tiled_workers->wall_seconds) {
+            *tiled_workers = std::move(again);
+          }
+        }
+        tiled_workers_rss = workers_sampler.stop_and_peak_mb();
+        if (tiled_workers->hit_ratio != tiled_serial.hit_ratio ||
+            !same_placements(tiled_workers->placement, tiled_serial.placement)) {
+          std::cerr << "fig8_scale: workers=" << workers
+                    << " solve not bit-identical to the in-process tiled "
+                       "solve at "
+                    << point.name << "\n";
+          return 1;
+        }
       }
 
       // Cross-tile repair on the stitched placement, serial and threaded.
@@ -219,36 +290,59 @@ int main(int argc, char** argv) {
       const double deviation_pct = deviation_of(tiled_threaded.hit_ratio);
       const double repaired_deviation_pct = deviation_of(repaired.hit_ratio);
       const auto row = [&](const std::string& variant, double wall, double hit,
-                           double speedup, double deviation, double dup) {
+                           double speedup, double deviation, double dup,
+                           double rss_mb) {
         table.add_row({point.name, variant, support::Table::cell(wall, 4),
                        support::Table::cell(hit, 4),
                        speedup > 0 ? support::Table::cell(speedup, 2) : "-",
                        variant == "untiled_serial"
                            ? "-"
                            : support::Table::cell(deviation, 2),
-                       support::Table::cell(dup, 2)});
+                       support::Table::cell(dup, 2),
+                       rss_mb >= 0 ? support::Table::cell(rss_mb, 1) : "-"});
       };
-      row("untiled_serial", untiled_wall, untiled_hit, 0.0, 0.0, untiled_dup);
+      row("untiled_serial", untiled_wall, untiled_hit, 0.0, 0.0, untiled_dup,
+          untiled_rss);
       row("tiled_serial", tiled_serial.wall_seconds, tiled_serial.hit_ratio,
           untiled_wall / std::max(1e-9, tiled_serial.wall_seconds), deviation_pct,
-          tiled_serial.duplication_factor);
+          tiled_serial.duplication_factor, tiled_serial_rss);
       row("tiled_threaded", tiled_threaded.wall_seconds, tiled_threaded.hit_ratio,
           untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds), deviation_pct,
-          tiled_threaded.duplication_factor);
+          tiled_threaded.duplication_factor, tiled_threaded_rss);
+      if (tiled_workers) {
+        row("tiled_workers", tiled_workers->wall_seconds, tiled_workers->hit_ratio,
+            untiled_wall / std::max(1e-9, tiled_workers->wall_seconds),
+            deviation_of(tiled_workers->hit_ratio),
+            tiled_workers->duplication_factor, tiled_workers_rss);
+      }
       row("tiled_repaired", repaired_wall, repaired.hit_ratio,
           untiled_wall / std::max(1e-9, repaired_wall), repaired_deviation_pct,
-          repaired.duplication_after);
+          repaired.duplication_after, -1.0);
 
       const std::string prefix = "fig8_scale_" + point.name + "_";
-      records.push_back({prefix + "untiled_serial", untiled_wall, 0.0, 1, 0.0,
-                         untiled_hit, untiled_dup});
-      records.push_back({prefix + "tiled_serial", tiled_serial.wall_seconds, 0.0, 1,
-                         untiled_wall / std::max(1e-9, tiled_serial.wall_seconds),
-                         tiled_serial.hit_ratio, tiled_serial.duplication_factor});
-      records.push_back(
-          {prefix + "tiled_threaded", tiled_threaded.wall_seconds, 0.0, threads,
-           untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds),
-           tiled_threaded.hit_ratio, tiled_threaded.duplication_factor});
+      const auto record = [&](bench::JsonRecord json, double rss_mb) {
+        json.peak_rss_mb = rss_mb;
+        records.push_back(std::move(json));
+      };
+      record({prefix + "untiled_serial", untiled_wall, 0.0, 1, 0.0, untiled_hit,
+              untiled_dup},
+             untiled_rss);
+      record({prefix + "tiled_serial", tiled_serial.wall_seconds, 0.0, 1,
+              untiled_wall / std::max(1e-9, tiled_serial.wall_seconds),
+              tiled_serial.hit_ratio, tiled_serial.duplication_factor},
+             tiled_serial_rss);
+      record({prefix + "tiled_threaded", tiled_threaded.wall_seconds, 0.0, threads,
+              untiled_wall / std::max(1e-9, tiled_threaded.wall_seconds),
+              tiled_threaded.hit_ratio, tiled_threaded.duplication_factor},
+             tiled_threaded_rss);
+      if (tiled_workers) {
+        // `threads` column carries the coordinator's degree of parallelism
+        // — for the workers variant that is the worker-process count.
+        record({prefix + "tiled_workers", tiled_workers->wall_seconds, 0.0, workers,
+                untiled_wall / std::max(1e-9, tiled_workers->wall_seconds),
+                tiled_workers->hit_ratio, tiled_workers->duplication_factor},
+               tiled_workers_rss);
+      }
       records.push_back({prefix + "tiled_repaired", repaired_wall, 0.0, threads,
                          untiled_wall / std::max(1e-9, repaired_wall),
                          repaired.hit_ratio, repaired.duplication_after});
@@ -269,6 +363,12 @@ int main(int argc, char** argv) {
                 << repaired.duplicates_evicted << " evicted, "
                 << repaired.models_added << " added; one-time engine build "
                 << repair_build_wall << " s, amortized)\n";
+      if (tiled_workers) {
+        std::cout << "  workers=" << workers << ": " << tiled_workers->wall_seconds
+                  << " s, coordinator peak " << tiled_workers_rss
+                  << " MB vs in-process tiled " << tiled_threaded_rss
+                  << " MB (untiled " << untiled_rss << " MB)\n";
+      }
     }
 
     sim::emit_experiment(

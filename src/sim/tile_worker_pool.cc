@@ -1,0 +1,153 @@
+#include "src/sim/tile_worker_pool.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <spawn.h>
+#include <stdexcept>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/support/timing.h"
+
+extern char** environ;
+
+namespace trimcaching::sim {
+
+namespace {
+
+struct Running {
+  pid_t pid = -1;
+  std::size_t job = 0;
+  support::WallClock::time_point started;
+  bool killed_for_timeout = false;
+};
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+TileWorkerPool::TileWorkerPool(WorkerPoolConfig config) : config_(std::move(config)) {
+  if (config_.workers == 0) {
+    throw std::invalid_argument("TileWorkerPool: workers must be >= 1");
+  }
+  if (config_.worker_bin.empty()) {
+    throw std::invalid_argument("TileWorkerPool: worker_bin must be set");
+  }
+}
+
+std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
+  std::vector<bool> ok(jobs.size(), false);
+  std::vector<std::size_t> attempts(jobs.size(), 0);
+  std::vector<std::size_t> queue;  // job indices awaiting a slot, FIFO
+  queue.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push_back(j);
+  std::size_t next = 0;
+  std::vector<Running> running;
+  running.reserve(config_.workers);
+
+  const auto log = [&](const std::string& message) {
+    if (config_.log) config_.log(message);
+  };
+
+  const auto spawn_job = [&](std::size_t j) -> bool {
+    const WorkerJob& job = jobs[j];
+    ++attempts[j];
+    // Stale output from a killed previous attempt must never be mistaken
+    // for this attempt's result.
+    (void)::unlink(job.result_path.c_str());
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(config_.worker_bin.c_str()));
+    argv.push_back(const_cast<char*>(job.view_path.c_str()));
+    argv.push_back(const_cast<char*>(job.result_path.c_str()));
+    argv.push_back(nullptr);
+    pid_t pid = -1;
+    const int rc = ::posix_spawn(&pid, config_.worker_bin.c_str(), nullptr, nullptr,
+                                 argv.data(), environ);
+    if (rc != 0) {
+      log("tile " + std::to_string(job.tile) + ": posix_spawn failed: " +
+          std::strerror(rc));
+      return false;
+    }
+    running.push_back(Running{pid, j, support::WallClock::now(), false});
+    return true;
+  };
+
+  const auto requeue_or_fail = [&](std::size_t j, const std::string& reason) {
+    const std::string label = "tile " + std::to_string(jobs[j].tile) + ": " + reason;
+    if (attempts[j] <= config_.retries) {
+      log(label + ", retrying (attempt " + std::to_string(attempts[j] + 1) + ")");
+      queue.push_back(j);
+    } else {
+      log(label + ", giving up after " + std::to_string(attempts[j]) +
+          " attempt(s) — in-process fallback");
+    }
+  };
+
+  while (next < queue.size() || !running.empty()) {
+    while (running.size() < config_.workers && next < queue.size()) {
+      const std::size_t j = queue[next++];
+      if (!spawn_job(j)) requeue_or_fail(j, "spawn failure");
+    }
+    if (running.empty()) continue;
+
+    bool reaped = false;
+    for (std::size_t r = 0; r < running.size();) {
+      Running& child = running[r];
+      int status = 0;
+      const pid_t got = ::waitpid(child.pid, &status, WNOHANG);
+      if (got == child.pid) {
+        const std::size_t j = child.job;
+        const bool timed_out = child.killed_for_timeout;
+        running[r] = running.back();
+        running.pop_back();
+        reaped = true;
+        if (timed_out) {
+          requeue_or_fail(j, "timed out after " + std::to_string(config_.timeout_s) +
+                                 " s (SIGKILL)");
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          if (file_exists(jobs[j].result_path)) {
+            ok[j] = true;
+          } else {
+            requeue_or_fail(j, "worker exited 0 without writing a result");
+          }
+        } else if (WIFSIGNALED(status)) {
+          requeue_or_fail(j, "worker killed by signal " +
+                                 std::to_string(WTERMSIG(status)));
+        } else {
+          requeue_or_fail(j, "worker exited with status " +
+                                 std::to_string(WIFEXITED(status)
+                                                    ? WEXITSTATUS(status)
+                                                    : status));
+        }
+        continue;  // r now holds the swapped-in child
+      }
+      if (got < 0) {
+        // ECHILD etc. — the child is gone without a reapable status.
+        const std::size_t j = child.job;
+        running[r] = running.back();
+        running.pop_back();
+        reaped = true;
+        requeue_or_fail(j, std::string("waitpid failed: ") + std::strerror(errno));
+        continue;
+      }
+      if (config_.timeout_s > 0 && !child.killed_for_timeout &&
+          support::seconds_since(child.started) > config_.timeout_s) {
+        ::kill(child.pid, SIGKILL);
+        child.killed_for_timeout = true;  // reap on a later pass
+      }
+      ++r;
+    }
+    if (!reaped) {
+      // Nothing finished this pass: sleep briefly instead of spinning.
+      ::usleep(2000);
+    }
+  }
+  return ok;
+}
+
+}  // namespace trimcaching::sim

@@ -1,0 +1,50 @@
+// Coordinator-side process pool for out-of-process tile solves
+// (sim/tiler.h workers=N).
+//
+// Each job is one already-serialized tile view file; the pool keeps up to
+// `workers` `trimcaching_worker` children in flight (posix_spawn, file-based
+// handoff), reaps them non-blocking (per-pid waitpid(WNOHANG) — never
+// waitpid(-1), which could steal unrelated children from the host process),
+// enforces a per-tile wall-clock timeout with SIGKILL, and retries a crashed
+// or timed-out tile up to `retries` times before reporting it failed. The
+// pool never throws on worker failure — a failed job is simply reported, and
+// the caller (ScenarioTiler) falls back to an in-process solve with the same
+// counter-based tile seed, so one bad tile never kills or perturbs the run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace trimcaching::sim {
+
+struct WorkerJob {
+  std::size_t tile = 0;      ///< tile index (labels + failure reporting)
+  std::string view_path;     ///< serialized tile view (worker input)
+  std::string result_path;   ///< serialized tile result (worker output)
+};
+
+struct WorkerPoolConfig {
+  std::size_t workers = 1;      ///< max concurrent worker processes (>= 1)
+  std::string worker_bin;       ///< path to the trimcaching_worker binary
+  double timeout_s = 0.0;       ///< per-attempt wall timeout; <= 0 = none
+  std::size_t retries = 1;      ///< respawns after a crash/timeout, per job
+  /// Optional failure log sink ("tile 3: worker killed by signal 9, retrying").
+  std::function<void(const std::string&)> log;
+};
+
+class TileWorkerPool {
+ public:
+  explicit TileWorkerPool(WorkerPoolConfig config);
+
+  /// Runs every job through the pool; blocks until all finish or fail
+  /// permanently. Returns one flag per job: true when a worker exited 0 and
+  /// wrote its result file (content validation stays with the caller).
+  [[nodiscard]] std::vector<bool> run(const std::vector<WorkerJob>& jobs);
+
+ private:
+  WorkerPoolConfig config_;
+};
+
+}  // namespace trimcaching::sim

@@ -1,11 +1,18 @@
 #include "src/sim/tiler.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "src/core/solver_registry.h"
+#include "src/io/tile_codec.h"
+#include "src/sim/tile_worker_pool.h"
 #include "src/support/parallel.h"
 #include "src/support/timing.h"
 #include "src/wireless/spatial_grid.h"
@@ -16,6 +23,144 @@ namespace {
 
 /// Counter-based stream tag for per-tile solver contexts (Rng::at).
 constexpr std::uint64_t kTileStream = 0x711E;
+
+/// Compact per-tile stitch record: the per-local-server model rows (in
+/// placement order — the stitch replays them in order) plus the work
+/// counters. Reducing each SolverOutcome to this inside the solve shard
+/// releases the tile's dense placement bitset eagerly instead of keeping
+/// every tile's full outcome alive until the stitch loop.
+struct TileStitch {
+  std::vector<std::vector<ModelId>> rows;
+  std::size_t gain_evaluations = 0;
+  std::size_t iterations = 0;
+};
+
+TileStitch reduce_outcome(const core::SolverOutcome& outcome) {
+  TileStitch stitch;
+  stitch.rows.resize(outcome.placement.num_servers());
+  for (ServerId m = 0; m < outcome.placement.num_servers(); ++m) {
+    stitch.rows[m] = outcome.placement.models_on(m);
+  }
+  stitch.gain_evaluations = outcome.gain_evaluations;
+  stitch.iterations = outcome.iterations;
+  return stitch;
+}
+
+/// The worker binary: explicit config knob, else $TRIMCACHING_WORKER_BIN
+/// (CMake exports it into the test environment).
+std::string resolve_worker_bin(const TilerConfig& config) {
+  if (!config.worker_bin.empty()) return config.worker_bin;
+  if (const char* env = std::getenv("TRIMCACHING_WORKER_BIN"); env && *env) {
+    return env;
+  }
+  throw std::runtime_error(
+      "ScenarioTiler: workers > 0 needs a worker binary — set "
+      "TilerConfig::worker_bin or $TRIMCACHING_WORKER_BIN");
+}
+
+struct ScratchDir {
+  std::string path;
+  bool created = false;  ///< mkdtemp'd by us: remove the directory afterwards
+};
+
+ScratchDir resolve_scratch_dir(const TilerConfig& config) {
+  if (!config.scratch_dir.empty()) {
+    if (::mkdir(config.scratch_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw std::runtime_error("ScenarioTiler: cannot create scratch_dir " +
+                               config.scratch_dir);
+    }
+    return ScratchDir{config.scratch_dir, false};
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  std::string templ =
+      std::string(tmp && *tmp ? tmp : "/tmp") + "/trimcaching-tiles-XXXXXX";
+  if (::mkdtemp(templ.data()) == nullptr) {
+    throw std::runtime_error("ScenarioTiler: mkdtemp failed under " + templ);
+  }
+  return ScratchDir{templ, true};
+}
+
+/// The workers=N tile fan-out. Streams each tile sub-view to disk one at a
+/// time (never holding two views at once — the coordinator-memory win), runs
+/// the worker pool over the files, parses the results, and solves any
+/// permanently-failed tile in-process with the same counter-based seed. Only
+/// the tiler's public surface is consumed.
+void solve_tiles_distributed(const ScenarioTiler& tiler, const TilerConfig& config,
+                             const std::string& solver_spec,
+                             const support::Rng& master, double time_budget_s,
+                             std::vector<std::optional<TileStitch>>& stitches) {
+  const std::string worker_bin = resolve_worker_bin(config);
+  const ScratchDir scratch = resolve_scratch_dir(config);
+  const std::vector<Tile>& tiles = tiler.tiles();
+
+  std::vector<WorkerJob> jobs;
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    if (tiles[t].servers.empty() || tiles[t].users.empty()) continue;
+    io::TileViewHeader header;
+    header.algo = solver_spec;
+    header.threads = 1;  // provenance; workers solve one tile each
+    header.tile_index = static_cast<std::uint32_t>(t);
+    header.solver_seed = master.at(kTileStream, t).seed();
+    header.time_budget_s = time_budget_s > 0 ? time_budget_s : -1.0;
+    WorkerJob job;
+    job.tile = t;
+    job.view_path = scratch.path + "/tile_" + std::to_string(t) + ".view";
+    job.result_path = scratch.path + "/tile_" + std::to_string(t) + ".result";
+    {
+      // Build, serialize, release: exactly one tile sub-view is live here,
+      // and it is links-only — the coordinator never pays for hit lists.
+      const core::PlacementProblem problem = tiler.tile_link_view(t);
+      io::write_tile_view(job.view_path, header, problem);
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = config.workers;
+  pool_config.worker_bin = worker_bin;
+  pool_config.timeout_s = config.worker_timeout_s;
+  pool_config.retries = config.worker_retries;
+  pool_config.log = [](const std::string& message) {
+    std::fprintf(stderr, "[tiler/workers] %s\n", message.c_str());
+  };
+  TileWorkerPool pool(pool_config);
+  const std::vector<bool> ok = pool.run(jobs);
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t t = jobs[j].tile;
+    if (ok[j]) {
+      try {
+        const io::TileResult result = io::read_tile_result(jobs[j].result_path);
+        const core::PlacementSolution& local = result.outcome.placement;
+        if (result.tile_index != t ||
+            local.num_servers() != tiles[t].servers.size()) {
+          throw std::invalid_argument("tile result does not match tile " +
+                                      std::to_string(t));
+        }
+        stitches[t] = reduce_outcome(result.outcome);
+        continue;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[tiler/workers] tile %zu: bad result (%s) — "
+                             "in-process fallback\n",
+                     t, e.what());
+      }
+    }
+    // Crash/timeout/corruption fallback: same seed, same solver, in this
+    // process — bit-identical to a successful worker, so failures never
+    // change results.
+    const core::PlacementProblem problem = tiler.tile_problem(t);
+    const auto solver = core::SolverRegistry::instance().make(solver_spec);
+    core::SolverContext context(master.at(kTileStream, t));
+    if (time_budget_s > 0) context.set_deadline_after(time_budget_s);
+    stitches[t] = reduce_outcome(solver->run(problem, context));
+  }
+
+  for (const WorkerJob& job : jobs) {
+    (void)::unlink(job.view_path.c_str());
+    (void)::unlink(job.result_path.c_str());
+  }
+  if (scratch.created) (void)::rmdir(scratch.path.c_str());
+}
 
 }  // namespace
 
@@ -35,6 +180,9 @@ void TilerConfig::validate() const {
       repair_tolerance < 0) {
     throw std::invalid_argument(
         "TilerConfig: repair_tolerance must be finite and >= 0");
+  }
+  if (std::isnan(worker_timeout_s) || std::isinf(worker_timeout_s)) {
+    throw std::invalid_argument("TilerConfig: worker_timeout_s must be finite");
   }
 }
 
@@ -126,6 +274,16 @@ core::PlacementProblem ScenarioTiler::tile_problem(std::size_t t) const {
                                 scenario_->requests, tile.servers, tile.users);
 }
 
+core::PlacementProblem ScenarioTiler::tile_link_view(std::size_t t) const {
+  const Tile& tile = tiles_.at(t);
+  if (tile.servers.empty() || tile.users.empty()) {
+    throw std::invalid_argument("ScenarioTiler::tile_link_view: empty tile");
+  }
+  return core::PlacementProblem(scenario_->topology, scenario_->library,
+                                scenario_->requests, tile.servers, tile.users,
+                                core::PlacementProblem::LinksOnly{});
+}
+
 TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
                                       std::uint64_t seed, std::size_t threads,
                                       double time_budget_s) const {
@@ -136,31 +294,37 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
 
   const auto start = support::WallClock::now();
   const support::Rng master(seed);
-  std::vector<std::optional<core::SolverOutcome>> outcomes(tiles_.size());
-  support::parallel_for(tiles_.size(), threads, [&](std::size_t t) {
-    const Tile& tile = tiles_[t];
-    if (tile.servers.empty() || tile.users.empty()) return;
-    // Per-shard problem view and solver instance; the view shares the
-    // scenario's topology/library/requests storage (reads only).
-    const core::PlacementProblem problem = tile_problem(t);
-    const auto solver = core::SolverRegistry::instance().make(solver_spec);
-    core::SolverContext context(master.at(kTileStream, t));
-    if (time_budget_s > 0) context.set_deadline_after(time_budget_s);
-    outcomes[t] = solver->run(problem, context);
-  });
+  std::vector<std::optional<TileStitch>> stitches(tiles_.size());
+  if (config_.workers > 0) {
+    solve_tiles_distributed(*this, config_, solver_spec, master, time_budget_s,
+                            stitches);
+  } else {
+    support::parallel_for(tiles_.size(), threads, [&](std::size_t t) {
+      const Tile& tile = tiles_[t];
+      if (tile.servers.empty() || tile.users.empty()) return;
+      // Per-shard problem view and solver instance; the view shares the
+      // scenario's topology/library/requests storage (reads only). Both the
+      // view and the solver's dense placement die with this shard — only the
+      // compact stitch rows survive to the merge loop.
+      const core::PlacementProblem problem = tile_problem(t);
+      const auto solver = core::SolverRegistry::instance().make(solver_spec);
+      core::SolverContext context(master.at(kTileStream, t));
+      if (time_budget_s > 0) context.set_deadline_after(time_budget_s);
+      stitches[t] = reduce_outcome(solver->run(problem, context));
+    });
+  }
 
   TiledSolveResult result{core::PlacementSolution(
       scenario_->topology.num_servers(), scenario_->library.num_models())};
   // Tile-index-order stitch: server sets are disjoint, so placements never
   // conflict and the merge is exact.
   for (std::size_t t = 0; t < tiles_.size(); ++t) {
-    if (!outcomes[t]) continue;
+    if (!stitches[t]) continue;
     ++result.tiles_solved;
-    result.gain_evaluations += outcomes[t]->gain_evaluations;
-    result.iterations += outcomes[t]->iterations;
-    const core::PlacementSolution& local = outcomes[t]->placement;
+    result.gain_evaluations += stitches[t]->gain_evaluations;
+    result.iterations += stitches[t]->iterations;
     for (std::size_t m = 0; m < tiles_[t].servers.size(); ++m) {
-      for (const ModelId i : local.models_on(static_cast<ServerId>(m))) {
+      for (const ModelId i : stitches[t]->rows[m]) {
         result.placement.place(tiles_[t].servers[m], i);
       }
     }

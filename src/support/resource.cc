@@ -1,0 +1,83 @@
+#include "src/support/resource.h"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace trimcaching::support {
+
+double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return -1.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return -1.0;
+#endif
+}
+
+double current_rss_mb() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt — in pages.
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (!statm) return -1.0;
+  long size_pages = 0;
+  long resident_pages = 0;
+  const int parsed = std::fscanf(statm, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (parsed != 2) return -1.0;
+  const long page_bytes = ::sysconf(_SC_PAGESIZE);
+  if (page_bytes <= 0) return -1.0;
+  return static_cast<double>(resident_pages) * static_cast<double>(page_bytes) /
+         (1024.0 * 1024.0);
+#else
+  return -1.0;
+#endif
+}
+
+void release_freed_memory() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+RssSampler::RssSampler(std::size_t period_ms) : period_ms_(period_ms) {
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const double now_mb = current_rss_mb();
+      if (now_mb > peak_mb_.load(std::memory_order_relaxed)) {
+        peak_mb_.store(now_mb, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(period_ms_));
+    }
+  });
+}
+
+RssSampler::~RssSampler() { (void)stop_and_peak_mb(); }
+
+double RssSampler::stop_and_peak_mb() {
+  if (thread_.joinable()) {
+    // One last sample so a variant shorter than the poll period still
+    // registers its final resident set.
+    const double now_mb = current_rss_mb();
+    if (now_mb > peak_mb_.load(std::memory_order_relaxed)) {
+      peak_mb_.store(now_mb, std::memory_order_relaxed);
+    }
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+  return peak_mb_.load(std::memory_order_relaxed);
+}
+
+}  // namespace trimcaching::support

@@ -60,6 +60,7 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
   full.p95_ms = 480.0;
   full.p99_ms = 950.0;
   full.served_rps = 1250.0;
+  full.peak_rss_mb = 640.0;
   write_bench_json(path, {full});
 
   const std::set<std::string> expected = {
@@ -67,7 +68,7 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
       "name",    "wall_seconds",      "throughput",       "threads",
       "speedup_vs_serial", "hit_ratio", "duplication_factor",
       "plan_rebuilds", "plan_deltas", "plan_update_speedup",
-      "p50_ms", "p95_ms", "p99_ms", "served_rps"};
+      "p50_ms", "p95_ms", "p99_ms", "served_rps", "peak_rss_mb"};
   EXPECT_EQ(keys_in(slurp(path)), expected);
 
   // Optional columns disappear when not recorded; required ones never do.
@@ -99,6 +100,7 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   full.p95_ms = 480.0;
   full.p99_ms = 950.0;
   full.served_rps = 1250.0;
+  full.peak_rss_mb = 640.0;
   JsonRecord minimal;
   minimal.name = "kernel_minimal";
   minimal.wall_seconds = 0.125;
@@ -120,6 +122,7 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_DOUBLE_EQ(f.p95_ms, 480.0);
   EXPECT_DOUBLE_EQ(f.p99_ms, 950.0);
   EXPECT_DOUBLE_EQ(f.served_rps, 1250.0);
+  EXPECT_DOUBLE_EQ(f.peak_rss_mb, 640.0);
   const JsonRecord& m = records.at("kernel_minimal");
   EXPECT_DOUBLE_EQ(m.wall_seconds, 0.125);
   // Absent optional columns keep their "not recorded" defaults.
@@ -133,6 +136,7 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_LT(m.p95_ms, 0.0);
   EXPECT_LT(m.p99_ms, 0.0);
   EXPECT_LT(m.served_rps, 0.0);
+  EXPECT_LT(m.peak_rss_mb, 0.0);
 }
 
 TEST(BenchJsonSchema, MergePreservesForeignRecordsAndOverwritesByName) {
@@ -209,26 +213,36 @@ TEST(BenchJsonSchema, ReaderFailsLoudlyOnSchemaDrift) {
 
 TEST(BenchJsonSchema, CommittedScaleBaselineMatchesTheLock) {
   // The baseline bench_diff gates CI against must parse under the strict
-  // reader and carry all four fig8_scale variants per point, with the
-  // hit-ratio and duplication columns the repair pass introduced.
+  // reader and carry all five fig8_scale variants per point, with the
+  // hit-ratio and duplication columns the repair pass introduced and the
+  // peak_rss_mb column the distributed-tiles memory gate runs against.
   const std::string path = std::string(TRIMCACHING_SOURCE_DIR) +
                            "/bench/baselines/BENCH_scale_baseline.json";
   const auto records = read_bench_json(path);
   for (const std::string point : {"2x", "10x", "100x"}) {
     for (const std::string variant :
-         {"untiled_serial", "tiled_serial", "tiled_threaded", "tiled_repaired"}) {
+         {"untiled_serial", "tiled_serial", "tiled_threaded", "tiled_workers",
+          "tiled_repaired"}) {
       const std::string name = "fig8_scale_" + point + "_" + variant;
       ASSERT_TRUE(records.count(name)) << "baseline is missing " << name;
       const JsonRecord& record = records.at(name);
       EXPECT_GT(record.wall_seconds, 0.0) << name;
       EXPECT_GE(record.hit_ratio, 0.0) << name;
       EXPECT_GE(record.duplication_factor, 1.0 - 1e-12) << name;
+      if (variant != "tiled_repaired") {
+        EXPECT_GT(record.peak_rss_mb, 0.0) << name << " has no sampled RSS";
+      }
     }
   }
   // The duplication story the gate tracks: raw tiling duplicates heavily at
   // the 100x point, repair pulls it back under 1.5x.
   EXPECT_GT(records.at("fig8_scale_100x_tiled_serial").duplication_factor, 2.0);
   EXPECT_LT(records.at("fig8_scale_100x_tiled_repaired").duplication_factor, 1.5);
+  // The memory story the rss gate tracks: at the 100x point the workers
+  // variant's *coordinator* peak sits below the in-process tiled peak —
+  // solver working memory moved out of the coordinator process.
+  EXPECT_LT(records.at("fig8_scale_100x_tiled_workers").peak_rss_mb,
+            records.at("fig8_scale_100x_tiled_threaded").peak_rss_mb);
 }
 
 TEST(BenchJsonSchema, CommittedServingBaselineMatchesTheLock) {

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
@@ -141,6 +142,67 @@ TEST(SolverInvariants, EveryRegisteredSolverOnRandomScenariosTiled) {
         const auto tiled = tiler.solve(spec, seed);
         check_invariants(scenario, problem, evaluator, tiled.placement,
                          tiled.hit_ratio, label);
+      }
+    }
+  }
+}
+
+TEST(SolverInvariants, CrossProcessTilingBitIdenticalForEveryRegisteredSolver) {
+  // The distributed-tiles contract (ROADMAP / sim/tiler.h): for every
+  // registered solver, solving the tiles in worker *processes* must
+  // reproduce the in-process tiled result bit for bit — same placements in
+  // the same placement order, same Eq. 2 objective, same work counters —
+  // across a threads × workers grid. Seeds × {special, general} scenarios.
+  const char* worker_bin = std::getenv("TRIMCACHING_WORKER_BIN");
+  if (!worker_bin || !*worker_bin) {
+    GTEST_SKIP() << "TRIMCACHING_WORKER_BIN not set (run under ctest)";
+  }
+  const auto specs = harness_specs();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (const bool general : {false, true}) {
+      sim::ScenarioConfig config = small_config(general);
+      config.num_servers = 12;
+      config.num_users = 60;
+      config.area_side_m = 1400.0;
+      config.requests.deadline_min_s = 2.0;
+      config.requests.deadline_max_s = 6.0;
+      Rng rng(4000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(config, rng);
+      const core::PlacementProblem problem = scenario.problem();
+      sim::TilerConfig tiler_config;
+      tiler_config.tiles_x = 2;
+      tiler_config.tiles_y = 2;
+      tiler_config.repair = (seed % 2) == 1;
+      const sim::ScenarioTiler in_process(scenario, tiler_config);
+      for (const std::string& spec : specs) {
+        const std::string label = "x-process " + spec +
+                                  (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed);
+        const auto serial = in_process.solve(spec, seed, 1);
+        const auto threaded = in_process.solve(spec, seed, 4);
+        for (const std::size_t workers : {std::size_t{2}, std::size_t{4}}) {
+          sim::TilerConfig distributed_config = tiler_config;
+          distributed_config.workers = workers;
+          const sim::ScenarioTiler distributed(scenario, distributed_config);
+          const auto remote = distributed.solve(spec, seed);
+          for (const auto* result : {&threaded, &remote}) {
+            ASSERT_EQ(serial.placement.total_placements(),
+                      result->placement.total_placements())
+                << label << " workers=" << workers;
+            for (ServerId m = 0; m < serial.placement.num_servers(); ++m) {
+              ASSERT_EQ(serial.placement.models_on(m), result->placement.models_on(m))
+                  << label << " workers=" << workers << " server " << m;
+            }
+            EXPECT_EQ(serial.hit_ratio, result->hit_ratio) << label;
+            EXPECT_EQ(serial.gain_evaluations, result->gain_evaluations) << label;
+            EXPECT_EQ(serial.iterations, result->iterations) << label;
+          }
+          // Eq. 2 honesty of the cross-process result against an
+          // independent recompute on the full problem.
+          EXPECT_NEAR(core::expected_hit_ratio(problem, remote.placement),
+                      remote.hit_ratio, 1e-9)
+              << label;
+        }
       }
     }
   }

@@ -1,0 +1,261 @@
+// Contracts of the binary tile format (io/tile_codec.h):
+//
+//   * round-trip fidelity: a borrowed tile sub-view serialized and parsed
+//     back as an owning problem reproduces every solver-visible quantity
+//     *bitwise* — link arrays, hit lists, request/reachable mass, payload
+//     bits — and registry solvers produce bit-identical outcomes on both;
+//   * tile results round-trip placement rows in placement order plus all
+//     outcome scalars;
+//   * hardening: every truncated prefix and every single-byte corruption of
+//     a valid file fails with std::invalid_argument (a diagnostic, never a
+//     crash) — the coordinator survives any bad worker output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/solver_registry.h"
+#include "src/io/tile_codec.h"
+#include "src/sim/scenario.h"
+
+namespace trimcaching::io {
+namespace {
+
+using support::Rng;
+
+sim::Scenario tiny_scenario(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.num_servers = 4;
+  config.num_users = 12;
+  config.library_size = 10;
+  config.special.models_per_family = 5;
+  config.requests.models_per_user = 4;
+  Rng rng(seed);
+  return sim::build_scenario(config, rng);
+}
+
+TileViewHeader sample_header() {
+  TileViewHeader header;
+  header.algo = "gen:lazy=1";
+  header.threads = 3;
+  header.tile_index = 7;
+  header.solver_seed = 0x1234'5678'9abc'def0ull;
+  header.time_budget_s = 2.5;
+  return header;
+}
+
+TEST(TileCodec, ViewRoundTripReproducesTheSubViewBitwise) {
+  const sim::Scenario scenario = tiny_scenario(41);
+  const std::vector<ServerId> servers = {0, 2, 3};
+  const std::vector<UserId> users = {1, 3, 4, 7, 8, 11};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  TileView parsed = parse_tile_view(bytes);
+  EXPECT_EQ(parsed.header.algo, "gen:lazy=1");
+  EXPECT_EQ(parsed.header.threads, 3u);
+  EXPECT_EQ(parsed.header.tile_index, 7u);
+  EXPECT_EQ(parsed.header.solver_seed, 0x1234'5678'9abc'def0ull);
+  EXPECT_DOUBLE_EQ(parsed.header.time_budget_s, 2.5);
+
+  const core::PlacementProblem owned(std::move(parsed.data));
+  EXPECT_TRUE(owned.owns_data());
+  EXPECT_TRUE(owned.is_view());
+  EXPECT_THROW((void)owned.topology(), std::logic_error);
+
+  ASSERT_EQ(owned.num_servers(), view.num_servers());
+  ASSERT_EQ(owned.num_users(), view.num_users());
+  ASSERT_EQ(owned.num_models(), view.num_models());
+  // Bitwise agreement of every quantity a solver consumes: EXPECT_EQ on
+  // doubles here is deliberate — the contract is exactness, not closeness.
+  EXPECT_EQ(owned.total_mass(), view.total_mass());
+  EXPECT_EQ(owned.reachable_mass(), view.reachable_mass());
+  EXPECT_EQ(owned.backhaul_bps(), view.backhaul_bps());
+  for (ModelId i = 0; i < view.num_models(); ++i) {
+    EXPECT_EQ(owned.payload_bits(i), view.payload_bits(i));
+  }
+  for (ServerId m = 0; m < view.num_servers(); ++m) {
+    EXPECT_EQ(owned.global_server(m), view.global_server(m));
+    EXPECT_EQ(owned.capacity(m), view.capacity(m));
+    const auto owned_inv = owned.inverse_effective_rates(m);
+    const auto view_inv = view.inverse_effective_rates(m);
+    const auto owned_assoc = owned.associations(m);
+    const auto view_assoc = view.associations(m);
+    for (UserId k = 0; k < view.num_users(); ++k) {
+      EXPECT_EQ(owned.global_user(k), view.global_user(k));
+      EXPECT_EQ(owned_inv[k], view_inv[k]) << "m=" << m << " k=" << k;
+      EXPECT_EQ(owned_assoc[k], view_assoc[k]) << "m=" << m << " k=" << k;
+      EXPECT_EQ(owned.request_probability(k, 0), view.request_probability(k, 0));
+    }
+    for (ModelId i = 0; i < view.num_models(); ++i) {
+      const auto owned_hits = owned.hit_list(m, i);
+      const auto view_hits = view.hit_list(m, i);
+      ASSERT_EQ(owned_hits.size(), view_hits.size()) << "m=" << m << " i=" << i;
+      for (std::size_t e = 0; e < view_hits.size(); ++e) {
+        EXPECT_EQ(owned_hits[e].user, view_hits[e].user);
+        EXPECT_EQ(owned_hits[e].mass, view_hits[e].mass);
+      }
+    }
+  }
+}
+
+TEST(TileCodec, SolversAreBitIdenticalOnTheDeserializedProblem) {
+  const sim::Scenario scenario = tiny_scenario(42);
+  const std::vector<ServerId> servers = {0, 1, 3};
+  const std::vector<UserId> users = {0, 2, 3, 5, 6, 9, 10};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  TileView parsed = parse_tile_view(serialize_tile_view(sample_header(), view));
+  const core::PlacementProblem owned(std::move(parsed.data));
+
+  for (const std::string spec : {"gen", "spec", "gen_naive", "independent"}) {
+    core::SolverContext borrowed_context{Rng(9)};
+    core::SolverContext owned_context{Rng(9)};
+    const auto& registry = core::SolverRegistry::instance();
+    const auto borrowed = registry.make(spec)->run(view, borrowed_context);
+    const auto deserialized = registry.make(spec)->run(owned, owned_context);
+    EXPECT_EQ(borrowed.hit_ratio, deserialized.hit_ratio) << spec;
+    EXPECT_EQ(borrowed.gain_evaluations, deserialized.gain_evaluations) << spec;
+    EXPECT_EQ(borrowed.iterations, deserialized.iterations) << spec;
+    ASSERT_EQ(borrowed.placement.num_servers(), deserialized.placement.num_servers());
+    for (ServerId m = 0; m < borrowed.placement.num_servers(); ++m) {
+      // Exact placement-order equality, not just set equality.
+      EXPECT_EQ(borrowed.placement.models_on(m), deserialized.placement.models_on(m))
+          << spec << " server " << m;
+    }
+  }
+}
+
+TEST(TileCodec, LinksOnlyViewSerializesToIdenticalBytes) {
+  // The distributed coordinator serializes from a LinksOnly sub-view (no
+  // hit lists — the memory win). The bytes must be identical to serializing
+  // the full borrowed view: the format ships only links + raw request rows,
+  // and the worker rebuilds hit lists itself.
+  const sim::Scenario scenario = tiny_scenario(47);
+  const std::vector<ServerId> servers = {0, 2};
+  const std::vector<UserId> users = {1, 4, 5, 9, 10};
+  const core::PlacementProblem full(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const core::PlacementProblem links_only(scenario.topology, scenario.library,
+                                          scenario.requests, servers, users,
+                                          core::PlacementProblem::LinksOnly{});
+  EXPECT_TRUE(full.has_hit_lists());
+  EXPECT_FALSE(links_only.has_hit_lists());
+  EXPECT_THROW((void)links_only.hit_list(0, 0), std::logic_error);
+  EXPECT_EQ(serialize_tile_view(sample_header(), links_only),
+            serialize_tile_view(sample_header(), full));
+}
+
+TEST(TileCodec, ResultRoundTripKeepsPlacementOrderAndScalars) {
+  core::PlacementSolution placement(3, 8);
+  placement.place(0, 5);
+  placement.place(0, 2);  // order matters: 5 before 2
+  placement.place(2, 7);
+  core::SolverOutcome outcome(std::move(placement));
+  outcome.hit_ratio = 0.725;
+  outcome.wall_seconds = 1.5e-3;
+  outcome.gain_evaluations = 1234;
+  outcome.iterations = 99;
+  outcome.optimality_bound = 0.81;
+
+  const TileResult original(4, std::move(outcome));
+  const TileResult parsed = parse_tile_result(serialize_tile_result(original));
+  EXPECT_EQ(parsed.tile_index, 4u);
+  EXPECT_EQ(parsed.outcome.placement.num_servers(), 3u);
+  EXPECT_EQ(parsed.outcome.placement.num_models(), 8u);
+  EXPECT_EQ(parsed.outcome.placement.models_on(0), (std::vector<ModelId>{5, 2}));
+  EXPECT_TRUE(parsed.outcome.placement.models_on(1).empty());
+  EXPECT_EQ(parsed.outcome.placement.models_on(2), (std::vector<ModelId>{7}));
+  EXPECT_EQ(parsed.outcome.hit_ratio, 0.725);
+  EXPECT_EQ(parsed.outcome.wall_seconds, 1.5e-3);
+  EXPECT_EQ(parsed.outcome.gain_evaluations, 1234u);
+  EXPECT_EQ(parsed.outcome.iterations, 99u);
+  ASSERT_TRUE(parsed.outcome.optimality_bound.has_value());
+  EXPECT_EQ(*parsed.outcome.optimality_bound, 0.81);
+
+  core::SolverOutcome no_bound{core::PlacementSolution(1, 2)};
+  const TileResult unbounded =
+      parse_tile_result(serialize_tile_result(TileResult(0, std::move(no_bound))));
+  EXPECT_FALSE(unbounded.outcome.optimality_bound.has_value());
+}
+
+TEST(TileCodec, EveryTruncatedPrefixFailsLoudly) {
+  const sim::Scenario scenario = tiny_scenario(43);
+  const std::vector<ServerId> servers = {1, 2};
+  const std::vector<UserId> users = {0, 4, 6, 8};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  ASSERT_GT(bytes.size(), 64u);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW((void)parse_tile_view(bytes.substr(0, n)), std::invalid_argument)
+        << "prefix length " << n;
+  }
+
+  core::SolverOutcome outcome{core::PlacementSolution(2, 3)};
+  const std::string result_bytes =
+      serialize_tile_result(TileResult(1, std::move(outcome)));
+  for (std::size_t n = 0; n < result_bytes.size(); ++n) {
+    EXPECT_THROW((void)parse_tile_result(result_bytes.substr(0, n)),
+                 std::invalid_argument)
+        << "prefix length " << n;
+  }
+}
+
+TEST(TileCodec, EverySingleByteCorruptionFailsLoudly) {
+  const sim::Scenario scenario = tiny_scenario(44);
+  const std::vector<ServerId> servers = {0, 3};
+  const std::vector<UserId> users = {2, 5, 7};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  // An FNV-1a step is bijective in the running state, so one flipped byte
+  // always changes the final checksum — every flip must be rejected (flips
+  // inside the stored checksum itself included).
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    std::string corrupt = bytes;
+    corrupt[b] = static_cast<char>(corrupt[b] ^ 0x40);
+    EXPECT_THROW((void)parse_tile_view(corrupt), std::invalid_argument)
+        << "flipped byte " << b;
+  }
+}
+
+TEST(TileCodec, RejectsForeignMagicAndReportsDiagnostics) {
+  EXPECT_THROW((void)parse_tile_view(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_tile_view("not a tile view at all"), std::invalid_argument);
+  try {
+    (void)parse_tile_view(std::string(64, '\0'));
+    FAIL() << "zeroed input must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tile view"), std::string::npos);
+  }
+  // A valid view is not a valid result and vice versa (magic mismatch).
+  const sim::Scenario scenario = tiny_scenario(45);
+  const core::PlacementProblem full = scenario.problem();
+  const std::string view_bytes = serialize_tile_view(sample_header(), full);
+  EXPECT_THROW((void)parse_tile_result(view_bytes), std::invalid_argument);
+
+  EXPECT_THROW((void)read_tile_view("/nonexistent/trimcaching.tile"),
+               std::runtime_error);
+}
+
+TEST(TileCodec, FileRoundTrip) {
+  const sim::Scenario scenario = tiny_scenario(46);
+  const std::vector<ServerId> servers = {0, 1};
+  const std::vector<UserId> users = {1, 2, 3};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string path = testing::TempDir() + "/trimcaching_codec_test.view";
+  write_tile_view(path, sample_header(), view);
+  TileView parsed = read_tile_view(path);
+  EXPECT_EQ(parsed.header.algo, "gen:lazy=1");
+  const core::PlacementProblem owned(std::move(parsed.data));
+  EXPECT_EQ(owned.total_mass(), view.total_mass());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trimcaching::io

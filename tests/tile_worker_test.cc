@@ -1,0 +1,204 @@
+// Contracts of the out-of-process tile backend (sim/tiler.h workers=N +
+// sim/tile_worker_pool.h + tools/trimcaching_worker):
+//
+//   * workers=N is bit-identical to the in-process tiled solve — same
+//     placements in the same order, same objective, same work counters;
+//   * a worker SIGKILLed mid-solve is retried and the run completes with
+//     identical results (TRIMCACHING_WORKER_CRASH_ONCE hook);
+//   * a worker that always dies falls back to the in-process solve, still
+//     bit-identical (TRIMCACHING_WORKER_CRASH_ALWAYS hook);
+//   * a stalled worker hits the per-tile timeout, is SIGKILLed and the tile
+//     falls back (TRIMCACHING_WORKER_STALL_S hook);
+//   * an unspawnable worker binary degrades to the fallback path instead of
+//     failing the run.
+//
+// ctest exports TRIMCACHING_WORKER_BIN (the build-tree worker binary); the
+// whole suite skips when it is absent (manual runs outside ctest).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+#include "src/sim/scenario.h"
+#include "src/sim/tiler.h"
+
+namespace trimcaching::sim {
+namespace {
+
+using support::Rng;
+
+Scenario tiled_scenario(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.num_servers = 12;
+  config.num_users = 60;
+  config.area_side_m = 1400.0;
+  config.library_size = 24;
+  config.special.models_per_family = 10;
+  config.requests.models_per_user = 10;
+  config.requests.deadline_min_s = 2.0;
+  config.requests.deadline_max_s = 6.0;
+  Rng rng(seed);
+  return build_scenario(config, rng);
+}
+
+TilerConfig base_config() {
+  TilerConfig config;
+  config.tiles_x = 2;
+  config.tiles_y = 2;
+  return config;
+}
+
+void expect_bit_identical(const TiledSolveResult& a, const TiledSolveResult& b) {
+  ASSERT_EQ(a.placement.num_servers(), b.placement.num_servers());
+  ASSERT_EQ(a.placement.total_placements(), b.placement.total_placements());
+  for (ServerId m = 0; m < a.placement.num_servers(); ++m) {
+    EXPECT_EQ(a.placement.models_on(m), b.placement.models_on(m)) << "server " << m;
+  }
+  EXPECT_EQ(a.hit_ratio, b.hit_ratio);
+  EXPECT_EQ(a.gain_evaluations, b.gain_evaluations);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.tiles_solved, b.tiles_solved);
+}
+
+bool worker_bin_available() {
+  const char* bin = std::getenv("TRIMCACHING_WORKER_BIN");
+  if (!bin || !*bin) return false;
+  struct stat st{};
+  return ::stat(bin, &st) == 0;
+}
+
+#define REQUIRE_WORKER_BIN()                                                   \
+  if (!worker_bin_available()) {                                               \
+    GTEST_SKIP() << "TRIMCACHING_WORKER_BIN not set (run under ctest)";        \
+  }
+
+TEST(TileWorkers, OutOfProcessSolveIsBitIdenticalToInProcess) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(61);
+  const ScenarioTiler in_process(scenario, base_config());
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 2;
+  const ScenarioTiler distributed(scenario, distributed_config);
+
+  const auto reference = in_process.solve("gen", 17);
+  const auto remote = distributed.solve("gen", 17);
+  expect_bit_identical(reference, remote);
+}
+
+TEST(TileWorkers, RepairRunsUnchangedOnWorkerSolvedTiles) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(62);
+  TilerConfig repair_config = base_config();
+  repair_config.repair = true;
+  const ScenarioTiler in_process(scenario, repair_config);
+  TilerConfig distributed_config = repair_config;
+  distributed_config.workers = 3;
+  const ScenarioTiler distributed(scenario, distributed_config);
+
+  const auto reference = in_process.solve("gen", 23);
+  const auto remote = distributed.solve("gen", 23);
+  expect_bit_identical(reference, remote);
+  EXPECT_EQ(reference.duplicates_evicted, remote.duplicates_evicted);
+  EXPECT_EQ(reference.repair_additions, remote.repair_additions);
+}
+
+TEST(TileWorkers, SigkilledWorkerIsRetriedTransparently) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(63);
+  const ScenarioTiler in_process(scenario, base_config());
+  const auto reference = in_process.solve("gen", 29);
+
+  std::string marker_dir = testing::TempDir() + "/trimcaching_crash_once_XXXXXX";
+  ASSERT_NE(::mkdtemp(marker_dir.data()), nullptr);
+  ::setenv("TRIMCACHING_WORKER_CRASH_ONCE", marker_dir.c_str(), 1);
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 2;
+  distributed_config.worker_retries = 2;
+  const ScenarioTiler distributed(scenario, distributed_config);
+  const auto remote = distributed.solve("gen", 29);
+  ::unsetenv("TRIMCACHING_WORKER_CRASH_ONCE");
+
+  // Every solved tile died by SIGKILL once (the markers prove the crashes
+  // actually happened) and the retried run still matches bit for bit.
+  std::size_t markers = 0;
+  for (std::size_t t = 0; t < distributed.tiles().size(); ++t) {
+    struct stat st{};
+    if (::stat((marker_dir + "/crashed_tile_" + std::to_string(t)).c_str(), &st) == 0) {
+      ++markers;
+      std::remove((marker_dir + "/crashed_tile_" + std::to_string(t)).c_str());
+    }
+  }
+  ::rmdir(marker_dir.c_str());
+  EXPECT_EQ(markers, remote.tiles_solved);
+  expect_bit_identical(reference, remote);
+}
+
+TEST(TileWorkers, AlwaysCrashingWorkerFallsBackInProcess) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(64);
+  const ScenarioTiler in_process(scenario, base_config());
+  const auto reference = in_process.solve("gen", 31);
+
+  ::setenv("TRIMCACHING_WORKER_CRASH_ALWAYS", "1", 1);
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 2;
+  distributed_config.worker_retries = 1;
+  const ScenarioTiler distributed(scenario, distributed_config);
+  const auto remote = distributed.solve("gen", 31);
+  ::unsetenv("TRIMCACHING_WORKER_CRASH_ALWAYS");
+  expect_bit_identical(reference, remote);
+}
+
+TEST(TileWorkers, StalledWorkerHitsTimeoutAndFallsBack) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(65);
+  const ScenarioTiler in_process(scenario, base_config());
+  const auto reference = in_process.solve("gen", 37);
+
+  ::setenv("TRIMCACHING_WORKER_STALL_S", "30", 1);
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 4;
+  distributed_config.worker_timeout_s = 0.4;
+  distributed_config.worker_retries = 0;
+  const ScenarioTiler distributed(scenario, distributed_config);
+  const auto remote = distributed.solve("gen", 37);
+  ::unsetenv("TRIMCACHING_WORKER_STALL_S");
+  expect_bit_identical(reference, remote);
+}
+
+TEST(TileWorkers, UnspawnableWorkerBinaryDegradesToFallback) {
+  const Scenario scenario = tiled_scenario(66);
+  const ScenarioTiler in_process(scenario, base_config());
+  const auto reference = in_process.solve("gen", 41);
+
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 2;
+  distributed_config.worker_bin = "/nonexistent/trimcaching_worker";
+  distributed_config.worker_retries = 0;
+  const ScenarioTiler distributed(scenario, distributed_config);
+  const auto remote = distributed.solve("gen", 41);
+  expect_bit_identical(reference, remote);
+}
+
+TEST(TileWorkers, CallerProvidedScratchDirIsUsedAndKept) {
+  REQUIRE_WORKER_BIN();
+  const Scenario scenario = tiled_scenario(67);
+  std::string scratch = testing::TempDir() + "/trimcaching_scratch_XXXXXX";
+  ASSERT_NE(::mkdtemp(scratch.data()), nullptr);
+  TilerConfig distributed_config = base_config();
+  distributed_config.workers = 2;
+  distributed_config.scratch_dir = scratch;
+  const ScenarioTiler distributed(scenario, distributed_config);
+  const auto remote = distributed.solve("gen", 43);
+  EXPECT_GT(remote.tiles_solved, 0u);
+  // The directory survives (caller-owned), its tile files do not.
+  struct stat st{};
+  EXPECT_EQ(::stat(scratch.c_str(), &st), 0);
+  EXPECT_EQ(::rmdir(scratch.c_str()), 0) << "tile files were not cleaned up";
+}
+
+}  // namespace
+}  // namespace trimcaching::sim

@@ -39,7 +39,14 @@
 //                   (for serving records the deterministic empirical
 //                   deadline-hit ratio of the replay, hardware-independent)
 //                   and fails when it *drops* by more than threshold_pct —
-//                   the serving-quality gate (pair with filter=serving)
+//                   the serving-quality gate (pair with filter=serving);
+//                   rss compares the peak_rss_mb column (per-variant peak
+//                   resident set, fig8_scale's distributed-tiles memory
+//                   metric) and fails when it *rises* by more than
+//                   threshold_pct — the coordinator-memory gate (pair with
+//                   filter=tiled_workers). RSS depends on allocator and
+//                   machine more than the ratio metrics do; keep its
+//                   threshold generous
 //   min_ratio       absolute floor on the candidate's ratio for the ratio
 //                   metrics (speedup | plan_update): the candidate fails when
 //                   its ratio lands below this value even if the relative
@@ -79,10 +86,10 @@ int main(int argc, char** argv) {
     const std::string filter = options.get_string("filter", "");
     const std::string metric = options.get_string("metric", "wall");
     if (metric != "wall" && metric != "speedup" && metric != "duplication" &&
-        metric != "plan_update" && metric != "hit_ratio") {
+        metric != "plan_update" && metric != "hit_ratio" && metric != "rss") {
       throw std::invalid_argument(
           "bench_diff: metric must be wall|speedup|duplication|plan_update|"
-          "hit_ratio, got '" +
+          "hit_ratio|rss, got '" +
           metric + "'");
     }
     const double min_ratio = options.get_double("min_ratio", 0.0);
@@ -157,6 +164,19 @@ int main(int argc, char** argv) {
         after = it->second.duplication_factor;
         delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
         unit = "x";
+        direction = " rise";
+      } else if (metric == "rss") {
+        // Memory gate: regression = the per-variant peak resident set
+        // *rose*. Records on either side without the column are skipped
+        // (most variants legitimately do not sample RSS).
+        if (entry.peak_rss_mb < 0 || it->second.peak_rss_mb < 0) {
+          std::cout << "skip     " << name << "  (no peak_rss_mb column)\n";
+          continue;
+        }
+        before = entry.peak_rss_mb;
+        after = it->second.peak_rss_mb;
+        delta_pct = before > 0 ? (after - before) / before * 100.0 : 0.0;
+        unit = "MB";
         direction = " rise";
       }
       const bool below_floor = min_ratio > 0 && after < min_ratio;

@@ -1,0 +1,88 @@
+// Out-of-process tile solver (sim/tiler.h workers=N).
+//
+//   trimcaching_worker <tile_view_file> <tile_result_file>
+//
+// Reads one binary tile view (io/tile_codec.h), rebuilds the self-contained
+// PlacementProblem, runs the registry solver named in the header with a
+// SolverContext seeded from the header's counter-based tile seed, and writes
+// the binary tile result. Exit codes: 0 success, 1 solve/parse failure (with
+// a diagnostic on stderr), 2 usage error. The coordinator treats any nonzero
+// exit — or any signal death — as a retryable failure.
+//
+// Failure-injection hooks (tests/tile_worker_test.cc drives the coordinator's
+// retry / timeout / fallback paths through these; all read once at startup):
+//   TRIMCACHING_WORKER_CRASH_ONCE=<dir>  after parsing the view, if
+//       <dir>/crashed_tile_<index> does not exist yet: create it and raise
+//       SIGKILL — the "worker dies mid-solve once, retry succeeds" scenario.
+//   TRIMCACHING_WORKER_CRASH_ALWAYS=1    raise SIGKILL on every attempt —
+//       forces the coordinator's in-process fallback.
+//   TRIMCACHING_WORKER_STALL_S=<secs>    sleep before solving — drives the
+//       per-tile timeout + SIGKILL reap.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "src/core/problem.h"
+#include "src/core/solver_registry.h"
+#include "src/io/tile_codec.h"
+#include "src/support/rng.h"
+
+namespace {
+
+void run_failure_hooks(std::uint32_t tile_index) {
+  if (const char* dir = std::getenv("TRIMCACHING_WORKER_CRASH_ONCE")) {
+    const std::string marker =
+        std::string(dir) + "/crashed_tile_" + std::to_string(tile_index);
+    std::ifstream probe(marker);
+    if (!probe) {
+      std::ofstream(marker) << "x";
+      (void)std::raise(SIGKILL);
+    }
+  }
+  if (const char* always = std::getenv("TRIMCACHING_WORKER_CRASH_ALWAYS");
+      always && std::string(always) == "1") {
+    (void)std::raise(SIGKILL);
+  }
+  if (const char* stall = std::getenv("TRIMCACHING_WORKER_STALL_S")) {
+    const double seconds = std::strtod(stall, nullptr);
+    if (seconds > 0) ::usleep(static_cast<useconds_t>(seconds * 1e6));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <tile_view_file> <tile_result_file>\n",
+                 argc > 0 ? argv[0] : "trimcaching_worker");
+    return 2;
+  }
+  using namespace trimcaching;
+  try {
+    io::TileView view = io::read_tile_view(argv[1]);
+    run_failure_hooks(view.header.tile_index);
+
+    const core::PlacementProblem problem(std::move(view.data));
+    const auto solver = core::SolverRegistry::instance().make(view.header.algo);
+    // The header seed is the construction seed of the coordinator's
+    // master.at(kTileStream, t) — reconstructing the Rng from it lands on the
+    // exact per-tile stream, which is the whole cross-process bit-identity
+    // contract. header.threads is provenance only: solvers parallelize per
+    // their spec string and are bit-identical at any thread count.
+    core::SolverContext context(support::Rng(view.header.solver_seed));
+    if (view.header.time_budget_s > 0) {
+      context.set_deadline_after(view.header.time_budget_s);
+    }
+    core::SolverOutcome outcome = solver->run(problem, context);
+    io::write_tile_result(argv[2],
+                          io::TileResult(view.header.tile_index, std::move(outcome)));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trimcaching_worker: %s\n", e.what());
+    return 1;
+  }
+}
