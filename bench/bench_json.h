@@ -160,7 +160,15 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     const std::string needle = "\"" + key + "\":";
     const std::size_t at = text.find(needle, from);
     if (at == std::string::npos || at >= limit) return std::nullopt;
-    return std::stod(text.substr(at + needle.size()));
+    try {
+      // Trailing ","/"}" is expected here; stod stops at the first
+      // non-numeric character. Malformed or out-of-range values fail with
+      // the key name instead of a bare stod exception.
+      return std::stod(text.substr(at + needle.size()));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_bench_json: malformed number for \"" + key +
+                               "\"");
+    }
   };
 
   const auto schema = find_number(0, "schema", text.size());

@@ -60,6 +60,8 @@ bool identical(const serve::ServeResult& a, const serve::ServeResult& b) {
   const auto& tb = b.totals;
   return ta.requests == tb.requests && ta.deadline_hits == tb.deadline_hits &&
          ta.late == tb.late && ta.unserved == tb.unserved &&
+         ta.compute_rejects == tb.compute_rejects &&
+         ta.cloud_served == tb.cloud_served &&
          ta.edge_hits == tb.edge_hits && ta.cloud_fetches == tb.cloud_fetches &&
          ta.merged_fetches == tb.merged_fetches && ta.cloud_bytes == tb.cloud_bytes &&
          ta.cache_evictions == tb.cache_evictions &&
@@ -216,6 +218,76 @@ int main(int argc, char** argv) {
         std::cout << "[fig9_serving] thread bit-identity: threads=5 == "
                   << "threads=1 over " << threaded.totals.requests
                   << " requests\n";
+      }
+    }
+
+    // Compute-constrained serving: finite inference slots per server reject
+    // saturated warm hits to the cloud (ServeConfig::compute_slots). Three
+    // checks per point: the terminal states partition the request count,
+    // every reject is accounted exactly once as cloud-served, and the
+    // unlimited point is bit-identical to the compute-oblivious replay. The
+    // records carry served_rps and are drop-gated by bench_diff
+    // metric=served filter=compute.
+    {
+      const std::vector<std::size_t> slot_sweep = {0, 8, 2, 1};
+      std::uint64_t rejects_at_one = 0;
+      for (const std::size_t slots : slot_sweep) {
+        serve::ServeConfig serving;
+        serving.arrival_rate_per_user = rates.back();
+        serving.duration_s = duration_s;
+        serving.policy = "static";
+        serving.threads = threads;
+        serving.drift = &drift;
+        serving.compute_slots = slots;
+        const auto start = Clock::now();
+        const auto result =
+            serve::simulate_serving(scenario.topology, scenario.library,
+                                    scenario.requests, placement, serving,
+                                    support::Rng(7));
+        const double wall = seconds_since(start);
+        const auto& t = result.totals;
+        if (t.deadline_hits + t.late + t.unserved + t.cloud_served != t.requests) {
+          std::cerr << "FAIL: terminal states do not partition the "
+                    << t.requests << " requests at compute_slots=" << slots << "\n";
+          failed = true;
+        }
+        if (t.compute_rejects != t.cloud_served) {
+          std::cerr << "FAIL: " << t.compute_rejects << " compute rejects vs "
+                    << t.cloud_served << " cloud-served at compute_slots="
+                    << slots << " — rejects must degrade to the cloud 1:1\n";
+          failed = true;
+        }
+        if (slots == 0 && t.compute_rejects != 0) {
+          std::cerr << "FAIL: compute_slots=0 (unlimited) rejected "
+                    << t.compute_rejects << " requests\n";
+          failed = true;
+        }
+        if (slots == 1) rejects_at_one = t.compute_rejects;
+
+        bench::JsonRecord record;
+        std::ostringstream name;
+        name << "fig9_serving_compute_"
+             << (slots == 0 ? std::string("unlimited")
+                            : std::to_string(slots) + "slots");
+        record.name = name.str();
+        record.wall_seconds = wall;
+        record.throughput = static_cast<double>(t.requests) / wall;
+        record.threads = threads;
+        record.hit_ratio = result.hit_ratio;
+        record.p50_ms = result.p50_download_s * 1e3;
+        record.p95_ms = result.p95_download_s * 1e3;
+        record.p99_ms = result.p99_download_s * 1e3;
+        record.served_rps = result.served_rps;
+        records.push_back(record);
+        std::cout << "[fig9_serving] " << record.name << ": hit "
+                  << result.hit_ratio << ", " << t.compute_rejects
+                  << " rejects -> cloud, served " << result.served_rps
+                  << " rps\n";
+      }
+      if (rejects_at_one == 0) {
+        std::cerr << "FAIL: compute_slots=1 at the top load never saturated — "
+                  << "the admission path went untested\n";
+        failed = true;
       }
     }
 

@@ -5,8 +5,10 @@
 // deduplication an edge server stores each foundation once plus the tiny
 // adapters, so a cache sized for ~2 full checkpoints can serve the whole
 // catalogue; independent caching fits only a couple of models.
+#include <algorithm>
 #include <iostream>
 
+#include "src/core/objective.h"
 #include "src/core/solver_registry.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/scenario.h"
@@ -54,5 +56,32 @@ int main() {
             << " (TrimCaching) vs " << indep_models << " (independent)\n"
             << "-> one foundation block amortizes across every adapter placed on "
                "the same server.\n";
+
+  // Joint caching + inference compute: the same catalogue when each server
+  // also has a finite GPU budget. Storage dedup lets a server *hold* every
+  // adapter, but it can only *run* as many expected inferences as its
+  // compute capacity admits — the hit ratio degrades gracefully as the
+  // budget shrinks, and the canonical assignment never overcommits a server.
+  std::cout << "\njoint caching + compute (per-server inference budget sweep):\n";
+  for (const double capacity : {0.0, 0.1, 0.3, 1.0, 3.0}) {
+    sim::ScenarioConfig joint_config = config;
+    joint_config.compute_capacity = capacity;
+    support::Rng joint_rng(41);  // identical draws: only the capacities differ
+    const sim::Scenario joint_scenario = sim::build_scenario(joint_config, joint_rng);
+    const core::PlacementProblem joint_problem = joint_scenario.problem();
+    core::SolverContext joint_context(41);
+    const auto outcome = registry.make("gen")->run(joint_problem, joint_context);
+    const auto joint = core::evaluate_joint(joint_problem, outcome.placement);
+    double peak_load = 0.0;
+    for (const double load : joint.server_loads) {
+      peak_load = std::max(peak_load, load);
+    }
+    std::cout << "  capacity " << capacity << " units/server -> hit ratio "
+              << outcome.hit_ratio << " (peak server load " << peak_load << ")\n";
+  }
+  std::cout << "  capacity +inf (storage-only baseline) -> hit ratio "
+            << gen.hit_ratio << "\n"
+            << "-> compute is the binding resource below ~1 unit/server; above "
+               "it the classic storage-only placement is recovered.\n";
   return 0;
 }

@@ -26,6 +26,7 @@ struct Candidate {
   Bytes specific_size = 0;       ///< D_N(i) (Eq. 13): size outside shared blocks
   std::uint64_t rounded = 0;     ///< u̇ (profit mode)
   std::size_t quantized = 0;     ///< quantized specific size (weight mode)
+  std::size_t compute_q = 0;     ///< quantized compute load (joint mode)
 };
 
 // ---------------------------------------------------------------------------
@@ -107,6 +108,49 @@ KnapsackPick knapsack_weight(const std::vector<Candidate>& items,
       pick.chosen.push_back(e);
       pick.utility_sum += items[e].utility;
       w -= items[e].quantized;
+    }
+  }
+  std::reverse(pick.chosen.begin(), pick.chosen.end());
+  return pick;
+}
+
+/// Joint (storage x compute) weight-indexed max-profit DP with traceback.
+/// Cell (s, c) holds the best utility over selections with quantized storage
+/// <= s and quantized compute <= c; the traceback starts from the full
+/// budgets. Ceil quantization on both axes keeps every pick feasible.
+KnapsackPick knapsack_joint(const std::vector<Candidate>& items,
+                            std::size_t storage_states,
+                            std::size_t compute_states) {
+  const std::size_t stride = compute_states + 1;
+  const std::size_t cells = (storage_states + 1) * stride;
+  std::vector<double> value(cells, 0.0);
+  std::vector<std::vector<char>> keep(items.size(), std::vector<char>(cells, 0));
+  for (std::size_t e = 0; e < items.size(); ++e) {
+    const std::size_t wq = items[e].quantized;
+    const std::size_t cq = items[e].compute_q;
+    if (wq > storage_states || cq > compute_states) continue;
+    for (std::size_t s = storage_states; s >= wq; --s) {
+      for (std::size_t c = compute_states; c >= cq; --c) {
+        const double candidate_value =
+            value[(s - wq) * stride + (c - cq)] + items[e].utility;
+        if (candidate_value > value[s * stride + c]) {
+          value[s * stride + c] = candidate_value;
+          keep[e][s * stride + c] = 1;
+        }
+        if (c == cq) break;
+      }
+      if (s == wq) break;
+    }
+  }
+  KnapsackPick pick;
+  std::size_t s = storage_states;
+  std::size_t c = compute_states;
+  for (std::size_t e = items.size(); e-- > 0;) {
+    if (keep[e][s * stride + c]) {
+      pick.chosen.push_back(e);
+      pick.utility_sum += items[e].utility;
+      s -= items[e].quantized;
+      c -= items[e].compute_q;
     }
   }
   std::reverse(pick.chosen.begin(), pick.chosen.end());
@@ -205,6 +249,45 @@ struct WeightDp {
 
   [[nodiscard]] double query(std::size_t budget_state) const {
     return value[std::min(budget_state, value.size() - 1)];
+  }
+};
+
+/// Joint (storage x compute) incremental DP: the traversal's storage budget
+/// varies with the shared-combination size, the compute budget is the whole
+/// server budget at every leaf, so query() reads the last compute column.
+/// Serial fill only — the 2D add is already O(S·C) per item and the joint
+/// path runs at test scales.
+struct JointDp {
+  std::size_t storage_states;
+  std::size_t compute_states;
+  std::vector<double> value;
+
+  JointDp(std::size_t s_states, std::size_t c_states)
+      : storage_states(s_states),
+        compute_states(c_states),
+        value((s_states + 1) * (c_states + 1), 0.0) {}
+
+  void add(const Candidate& it) {
+    const std::size_t wq = it.quantized;
+    const std::size_t cq = it.compute_q;
+    if (wq > storage_states || cq > compute_states) return;  // never fits
+    const std::size_t stride = compute_states + 1;
+    for (std::size_t s = storage_states; s >= wq; --s) {
+      for (std::size_t c = compute_states; c >= cq; --c) {
+        const double candidate_value =
+            value[(s - wq) * stride + (c - cq)] + it.utility;
+        if (candidate_value > value[s * stride + c]) {
+          value[s * stride + c] = candidate_value;
+        }
+        if (c == cq) break;
+      }
+      if (s == wq) break;
+    }
+  }
+
+  [[nodiscard]] double query(std::size_t storage_budget_state) const {
+    const std::size_t s = std::min(storage_budget_state, storage_states);
+    return value[s * (compute_states + 1) + compute_states];
   }
 };
 
@@ -402,7 +485,9 @@ void traverse(const std::vector<Chain>& chains, std::size_t f, const Dp& dp,
 ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
                                                const std::vector<double>& utilities,
                                                Bytes capacity,
-                                               const SpecSolverConfig& config) {
+                                               const SpecSolverConfig& config,
+                                               const std::vector<double>* compute_loads,
+                                               double compute_budget) {
   if (!library.finalized()) {
     throw std::invalid_argument("solve_server_subproblem: library must be finalized");
   }
@@ -414,6 +499,22 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
   }
   if (config.mode == DpMode::kWeightQuantized && config.weight_states == 0) {
     throw std::invalid_argument("solve_server_subproblem: weight_states must be > 0");
+  }
+  const bool joint = compute_loads != nullptr &&
+                     compute_budget != std::numeric_limits<double>::infinity();
+  if (joint) {
+    if (compute_loads->size() != library.num_models()) {
+      throw std::invalid_argument(
+          "solve_server_subproblem: compute_loads size mismatch");
+    }
+    if (config.compute_states == 0) {
+      throw std::invalid_argument(
+          "solve_server_subproblem: compute_states must be > 0 in joint mode");
+    }
+    if (std::isnan(compute_budget) || compute_budget < 0) {
+      throw std::invalid_argument(
+          "solve_server_subproblem: compute_budget must be >= 0");
+    }
   }
 
   ServerSubproblemResult result;
@@ -443,12 +544,34 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
   const double eps = config.epsilon == 0.0 ? 1e-5 : config.epsilon;
   const Bytes quantum =
       std::max<Bytes>(1, (capacity + config.weight_states - 1) / config.weight_states);
+  const double compute_quantum =
+      joint && compute_budget > 0
+          ? compute_budget / static_cast<double>(config.compute_states)
+          : 1.0;
   for (auto& cand : candidates) {
     cand.rounded =
         static_cast<std::uint64_t>(std::floor(cand.utility / (eps * min_utility)));
     cand.quantized = static_cast<std::size_t>((cand.specific_size + quantum - 1) / quantum);
+    if (joint) {
+      const double load = (*compute_loads)[cand.id];
+      if (load < 0) {
+        throw std::invalid_argument("solve_server_subproblem: negative compute load");
+      }
+      if (load <= 0) {
+        cand.compute_q = 0;
+      } else if (compute_budget <= 0) {
+        cand.compute_q = config.compute_states + 1;  // never fits
+      } else {
+        // Ceil quantization, clamped to the full budget: a model whose lone
+        // optimistic load overshoots may still serve a feasible subset of
+        // its users, so it stays placeable (consuming the whole budget).
+        cand.compute_q = std::min<std::size_t>(
+            config.compute_states,
+            static_cast<std::size_t>(std::ceil(load / compute_quantum)));
+      }
+    }
   }
-  if (config.mode == DpMode::kProfitRounding) {
+  if (!joint && config.mode == DpMode::kProfitRounding) {
     std::uint64_t total = 0;
     for (const auto& cand : candidates) total += cand.rounded;
     if (total + 1 > config.max_profit_states) {
@@ -480,7 +603,16 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
     // Chain path: incremental DP along each chain.
     result.used_chain_path = true;
     std::vector<std::size_t> levels(decomposition.chains.size(), 0);
-    if (config.mode == DpMode::kProfitRounding) {
+    if (joint) {
+      JointDp dp(config.weight_states, config.compute_states);
+      for (const std::size_t c : decomposition.base) dp.add(candidates[c]);
+      traverse(
+          decomposition.chains, 0, dp, Bytes{0}, capacity, levels, visited, best,
+          [&](JointDp& d, std::size_t c) { d.add(candidates[c]); },
+          [&](const JointDp& d, Bytes budget) {
+            return d.query(static_cast<std::size_t>(budget / quantum));
+          });
+    } else if (config.mode == DpMode::kProfitRounding) {
       ProfitDp dp;
       for (const std::size_t c : decomposition.base) {
         dp.add(candidates[c], config.max_profit_states, config.threads);
@@ -522,7 +654,11 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
       for (const std::size_t c : members) items.push_back(candidates[c]);
       const Bytes budget = capacity - shared_size;
       double score = 0.0;
-      if (config.mode == DpMode::kProfitRounding) {
+      if (joint) {
+        JointDp dp(config.weight_states, config.compute_states);
+        for (const auto& it : items) dp.add(it);
+        score = dp.query(static_cast<std::size_t>(budget / quantum));
+      } else if (config.mode == DpMode::kProfitRounding) {
         ProfitDp dp;
         for (const auto& it : items) {
           dp.add(it, config.max_profit_states, config.threads);
@@ -551,9 +687,11 @@ ServerSubproblemResult solve_server_subproblem(const ModelLibrary& library,
   for (const std::size_t c : best_member_set) items.push_back(candidates[c]);
   const Bytes budget = capacity - best.shared_size;
   const KnapsackPick pick =
-      config.mode == DpMode::kProfitRounding
-          ? knapsack_profit(items, budget)
-          : knapsack_weight(items, static_cast<std::size_t>(budget / quantum));
+      joint ? knapsack_joint(items, static_cast<std::size_t>(budget / quantum),
+                             config.compute_states)
+            : config.mode == DpMode::kProfitRounding
+                  ? knapsack_profit(items, budget)
+                  : knapsack_weight(items, static_cast<std::size_t>(budget / quantum));
   result.value = pick.utility_sum;
   result.models.reserve(pick.chosen.size());
   for (const std::size_t e : pick.chosen) result.models.push_back(items[e].id);

@@ -27,9 +27,19 @@
 //    `weight_states` buckets (sizes rounded up, so results are always
 //    feasible); profits stay exact doubles. Near-exact alternative used to
 //    ablate the rounding loss.
+//
+// Joint caching + compute (the second knapsack dimension): when the caller
+// passes per-model compute loads and a finite compute budget, the inner
+// knapsack becomes a 2D weight-indexed DP over (storage, compute) states —
+// storage quantized to `weight_states` buckets as before, compute to
+// `compute_states` buckets with ceil rounding (so DP-feasible selections
+// never overshoot the optimistic loads). This joint mode applies regardless
+// of DpMode (a profit-indexed 2D variant would need weight-pair values and
+// buys nothing: the joint objective is re-scored canonically downstream).
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "src/model/model_library.h"
@@ -47,6 +57,10 @@ struct SpecSolverConfig {
   double epsilon = 0.1;
   /// Resolution of the weight-quantized mode.
   std::size_t weight_states = 4096;
+  /// Resolution of the compute axis when a finite compute budget is given
+  /// (the joint 2D DP); ignored otherwise. Kept coarse by default: the DP
+  /// table is weight_states x compute_states per traversal level.
+  std::size_t compute_states = 64;
   /// Abort if the combination traversal would exceed this many leaves
   /// (general-case blow-up guard).
   std::size_t max_combinations = std::size_t{1} << 22;
@@ -69,8 +83,18 @@ struct ServerSubproblemResult {
 
 /// Solves P2.1_m. `utilities[i]` is u(m,i) ≥ 0 (un-normalized mass is fine);
 /// models with zero utility are never selected.
+///
+/// Joint mode: when `compute_loads` is non-null (size I, per-model optimistic
+/// compute weight — Σ p·c over the model's still-uncovered hit entries) and
+/// `compute_budget` is finite, the inner knapsack adds the compute dimension:
+/// selections whose summed (ceil-quantized) loads exceed the budget are
+/// rejected. A model whose lone load exceeds the budget is clamped to the
+/// whole budget rather than pruned — it may still serve a feasible subset of
+/// its users, which the canonical joint evaluation downstream decides.
 [[nodiscard]] ServerSubproblemResult solve_server_subproblem(
     const model::ModelLibrary& library, const std::vector<double>& utilities,
-    support::Bytes capacity, const SpecSolverConfig& config = {});
+    support::Bytes capacity, const SpecSolverConfig& config = {},
+    const std::vector<double>* compute_loads = nullptr,
+    double compute_budget = std::numeric_limits<double>::infinity());
 
 }  // namespace trimcaching::core

@@ -101,6 +101,35 @@ LocalSearchResult local_search(const PlacementProblem& problem,
   }
 
   LocalSearchResult result{PlacementSolution(num_servers, num_models), 0.0, 0, 0, 0};
+
+  // Joint-constraint re-checks: CountedCoverage screens moves compute-
+  // obliviously (cheap, optimistic); under a compute constraint every
+  // screened move must additionally improve the canonical joint hit mass
+  // of the whole working placement before it is committed — otherwise a
+  // swap could trade covered-by-bytes mass for mass the holder lacks the
+  // compute headroom to serve.
+  const bool joint = problem.compute_constrained();
+  auto build_placement = [&]() {
+    PlacementSolution placement(num_servers, num_models);
+    for (ServerId m = 0; m < num_servers; ++m) {
+      for (const ModelId i : cached[m]) placement.place(m, i);
+    }
+    return placement;
+  };
+  double joint_mass = 0.0;
+  if (joint) joint_mass = evaluate_joint(problem, build_placement()).hit_mass;
+  // Returns true (and advances joint_mass) iff the move just applied to
+  // cached[] improves the canonical joint objective.
+  auto joint_accepts = [&]() {
+    if (!joint) return true;
+    const double trial = evaluate_joint(problem, build_placement()).hit_mass;
+    if (trial > joint_mass + config.min_gain) {
+      joint_mass = trial;
+      return true;
+    }
+    return false;
+  };
+
   bool improved = true;
   while (improved && result.rounds < config.max_rounds) {
     ++result.rounds;
@@ -116,6 +145,11 @@ LocalSearchResult local_search(const PlacementProblem& problem,
         }
         cached[m].push_back(b);
         is_cached[m][b] = 1;
+        if (!joint_accepts()) {  // revert: no joint improvement
+          cached[m].pop_back();
+          is_cached[m][b] = 0;
+          continue;
+        }
         blocks[m].add(b);
         coverage.add(m, b);
         ++result.additions;
@@ -132,12 +166,18 @@ LocalSearchResult local_search(const PlacementProblem& problem,
           const support::Bytes new_used = blocks[m].used() - blocks[m].freed_bytes(a) +
                                           blocks[m].needed_bytes(b, a);
           if (new_used > blocks[m].capacity()) continue;
-          // Apply the swap.
-          coverage.remove(m, a);
-          blocks[m].remove(a);
           is_cached[m][a] = 0;
           cached[m][slot] = b;
           is_cached[m][b] = 1;
+          if (!joint_accepts()) {  // revert: no joint improvement
+            is_cached[m][b] = 0;
+            cached[m][slot] = a;
+            is_cached[m][a] = 1;
+            continue;
+          }
+          // Apply the swap.
+          coverage.remove(m, a);
+          blocks[m].remove(a);
           blocks[m].add(b);
           coverage.add(m, b);
           ++result.swaps;
@@ -151,7 +191,9 @@ LocalSearchResult local_search(const PlacementProblem& problem,
   for (ServerId m = 0; m < num_servers; ++m) {
     for (const ModelId i : cached[m]) result.placement.place(m, i);
   }
-  result.hit_ratio = coverage.hit_ratio();
+  result.hit_ratio =
+      joint ? (problem.total_mass() > 0 ? joint_mass / problem.total_mass() : 0.0)
+            : coverage.hit_ratio();
   return result;
 }
 

@@ -10,11 +10,49 @@ double expected_hit_ratio(const PlacementProblem& problem,
       placement.num_models() != problem.num_models()) {
     throw std::invalid_argument("expected_hit_ratio: dimension mismatch");
   }
+  if (problem.compute_constrained()) {
+    const double mass = problem.total_mass();
+    return mass > 0.0 ? evaluate_joint(problem, placement).hit_mass / mass : 0.0;
+  }
   CoverageState coverage(problem);
   for (ServerId m = 0; m < problem.num_servers(); ++m) {
     for (const ModelId i : placement.models_on(m)) coverage.add(m, i);
   }
   return coverage.hit_ratio();
+}
+
+JointEvaluation evaluate_joint(const PlacementProblem& problem,
+                               const PlacementSolution& placement) {
+  if (placement.num_servers() != problem.num_servers() ||
+      placement.num_models() != problem.num_models()) {
+    throw std::invalid_argument("evaluate_joint: dimension mismatch");
+  }
+  const std::size_t num_users = problem.num_users();
+  const std::size_t num_models = problem.num_models();
+  JointEvaluation eval;
+  eval.server_loads.assign(problem.num_servers(), 0.0);
+  // The canonical assignment: servers ascending, placed models ascending,
+  // hit-list entries ascending by user (the lists are built that way). Every
+  // joint evaluator in the tree must reproduce this walk exactly.
+  std::vector<char> covered(num_users * num_models, 0);
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    const double cap = problem.compute_capacity(m);
+    double& load = eval.server_loads[m];
+    for (ModelId i = 0; i < num_models; ++i) {
+      if (!placement.placed(m, i)) continue;
+      for (const HitEntry& entry : problem.hit_list(m, i)) {
+        char& flag = covered[static_cast<std::size_t>(i) * num_users + entry.user];
+        if (flag) continue;
+        const double charge = entry.mass * problem.compute_cost(entry.user, i);
+        if (load + charge <= cap) {
+          flag = 1;
+          load += charge;
+          eval.hit_mass += entry.mass;
+        }
+      }
+    }
+  }
+  return eval;
 }
 
 CountedCoverage::CountedCoverage(const PlacementProblem& problem)
@@ -84,9 +122,31 @@ double CountedCoverage::hit_ratio() const {
 
 CoverageState::CoverageState(const PlacementProblem& problem)
     : problem_(&problem),
-      covered_(problem.num_users() * problem.num_models(), 0) {}
+      covered_(problem.num_users() * problem.num_models(), 0),
+      compute_constrained_(problem.compute_constrained()) {
+  if (compute_constrained_) loads_.assign(problem.num_servers(), 0.0);
+}
 
 double CoverageState::marginal_mass(ServerId m, ModelId i) const {
+  if (compute_constrained_) {
+    // Simulate the commit walk: serve uncovered entries in list order while
+    // they fit the server's remaining compute headroom. Matches add() below
+    // charge for charge, so the gain a driver acts on is the gain it gets.
+    const double cap = problem_->compute_capacity(m);
+    double load = loads_[m];
+    double gain = 0.0;
+    for (const HitEntry& entry : problem_->hit_list(m, i)) {
+      if (covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user]) {
+        continue;
+      }
+      const double charge = entry.mass * problem_->compute_cost(entry.user, i);
+      if (load + charge <= cap) {
+        load += charge;
+        gain += entry.mass;
+      }
+    }
+    return gain;
+  }
   double gain = 0.0;
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
     if (!covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user]) {
@@ -96,12 +156,47 @@ double CoverageState::marginal_mass(ServerId m, ModelId i) const {
   return gain;
 }
 
+double CoverageState::uncovered_compute_load(ServerId m, ModelId i) const {
+  if (!compute_constrained_) return 0.0;
+  double want = 0.0;
+  for (const HitEntry& entry : problem_->hit_list(m, i)) {
+    if (!covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user]) {
+      want += entry.mass * problem_->compute_cost(entry.user, i);
+    }
+  }
+  return want;
+}
+
+double CoverageState::server_load(ServerId m) const {
+  if (!compute_constrained_) {
+    if (m >= problem_->num_servers()) throw std::out_of_range("CoverageState::server_load");
+    return 0.0;
+  }
+  return loads_.at(m);
+}
+
 double CoverageState::marginal_gain(ServerId m, ModelId i) const {
   const double mass = problem_->total_mass();
   return mass > 0.0 ? marginal_mass(m, i) / mass : 0.0;
 }
 
 void CoverageState::add(ServerId m, ModelId i) {
+  if (compute_constrained_) {
+    const double cap = problem_->compute_capacity(m);
+    double& load = loads_[m];
+    for (const HitEntry& entry : problem_->hit_list(m, i)) {
+      char& flag =
+          covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user];
+      if (flag) continue;
+      const double charge = entry.mass * problem_->compute_cost(entry.user, i);
+      if (load + charge <= cap) {
+        flag = 1;
+        load += charge;
+        hit_mass_ += entry.mass;
+      }
+    }
+    return;
+  }
   for (const HitEntry& entry : problem_->hit_list(m, i)) {
     char& flag =
         covered_[static_cast<std::size_t>(i) * problem_->num_users() + entry.user];

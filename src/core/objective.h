@@ -19,9 +19,32 @@
 
 namespace trimcaching::core {
 
-/// Evaluates U(X) from scratch (Eq. 2).
+/// Evaluates U(X) from scratch (Eq. 2). On compute-constrained problems this
+/// dispatches to the joint objective below (normalized hit mass of the
+/// canonical assignment); on the default unconstrained problem it is the
+/// classic storage-only union and bit-identical to the pre-compute code.
 [[nodiscard]] double expected_hit_ratio(const PlacementProblem& problem,
                                         const PlacementSolution& placement);
+
+/// Joint caching + inference-compute evaluation: the compute-constrained
+/// extension of Eq. 2/3. A request (k, i) counts as served only when some
+/// holder m has the bytes cached (x_{m,i} = 1, I1(m,k,i) = 1) *and* enough
+/// compute headroom to run the expected inference load p_{k,i} · c_{k,i}.
+///
+/// Which holder serves which request is pinned by the *canonical assignment*
+/// so every implementation (core, sim::EvalPlan, tiled, worker processes)
+/// agrees bit for bit: walk servers m in ascending id order, models i in
+/// ascending id order where x_{m,i} = 1, then the (m, i) hit list in
+/// ascending user order; serve a still-uncovered pair iff
+/// load_m + p·c <= C_m, committing the charge. Feasibility
+/// (server_loads[m] <= compute_capacity(m)) holds by construction, and with
+/// every capacity at +inf the result equals the storage-only union exactly.
+struct JointEvaluation {
+  double hit_mass = 0.0;               ///< un-normalized served mass
+  std::vector<double> server_loads;    ///< committed compute load per server
+};
+[[nodiscard]] JointEvaluation evaluate_joint(const PlacementProblem& problem,
+                                             const PlacementSolution& placement);
 
 /// Coverage tracker with *removal* support: per-(k,i) cover counts instead
 /// of booleans. Used by search procedures that backtrack or undo placements
@@ -59,6 +82,14 @@ class CountedCoverage {
   double hit_mass_ = 0.0;
 };
 
+/// Greedy-only coverage tracker. On compute-constrained problems it is
+/// compute-aware: marginal_mass(m, i) simulates serving the still-uncovered
+/// hit-list entries against server m's remaining compute headroom (entries
+/// that do not fit contribute nothing), and add(m, i) commits the same
+/// walk's charges to m's load. Gains therefore stay monotone-decreasing in
+/// the add sequence — growing loads only shrink future gains — so lazy
+/// greedy drivers remain sound under the joint constraint. Unconstrained
+/// problems take the original branch-free path, bit-identical to before.
 class CoverageState {
  public:
   explicit CoverageState(const PlacementProblem& problem);
@@ -75,12 +106,23 @@ class CoverageState {
   /// True if user k's request for model i is already served.
   [[nodiscard]] bool covered(UserId k, ModelId i) const;
 
+  /// Compute charge Σ p·c the still-uncovered entries of (m, i) would ask of
+  /// server m if all of them were served (no cap test) — the optimistic
+  /// per-model compute weight the Spec DP's second knapsack dimension uses.
+  /// 0 on unconstrained problems.
+  [[nodiscard]] double uncovered_compute_load(ServerId m, ModelId i) const;
+
+  /// Compute load committed to server m so far (0 when unconstrained).
+  [[nodiscard]] double server_load(ServerId m) const;
+
   [[nodiscard]] double hit_mass() const noexcept { return hit_mass_; }
   [[nodiscard]] double hit_ratio() const;
 
  private:
   const PlacementProblem* problem_;
   std::vector<char> covered_;  // dense I x K, model-major (see CountedCoverage)
+  std::vector<double> loads_;  // per server; empty when unconstrained
+  bool compute_constrained_ = false;
   double hit_mass_ = 0.0;
 };
 

@@ -112,6 +112,11 @@ PlacementProblem::PlacementProblem(OwnedProblemData data)
   if (!(data.backhaul_bps > 0)) {
     throw std::invalid_argument("PlacementProblem: owned backhaul_bps must be > 0");
   }
+  if (!data.compute_capacities.empty() &&
+      data.compute_capacities.size() != num_servers_) {
+    throw std::invalid_argument(
+        "PlacementProblem: owned compute capacity dimensions mismatch");
+  }
   backhaul_bps_ = data.backhaul_bps;
   inv_eff_ = std::move(data.inv_eff);
   assoc_ = std::move(data.assoc);
@@ -124,6 +129,7 @@ PlacementProblem::PlacementProblem(OwnedProblemData data)
   for (ModelId i = 0; i < num_models_; ++i) {
     payload_bits_[i] = support::bits(library_->model_size(i));
   }
+  snapshot_compute_capacities();
   build_hit_lists();
 }
 
@@ -135,8 +141,22 @@ const wireless::NetworkTopology& PlacementProblem::topology() const {
   return *topology_;
 }
 
+void PlacementProblem::snapshot_compute_capacities() {
+  compute_constrained_ = false;
+  compute_caps_.assign(num_servers_, kInf);
+  for (std::size_t m = 0; m < num_servers_; ++m) {
+    const double cap = owned_ ? (owned_->compute_capacities.empty()
+                                     ? kInf
+                                     : owned_->compute_capacities.at(m))
+                              : topology_->compute_capacity(server_ids_[m]);
+    compute_caps_[m] = cap;
+    if (cap != kInf) compute_constrained_ = true;
+  }
+}
+
 void PlacementProblem::build_links() {
   backhaul_bps_ = topology_->radio().backhaul_bps;
+  snapshot_compute_capacities();
   payload_bits_.resize(num_models_);
   for (ModelId i = 0; i < num_models_; ++i) {
     payload_bits_[i] = support::bits(library_->model_size(i));

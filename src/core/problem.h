@@ -65,6 +65,9 @@ struct OwnedProblemData {
   std::vector<ServerId> server_ids;     ///< local -> global, strictly increasing
   std::vector<UserId> user_ids;         ///< local -> global, strictly increasing
   std::vector<support::Bytes> capacities;  ///< per local server
+  /// Per-local-server inference compute capacities; empty = unlimited (the
+  /// storage-only problem). Serialized as the codec-v2 optional section.
+  std::vector<double> compute_capacities;
   double backhaul_bps = 0.0;
   std::vector<double> inv_eff;          ///< M x K, row-major; +inf = no path
   std::vector<char> assoc;              ///< M x K, 1 = direct association
@@ -141,6 +144,26 @@ class PlacementProblem {
     return owned_ ? owned_->capacities.at(m) : topology_->capacity(global_server(m));
   }
 
+  /// Per-server inference compute capacity C_m (abstract units); +inf for
+  /// the classic storage-only problem. Snapshotted per view-local server at
+  /// construction so hot loops avoid the topology indirection.
+  [[nodiscard]] double compute_capacity(ServerId m) const {
+    return compute_caps_.at(m);
+  }
+
+  /// True when any server in this instance has a finite compute capacity —
+  /// the switch between the storage-only objective (Eq. 2/3) and the joint
+  /// caching + compute objective. False by default, keeping every legacy
+  /// path bit-identical.
+  [[nodiscard]] bool compute_constrained() const noexcept { return compute_constrained_; }
+
+  /// Compute cost c_{k,i} of one inference of model i for view-local user k
+  /// (abstract units). The expected load a served request adds to its
+  /// holder's budget is p_{k,i} · c_{k,i}.
+  [[nodiscard]] double compute_cost(UserId k, ModelId i) const {
+    return requests_->compute_cost(request_user(k), i);
+  }
+
   /// p_{k,i} for view-local user k.
   [[nodiscard]] double request_probability(UserId k, ModelId i) const {
     return requests_->probability(request_user(k), i);
@@ -179,6 +202,7 @@ class PlacementProblem {
  private:
   void build_links();
   void build_hit_lists();
+  void snapshot_compute_capacities();
 
   const wireless::NetworkTopology* topology_;  // null on owning instances
   const model::ModelLibrary* library_;
@@ -206,6 +230,8 @@ class PlacementProblem {
   std::vector<char> assoc_;
   std::vector<double> payload_bits_;  // per model
   double backhaul_bps_ = 0.0;
+  std::vector<double> compute_caps_;  // per local server; +inf = unconstrained
+  bool compute_constrained_ = false;
 
   std::vector<std::vector<HitEntry>> hit_lists_;    // per (m, i)
   bool hit_lists_built_ = true;                     // false on LinksOnly views

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/core/objective.h"
+
 namespace trimcaching::core {
 
 void SolverContext::set_deadline_after(double seconds) {
@@ -29,6 +31,12 @@ SolverOutcome Solver::run(const PlacementProblem& problem,
   SolverOutcome outcome = solve(problem, context);
   const auto stop = std::chrono::steady_clock::now();
   outcome.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  if (problem.compute_constrained() && problem.has_hit_lists()) {
+    // Honesty seam of the joint objective: whatever an algorithm's internal
+    // (greedy-order) bookkeeping claimed, the reported score is the canonical
+    // compute-feasible assignment of the final placement.
+    outcome.hit_ratio = expected_hit_ratio(problem, outcome.placement);
+  }
   return outcome;
 }
 

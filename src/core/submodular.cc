@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <span>
 #include <stdexcept>
@@ -153,6 +154,19 @@ RepairPassStats repair_placement(const PlacementProblem& problem,
   CountedCoverage coverage(problem);
   coverage.add_placement(placement);
 
+  // Joint-constraint re-check, pass level: the eviction scan and refill
+  // reason with compute-oblivious counted coverage, so under a compute
+  // constraint the whole pass is guarded — if the canonical joint hit mass
+  // ends up below the input placement's, the pass is reverted wholesale
+  // (repair must never worsen the objective it is scored on).
+  const bool joint = problem.compute_constrained();
+  std::optional<PlacementSolution> before;
+  double before_mass = 0.0;
+  if (joint) {
+    before = placement;
+    before_mass = evaluate_joint(problem, placement).hit_mass;
+  }
+
   // Eviction scan, ascending (model, server). Losses are probed against the
   // live counts: evicting a copy can only *raise* the remaining copies'
   // losses, so re-probing at processing time never over-evicts — of two
@@ -213,6 +227,19 @@ RepairPassStats repair_placement(const PlacementProblem& problem,
                      std::max(config.gain_tolerance, config.eviction_tolerance)});
     stats.models_added = refill.additions;
     stats.gain_evaluations += refill.gain_evaluations;
+  }
+  if (joint) {
+    const double after_mass = evaluate_joint(problem, placement).hit_mass;
+    double final_mass = after_mass;
+    if (after_mass < before_mass) {
+      placement = std::move(*before);
+      final_mass = before_mass;
+      stats.duplicates_evicted = 0;
+      stats.models_added = 0;
+    }
+    const double total = problem.total_mass();
+    stats.hit_ratio = total > 0 ? final_mass / total : 0.0;
+    return stats;
   }
   stats.hit_ratio = coverage.hit_ratio();
   return stats;

@@ -1,6 +1,7 @@
 #include "src/core/trimcaching_spec.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "src/support/parallel.h"
@@ -31,16 +32,28 @@ SpecResult trimcaching_spec(const PlacementProblem& problem, const SpecConfig& c
   SpecResult result{PlacementSolution(num_servers, num_models), 0.0, {}, 0};
   CoverageState coverage(problem);
 
+  const bool joint = problem.compute_constrained();
   std::vector<double> utilities(num_models, 0.0);
+  std::vector<double> compute_loads;
+  if (joint) compute_loads.assign(num_models, 0.0);
   for (const ServerId m : order) {
     // u(m,i) with the I2 mask: only not-yet-served request mass counts
     // (Eq. 14). Models are independent given the frozen coverage state, so
     // the accumulation shards over models — each index writes its own slot.
+    // Under the joint constraint the same sweep also collects each model's
+    // optimistic compute weight for the DP's second knapsack dimension.
     support::parallel_for(num_models, config.threads, [&](std::size_t i) {
       utilities[i] = coverage.marginal_mass(m, static_cast<ModelId>(i));
+      if (joint) {
+        compute_loads[i] = coverage.uncovered_compute_load(m, static_cast<ModelId>(i));
+      }
     });
+    const double compute_budget =
+        joint ? problem.compute_capacity(m) - coverage.server_load(m)
+              : std::numeric_limits<double>::infinity();
     const ServerSubproblemResult sub = solve_server_subproblem(
-        problem.library(), utilities, problem.capacity(m), config.solver);
+        problem.library(), utilities, problem.capacity(m), config.solver,
+        joint ? &compute_loads : nullptr, compute_budget);
     result.combinations_visited += sub.combinations_visited;
 
     double gain_mass = 0.0;

@@ -1,5 +1,6 @@
 #include "src/io/tile_codec.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -10,7 +11,13 @@ namespace {
 
 constexpr std::uint32_t kViewMagic = 0x56544354;    // "TCTV" little-endian
 constexpr std::uint32_t kResultMagic = 0x52544354;  // "TCTR" little-endian
+// Tile views: v1 is the storage-only format; v2 appends one optional
+// compute section (flag + per-server compute capacities + per-request-cell
+// inference costs). The writer emits v1 bytes — bit-identical to the
+// pre-compute codec — whenever the problem is compute-unconstrained, and
+// readers accept {1, 2}. Tile results are still v1.
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kViewVersionJoint = 2;
 
 // --- little-endian writer -------------------------------------------------
 
@@ -132,7 +139,8 @@ class BinaryReader {
 /// Checks the trailing FNV-1a checksum before any structural parsing: a
 /// corrupted body then fails here with one clear diagnostic instead of a
 /// downstream validation error, and the structural parser may trust counts.
-void verify_envelope(const std::string& bytes, std::uint32_t magic, const char* what) {
+void verify_envelope(const std::string& bytes, std::uint32_t magic, const char* what,
+                     std::uint32_t max_version) {
   BinaryReader reader(bytes, what);
   if (bytes.size() < 16) {  // magic + version + checksum
     reader.fail("input shorter than the fixed envelope");
@@ -143,7 +151,7 @@ void verify_envelope(const std::string& bytes, std::uint32_t magic, const char* 
                 std::string(what) + " file)");
   }
   const std::uint32_t version = reader.u32("version");
-  if (version != kVersion) {
+  if (version < kVersion || version > max_version) {
     reader.fail("unsupported version " + std::to_string(version));
   }
   const std::size_t body = bytes.size() - 8;
@@ -191,10 +199,14 @@ std::string serialize_tile_view(const TileViewHeader& header,
   const std::size_t I = problem.num_models();
   const model::ModelLibrary& library = problem.library();
 
+  // v1 for the unconstrained problem — bit-identical to the pre-compute
+  // codec — and v2 with the compute section when any capacity is finite.
+  const bool joint = problem.compute_constrained();
+
   std::string out;
   out.reserve(64 + M * 16 + K * 8 + M * K * 9 + I * 32);
   put_u32(out, kViewMagic);
-  put_u32(out, kVersion);
+  put_u32(out, joint ? kViewVersionJoint : kVersion);
   put_string(out, header.algo);
   put_u32(out, header.threads);
   put_u32(out, header.tile_index);
@@ -246,15 +258,29 @@ std::string serialize_tile_view(const TileViewHeader& header,
     for (const char a : problem.associations(m)) out.push_back(a ? '\1' : '\0');
   }
 
+  if (joint) {
+    // Optional compute section (v2): presence flag, per-server compute
+    // capacities, then one inference cost per request cell in exactly the
+    // row order the cells were written above.
+    put_u32(out, 1);
+    for (ServerId m = 0; m < M; ++m) put_f64(out, problem.compute_capacity(m));
+    for (UserId k = 0; k < K; ++k) {
+      const UserId rk = problem.request_user(k);
+      for (const ModelId i : requests.requested_models(rk)) {
+        put_f64(out, requests.compute_cost(rk, i));
+      }
+    }
+  }
+
   seal(out);
   return out;
 }
 
 TileView parse_tile_view(const std::string& bytes) {
-  verify_envelope(bytes, kViewMagic, "tile view");
+  verify_envelope(bytes, kViewMagic, "tile view", kViewVersionJoint);
   BinaryReader reader(bytes, "tile view");
   reader.u32("magic");
-  reader.u32("version");
+  const std::uint32_t version = reader.u32("version");
 
   TileView view;
   view.header.algo = reader.str("algo");
@@ -317,11 +343,6 @@ TileView parse_tile_view(const std::string& bytes) {
       cell.inference_s = reader.f64("request inference time");
     }
   }
-  try {
-    data.requests = workload::RequestModel::from_rows(I, rows);
-  } catch (const std::exception& e) {
-    reader.fail(std::string("invalid request rows: ") + e.what());
-  }
 
   const std::size_t cells = static_cast<std::size_t>(M) * K;
   data.inv_eff.resize(cells);
@@ -329,6 +350,44 @@ TileView parse_tile_view(const std::string& bytes) {
   data.assoc.resize(cells);
   for (std::size_t c = 0; c < cells; ++c) {
     data.assoc[c] = static_cast<char>(reader.u8("assoc cell") != 0);
+  }
+
+  if (version >= kViewVersionJoint) {
+    // Optional compute section: flag-gated, so an unconstrained v2 file
+    // carries no capacities/costs and parses identically to v1.
+    const std::uint32_t has_compute = reader.u32("compute section flag");
+    if (has_compute > 1) {
+      reader.fail("bad compute section flag " + std::to_string(has_compute));
+    }
+    if (has_compute == 1) {
+      reader.check_count(M, 8, "compute capacity");
+      data.compute_capacities.resize(M);
+      for (std::uint32_t m = 0; m < M; ++m) {
+        const double cap = data.compute_capacities[m] = reader.f64("compute capacity");
+        if (std::isnan(cap) || cap < 0) {
+          reader.fail("compute capacity must be >= 0");
+        }
+      }
+      for (std::uint32_t k = 0; k < K; ++k) {
+        for (workload::RequestEntry& cell : rows[k]) {
+          cell.cost = reader.f64("request compute cost");
+        }
+      }
+    }
+  }
+  try {
+    data.requests = workload::RequestModel::from_rows(I, rows);
+  } catch (const std::exception& e) {
+    reader.fail(std::string("invalid request rows: ") + e.what());
+  }
+
+  // Strict tail: everything before the 8-byte checksum must have been
+  // consumed. A v1-shaped parse of a file carrying trailing sections (e.g. a
+  // forged version field) fails loudly here instead of silently dropping
+  // data.
+  if (reader.remaining() != 8) {
+    reader.fail(std::to_string(reader.remaining() - 8) +
+                " unconsumed byte(s) before the checksum");
   }
   return view;
 }
@@ -358,7 +417,7 @@ std::string serialize_tile_result(const TileResult& result) {
 }
 
 TileResult parse_tile_result(const std::string& bytes) {
-  verify_envelope(bytes, kResultMagic, "tile result");
+  verify_envelope(bytes, kResultMagic, "tile result", kVersion);
   BinaryReader reader(bytes, "tile result");
   reader.u32("magic");
   reader.u32("version");
@@ -384,6 +443,10 @@ TileResult parse_tile_result(const std::string& bytes) {
   const bool has_bound = reader.u32("has optimality bound") != 0;
   const double bound = reader.f64("optimality bound");
   if (has_bound) result.outcome.optimality_bound = bound;
+  if (reader.remaining() != 8) {
+    reader.fail(std::to_string(reader.remaining() - 8) +
+                " unconsumed byte(s) before the checksum");
+  }
   return result;
 }
 

@@ -56,11 +56,12 @@ struct Request {
 
 struct Flow {
   double request_time = 0.0;
-  double budget_s = 0.0;  ///< deadline minus inference latency
-  double work = 0.0;      ///< download bits / spectral efficiency (Hz·s)
+  double budget_s = 0.0;      ///< deadline minus inference latency
+  double work = 0.0;          ///< download bits / spectral efficiency (Hz·s)
+  double inference_s = 0.0;   ///< edge inference service time (slot hold)
 };
 
-enum class EventKind : std::uint8_t { kFlowStart, kFlowFinish };
+enum class EventKind : std::uint8_t { kFlowStart, kFlowFinish, kInferFinish };
 
 struct Event {
   double time = 0.0;
@@ -97,6 +98,7 @@ class ServerLoop {
         relayable_(&relayable),
         reactive_(policy.reactive()),
         bandwidth_hz_(topology.radio().total_bandwidth_hz),
+        compute_slots_(config.compute_slots),
         bucket_(std::move(bucket)) {
     std::sort(bucket_.begin(), bucket_.end(), [](const Request& a, const Request& b) {
       return a.time != b.time ? a.time < b.time : a.seq < b.seq;
@@ -127,6 +129,9 @@ class ServerLoop {
               ++metrics_.stale_events;
             }
             break;
+          case EventKind::kInferFinish:
+            --inferences_active_;  // slot held since admission
+            break;
         }
       } else {
         const Request& request = bucket_[next++];
@@ -148,8 +153,26 @@ class ServerLoop {
 
     Flow flow;
     flow.request_time = now;
-    flow.budget_s = requests_->deadline_s(request.user, i) -
-                    requests_->inference_s(request.user, i);
+    flow.inference_s = requests_->inference_s(request.user, i);
+    flow.budget_s = requests_->deadline_s(request.user, i) - flow.inference_s;
+    // A non-positive budget can never be met: count it unserved at attach
+    // instead of enqueueing a flow that is guaranteed to finish late (and
+    // would meanwhile steal bandwidth from flows that could still hit).
+    if (flow.budget_s <= 0.0) {
+      ++metrics_.unserved;
+      return;
+    }
+    // Compute admission: a request holds one inference slot from admission
+    // until its inference completes. A saturated server rejects to the
+    // cloud — the warm-hit bytes are useless without compute headroom.
+    if (compute_slots_ > 0) {
+      if (inferences_active_ >= compute_slots_) {
+        ++metrics_.compute_rejects;
+        ++metrics_.cloud_served;
+        return;
+      }
+      ++inferences_active_;
+    }
     flow.work = support::bits(library_->model_size(i)) / request.spectral_efficiency;
     flows_.push_back(flow);
     const std::size_t idx = flows_.size() - 1;
@@ -250,6 +273,11 @@ class ServerLoop {
     } else {
       ++metrics_.late;
     }
+    if (compute_slots_ > 0) {
+      // Release the admission slot once the edge inference completes.
+      queue_.push(Event{now + flow.inference_s, EventKind::kInferFinish,
+                        front->second, 0});
+    }
     active_.erase(front);
     schedule_next(now);
   }
@@ -275,6 +303,8 @@ class ServerLoop {
   const std::vector<char>* relayable_;
   bool reactive_ = false;
   double bandwidth_hz_ = 0.0;
+  std::size_t compute_slots_ = 0;   ///< 0 = unlimited (no admission control)
+  std::size_t inferences_active_ = 0;
   std::vector<Request> bucket_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;

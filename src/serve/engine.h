@@ -56,6 +56,12 @@ struct ServeConfig {
   std::string policy = "static";
   /// Effective cloud-to-edge fetch rate for reactive cache misses.
   double cloud_rate_bps = 300e6;
+  /// Concurrent edge-inference slots per server; 0 = unlimited (compute-
+  /// oblivious replay, bit-identical to the pre-compute engine). A request
+  /// holds a slot from admission until its inference finishes (download +
+  /// inference_s); an arrival finding every slot busy is rejected to the
+  /// cloud — counted compute_rejects, terminal state cloud_served.
+  std::size_t compute_slots = 0;
   /// Worker threads for the per-server replay (0 = hardware concurrency).
   /// Results are bit-identical for every value.
   std::size_t threads = 1;

@@ -56,6 +56,8 @@ void ServeMetrics::merge(const ServeMetrics& other) {
   deadline_hits += other.deadline_hits;
   late += other.late;
   unserved += other.unserved;
+  compute_rejects += other.compute_rejects;
+  cloud_served += other.cloud_served;
   edge_hits += other.edge_hits;
   relays += other.relays;
   cloud_fetches += other.cloud_fetches;

@@ -46,7 +46,14 @@ struct ServeMetrics {
   std::uint64_t requests = 0;        ///< issued (served or not)
   std::uint64_t deadline_hits = 0;   ///< download finished within budget
   std::uint64_t late = 0;            ///< finished after the deadline
-  std::uint64_t unserved = 0;        ///< no server could take the request
+  std::uint64_t unserved = 0;        ///< no server could take the request, or
+                                     ///< the latency budget was already spent
+                                     ///< at arrival (never enqueued)
+  /// Admissions refused because every inference slot of the serving server
+  /// was occupied (ServeConfig::compute_slots); the request degrades to the
+  /// cloud and terminates as cloud_served instead of deadline_hits/late.
+  std::uint64_t compute_rejects = 0;
+  std::uint64_t cloud_served = 0;    ///< terminal state of degraded requests
   std::uint64_t edge_hits = 0;       ///< model fully cached at arrival
   std::uint64_t relays = 0;          ///< backhaul transfers (static: payload
                                      ///< relayed; reactive: cache-on-relay)
@@ -68,6 +75,12 @@ struct ServeMetrics {
 
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return deadline_hits + late;
+  }
+
+  /// Every issued request ends in exactly one of these states; the serving
+  /// tests assert this partition after every run.
+  [[nodiscard]] std::uint64_t terminal() const noexcept {
+    return deadline_hits + late + unserved + cloud_served;
   }
 
   /// Folds `other` into this. Addition only, so reducing shards in a fixed

@@ -115,7 +115,11 @@ class EvalPlan {
   /// The NetworkTopology::revision() this plan was built from.
   [[nodiscard]] std::uint64_t topology_revision() const noexcept { return revision_; }
 
-  /// Expected hit ratio under average rates (Eq. 2 on this snapshot).
+  /// Expected hit ratio under average rates (Eq. 2 on this snapshot). When
+  /// the topology is compute-constrained this is the *joint* objective: the
+  /// canonical greedy compute assignment of core::evaluate_joint replayed
+  /// over this arena, bit-identical to the core evaluator on the same
+  /// snapshot (same walk order, same latency arithmetic, same charges).
   [[nodiscard]] double expected_hit_ratio(const core::PlacementSolution& placement) const;
 
   /// Monte-Carlo hit ratio over Rayleigh fading realizations, sharded over
@@ -189,6 +193,13 @@ class EvalPlan {
   [[nodiscard]] double hit_ratio(const core::PlacementSolution& placement,
                                  const double* inv_rate) const;
 
+  /// Joint caching + compute objective under average rates: the canonical
+  /// server-major assignment (servers ascending, placed models ascending,
+  /// users ascending) with per-server compute accounting — the EvalPlan
+  /// mirror of core::evaluate_joint. Only called when compute_constrained_.
+  [[nodiscard]] double expected_hit_ratio_joint(
+      const core::PlacementSolution& placement) const;
+
   /// Batched kernel: same reduction over the pre-lowered holder lists; no
   /// placement lookups and no per-link branches on the hot path.
   [[nodiscard]] double hit_ratio_lowered(const PlacementLowering& lowering,
@@ -233,6 +244,14 @@ class EvalPlan {
   // Request rows: user k owns [row_offsets_[k], row_offsets_[k+1]).
   std::vector<std::size_t> row_offsets_;
   std::vector<Row> rows_;
+
+  // Joint-constraint snapshot: per-row compute charge-rate (parallel to
+  // rows_, so the hot Row struct keeps its layout) and per-server compute
+  // capacities (+inf = unlimited). Both position-independent: carried
+  // unchanged across apply_delta.
+  std::vector<double> row_cost_;
+  std::vector<double> compute_caps_;
+  bool compute_constrained_ = false;
 
   // apply_delta ping-pong scratch: keeps capacity across mobility slots so
   // steady-state incremental updates do not allocate.

@@ -1,8 +1,10 @@
 #include "src/sim/scenario.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace trimcaching::sim {
 
@@ -46,6 +48,12 @@ void ScenarioConfig::validate() const {
     throw std::invalid_argument(
         "ScenarioConfig: capacity_bytes == 0 — every server needs a positive "
         "storage budget (set capacity_bytes)");
+  }
+  if (std::isnan(compute_capacity) || compute_capacity < 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: compute_capacity must be >= 0 (or +inf for the "
+        "unconstrained storage-only problem), got " +
+        std::to_string(compute_capacity));
   }
   // Validate the active generator's own knobs here, so a bad generator
   // config fails at scenario assembly rather than mid-build.
@@ -103,6 +111,10 @@ Scenario build_scenario(const ScenarioConfig& config, support::Rng& rng) {
   const wireless::Area area{config.area_side_m};
   auto topology = wireless::sample_topology(area, config.radio, config.num_servers,
                                             config.num_users, config.capacity_bytes, rng);
+  if (config.compute_capacity != std::numeric_limits<double>::infinity()) {
+    topology.set_compute_capacities(
+        std::vector<double>(config.num_servers, config.compute_capacity));
+  }
   auto library = build_library(config, rng);
   auto requests = workload::RequestModel::generate(config.num_users, library.num_models(),
                                                    config.requests, rng);

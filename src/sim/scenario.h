@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "src/core/problem.h"
 #include "src/model/general_case_generator.h"
@@ -27,6 +28,11 @@ struct ScenarioConfig {
   std::size_t num_users = 20;
   double area_side_m = 1000.0;
   support::Bytes capacity_bytes = support::gigabytes(1.0);
+  /// Per-server inference compute capacity in abstract units (matched
+  /// against Σ p_{k,i} · cost_{k,i} of the requests a server accepts).
+  /// +inf (the default) disables the compute constraint entirely and keeps
+  /// every solver bit-identical to the storage-only problem.
+  double compute_capacity = std::numeric_limits<double>::infinity();
   wireless::RadioConfig radio{};
 
   LibraryKind library_kind = LibraryKind::kSpecialCase;

@@ -85,6 +85,9 @@ std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
     } else {
       log(label + ", giving up after " + std::to_string(attempts[j]) +
           " attempt(s) — in-process fallback");
+      // A killed or crashed final attempt can leave a partial result file
+      // behind; remove it so no caller ever mistakes it for a real result.
+      (void)::unlink(jobs[j].result_path.c_str());
     }
   };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <stdexcept>
 #include <sys/stat.h>
@@ -66,19 +67,53 @@ struct ScratchDir {
 ScratchDir resolve_scratch_dir(const TilerConfig& config) {
   if (!config.scratch_dir.empty()) {
     if (::mkdir(config.scratch_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      const int err = errno;
       throw std::runtime_error("ScenarioTiler: cannot create scratch_dir " +
-                               config.scratch_dir);
+                               config.scratch_dir + ": " + std::strerror(err));
     }
     return ScratchDir{config.scratch_dir, false};
   }
-  const char* tmp = std::getenv("TMPDIR");
-  std::string templ =
-      std::string(tmp && *tmp ? tmp : "/tmp") + "/trimcaching-tiles-XXXXXX";
+  // $TMPDIR is honored only when it names a writable, searchable directory —
+  // a stale or read-only value falls back to /tmp with a warning instead of
+  // surfacing a raw mkdtemp errno later.
+  std::string base = "/tmp";
+  if (const char* tmp = std::getenv("TMPDIR"); tmp && *tmp) {
+    struct ::stat st;
+    if (::stat(tmp, &st) == 0 && S_ISDIR(st.st_mode) &&
+        ::access(tmp, W_OK | X_OK) == 0) {
+      base = tmp;
+    } else {
+      std::fprintf(stderr,
+                   "[tiler/workers] ignoring $TMPDIR=%s (not a writable "
+                   "directory); falling back to /tmp\n",
+                   tmp);
+    }
+  }
+  std::string templ = base + "/trimcaching-tiles-XXXXXX";
   if (::mkdtemp(templ.data()) == nullptr) {
-    throw std::runtime_error("ScenarioTiler: mkdtemp failed under " + templ);
+    const int err = errno;
+    throw std::runtime_error(
+        "ScenarioTiler: cannot create a scratch directory under " + base + ": " +
+        std::strerror(err));
   }
   return ScratchDir{templ, true};
 }
+
+/// Removes the per-tile view/result files (and a tiler-created scratch
+/// directory) when the fan-out exits — including the exception paths out of
+/// serialization, the pool run, and the in-process fallback, which previously
+/// leaked every job file written so far.
+struct ScratchCleanup {
+  const std::vector<WorkerJob>* jobs;
+  const ScratchDir* scratch;
+  ~ScratchCleanup() {
+    for (const WorkerJob& job : *jobs) {
+      (void)::unlink(job.view_path.c_str());
+      (void)::unlink(job.result_path.c_str());
+    }
+    if (scratch->created) (void)::rmdir(scratch->path.c_str());
+  }
+};
 
 /// The workers=N tile fan-out. Streams each tile sub-view to disk one at a
 /// time (never holding two views at once — the coordinator-memory win), runs
@@ -94,6 +129,7 @@ void solve_tiles_distributed(const ScenarioTiler& tiler, const TilerConfig& conf
   const std::vector<Tile>& tiles = tiler.tiles();
 
   std::vector<WorkerJob> jobs;
+  const ScratchCleanup cleanup{&jobs, &scratch};
   for (std::size_t t = 0; t < tiles.size(); ++t) {
     if (tiles[t].servers.empty() || tiles[t].users.empty()) continue;
     io::TileViewHeader header;
@@ -154,12 +190,6 @@ void solve_tiles_distributed(const ScenarioTiler& tiler, const TilerConfig& conf
     if (time_budget_s > 0) context.set_deadline_after(time_budget_s);
     stitches[t] = reduce_outcome(solver->run(problem, context));
   }
-
-  for (const WorkerJob& job : jobs) {
-    (void)::unlink(job.view_path.c_str());
-    (void)::unlink(job.result_path.c_str());
-  }
-  if (scratch.created) (void)::rmdir(scratch.path.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "src/wireless/topology.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/support/parallel.h"
@@ -278,6 +279,24 @@ const TopologyDelta& NetworkTopology::apply_user_moves(const std::vector<UserMov
   ++revision_;
   last_delta_ = TopologyDelta{from, revision_, false, std::move(dirty_users)};
   return last_delta_;
+}
+
+void NetworkTopology::set_compute_capacities(std::vector<double> capacities) {
+  if (capacities.empty()) {
+    compute_capacities_.clear();
+    return;
+  }
+  if (capacities.size() != num_servers()) {
+    throw std::invalid_argument(
+        "NetworkTopology::set_compute_capacities: size mismatch with servers");
+  }
+  for (const double c : capacities) {
+    if (std::isnan(c) || c < 0) {
+      throw std::invalid_argument(
+          "NetworkTopology::set_compute_capacities: capacities must be >= 0");
+    }
+  }
+  compute_capacities_ = std::move(capacities);
 }
 
 bool NetworkTopology::is_associated(ServerId m, UserId k) const {

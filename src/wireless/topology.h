@@ -19,6 +19,7 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "src/support/ids.h"
@@ -84,6 +85,26 @@ class NetworkTopology {
   [[nodiscard]] const Point& server_position(ServerId m) const { return server_pos_.at(m); }
   [[nodiscard]] const Point& user_position(UserId k) const { return user_pos_.at(k); }
   [[nodiscard]] support::Bytes capacity(ServerId m) const { return capacities_.at(m); }
+
+  /// Per-server inference compute capacity (abstract units/s). Unset (the
+  /// default) means unlimited — the classic storage-only TrimCaching problem.
+  [[nodiscard]] double compute_capacity(ServerId m) const {
+    if (compute_capacities_.empty()) {
+      if (m >= server_pos_.size()) throw std::out_of_range("NetworkTopology::compute_capacity");
+      return std::numeric_limits<double>::infinity();
+    }
+    return compute_capacities_.at(m);
+  }
+  /// True when any server has a finite compute capacity.
+  [[nodiscard]] bool compute_constrained() const noexcept {
+    for (const double c : compute_capacities_) {
+      if (c != std::numeric_limits<double>::infinity()) return true;
+    }
+    return false;
+  }
+  /// Installs per-server compute capacities (empty = unlimited). Values must
+  /// be >= 0; +inf marks an individually unconstrained server.
+  void set_compute_capacities(std::vector<double> capacities);
 
   /// Servers covering user k (the paper's M_k), ascending order.
   [[nodiscard]] const std::vector<ServerId>& servers_covering(UserId k) const {
@@ -197,6 +218,7 @@ class NetworkTopology {
   std::vector<Point> server_pos_;
   std::vector<Point> user_pos_;
   std::vector<support::Bytes> capacities_;
+  std::vector<double> compute_capacities_;  // empty = unlimited
 
   std::vector<std::vector<ServerId>> covering_;    // per user
   std::vector<std::vector<UserId>> associated_;    // per server

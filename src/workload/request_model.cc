@@ -1,5 +1,6 @@
 #include "src/workload/request_model.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "src/workload/zipf.h"
@@ -13,6 +14,9 @@ void RequestConfig::validate() const {
   }
   if (inference_min_s < 0 || inference_min_s > inference_max_s) {
     throw std::invalid_argument("RequestConfig: bad inference range");
+  }
+  if (!(infer_cost_scale >= 0) || std::isinf(infer_cost_scale)) {
+    throw std::invalid_argument("RequestConfig: infer_cost_scale must be finite and >= 0");
   }
 }
 
@@ -39,6 +43,7 @@ RequestModel RequestModel::generate(std::size_t num_users, std::size_t num_model
   rm.probability_.assign(num_users * num_models, 0.0);
   rm.deadline_.assign(num_users * num_models, 0.0);
   rm.inference_.assign(num_users * num_models, 0.0);
+  rm.cost_.assign(num_users * num_models, 0.0);
 
   const ZipfDistribution zipf(interest, config.zipf_exponent);
   std::vector<std::size_t> global_order = rng.permutation(num_models);
@@ -53,6 +58,9 @@ RequestModel RequestModel::generate(std::size_t num_users, std::size_t num_model
       rm.deadline_[rm.at(k, i)] = rng.uniform(config.deadline_min_s, config.deadline_max_s);
       rm.inference_[rm.at(k, i)] =
           rng.uniform(config.inference_min_s, config.inference_max_s);
+      // Deterministic in the QoS draws: no extra randomness, so the request
+      // stream is bit-identical to the cost-oblivious generator.
+      rm.cost_[rm.at(k, i)] = config.infer_cost_scale * rm.inference_[rm.at(k, i)];
     }
   }
   rm.total_mass_ = 0.0;
@@ -80,6 +88,7 @@ RequestModel RequestModel::from_rows(std::size_t num_models,
   rm.probability_.assign(rm.num_users_ * num_models, 0.0);
   rm.deadline_.assign(rm.num_users_ * num_models, 0.0);
   rm.inference_.assign(rm.num_users_ * num_models, 0.0);
+  rm.cost_.assign(rm.num_users_ * num_models, 0.0);
   rm.requested_offsets_.assign(rm.num_users_ + 1, 0);
   rm.total_mass_ = 0.0;
   for (UserId k = 0; k < rm.num_users_; ++k) {
@@ -93,12 +102,16 @@ RequestModel RequestModel::from_rows(std::size_t num_models,
       if (!(cell.probability >= 0.0)) {
         throw std::invalid_argument("RequestModel::from_rows: negative or NaN probability");
       }
+      if (!(cell.cost >= 0.0)) {
+        throw std::invalid_argument("RequestModel::from_rows: negative or NaN compute cost");
+      }
       prev = cell.model;
       first = false;
       const std::size_t slot = rm.at(k, cell.model);
       rm.probability_[slot] = cell.probability;
       rm.deadline_[slot] = cell.deadline_s;
       rm.inference_[slot] = cell.inference_s;
+      rm.cost_[slot] = cell.cost;
       rm.total_mass_ += cell.probability;
       if (cell.probability > 0.0) rm.requested_flat_.push_back(cell.model);
     }
@@ -118,5 +131,7 @@ double RequestModel::probability(UserId k, ModelId i) const { return probability
 double RequestModel::deadline_s(UserId k, ModelId i) const { return deadline_[at(k, i)]; }
 
 double RequestModel::inference_s(UserId k, ModelId i) const { return inference_[at(k, i)]; }
+
+double RequestModel::compute_cost(UserId k, ModelId i) const { return cost_[at(k, i)]; }
 
 }  // namespace trimcaching::workload

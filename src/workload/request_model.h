@@ -31,6 +31,11 @@ struct RequestConfig {
   double deadline_max_s = 1.0;
   double inference_min_s = 0.05;
   double inference_max_s = 0.15;
+  /// Compute cost of one expected inference of (k, i), expressed as a
+  /// multiple of the inference latency t_{k,i}: cost = scale * t_{k,i}
+  /// (abstract units, matched against NetworkTopology::compute_capacity).
+  /// Deterministic in the QoS draws — changing it draws no extra randomness.
+  double infer_cost_scale = 1.0;
 
   void validate() const;
 };
@@ -41,6 +46,7 @@ struct RequestEntry {
   double probability = 0.0;
   double deadline_s = 0.0;
   double inference_s = 0.0;
+  double cost = 0.0;  ///< compute cost of one inference (abstract units)
 };
 
 class RequestModel {
@@ -73,6 +79,9 @@ class RequestModel {
   [[nodiscard]] double deadline_s(UserId k, ModelId i) const;
   /// On-device inference latency t_{k,i} in seconds.
   [[nodiscard]] double inference_s(UserId k, ModelId i) const;
+  /// Compute cost of one inference of model i for user k (abstract units;
+  /// infer_cost_scale * t_{k,i} for generate()d models).
+  [[nodiscard]] double compute_cost(UserId k, ModelId i) const;
 
   /// Σ_k Σ_i p_{k,i} (the denominator of Eq. 2).
   [[nodiscard]] double total_mass() const noexcept { return total_mass_; }
@@ -89,6 +98,7 @@ class RequestModel {
   std::vector<double> probability_;  // dense K x I
   std::vector<double> deadline_;     // dense K x I
   std::vector<double> inference_;    // dense K x I
+  std::vector<double> cost_;         // dense K x I, compute units per inference
   // CSR of the p > 0 support: user k owns
   // requested_flat_[requested_offsets_[k], requested_offsets_[k+1]).
   std::vector<std::size_t> requested_offsets_;

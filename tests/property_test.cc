@@ -208,6 +208,190 @@ TEST(SolverInvariants, CrossProcessTilingBitIdenticalForEveryRegisteredSolver) {
   }
 }
 
+// ----------------------------------------------------- joint caching + compute
+
+/// A compute budget small enough to bind hard on the harness scenarios:
+/// expected served load is ~0.1 units per user against per-server capacities
+/// of this size, so the joint assignment must actually ration inferences.
+constexpr double kBindingComputeCapacity = 0.08;
+
+/// Joint-objective invariants every solver must uphold on a
+/// compute-constrained problem: the canonical assignment never overcommits a
+/// server (feasibility by construction), and the reported objective is the
+/// normalized hit mass of that assignment.
+void check_joint_invariants(const core::PlacementProblem& problem,
+                            const core::PlacementSolution& placement,
+                            double reported_hit, const std::string& label) {
+  const core::JointEvaluation joint = core::evaluate_joint(problem, placement);
+  ASSERT_EQ(joint.server_loads.size(), problem.num_servers()) << label;
+  for (ServerId m = 0; m < problem.num_servers(); ++m) {
+    EXPECT_LE(joint.server_loads[m], problem.compute_capacity(m))
+        << label << ": server " << m << " over compute capacity";
+  }
+  const double mass = problem.total_mass();
+  EXPECT_NEAR(reported_hit, mass > 0.0 ? joint.hit_mass / mass : 0.0, 1e-9)
+      << label;
+}
+
+TEST(SolverInvariants, JointComputeUnlimitedDefaultReducesToTheStorageUnion) {
+  // The compatibility half of the joint contract: a default scenario is not
+  // compute-constrained, and evaluating the *joint* objective on it (every
+  // capacity +inf) reproduces the storage-only Eq. 2 union — the compute
+  // dimension is invisible until a finite capacity is configured.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const bool general : {false, true}) {
+      Rng rng(1000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(small_config(general), rng);
+      const core::PlacementProblem problem = scenario.problem();
+      ASSERT_FALSE(problem.compute_constrained());
+      for (const std::string spec : {"gen", "spec", "independent"}) {
+        const std::string label = "joint-default " + spec +
+                                  (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed);
+        core::SolverContext context{Rng(seed)};
+        const auto outcome =
+            core::SolverRegistry::instance().make(spec)->run(problem, context);
+        const auto joint = core::evaluate_joint(problem, outcome.placement);
+        EXPECT_NEAR(joint.hit_mass / problem.total_mass(), outcome.hit_ratio, 1e-12)
+            << label;
+        for (const double load : joint.server_loads) EXPECT_GE(load, 0.0) << label;
+      }
+    }
+  }
+}
+
+TEST(SolverInvariants, EveryRegisteredSolverFeasibleAndHonestUnderComputeConstraint) {
+  // The constrained half: same scenario grid with a binding per-server
+  // compute capacity. Every registered solver must stay feasible in *both*
+  // dimensions, report the joint objective honestly, and never claim more
+  // than the storage-only union of its own placement (served-with-compute is
+  // a subset of covered). The constraint must actually bind somewhere in the
+  // grid, or this test would be vacuous.
+  const auto specs = harness_specs();
+  bool constraint_bound = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (const bool general : {false, true}) {
+      sim::ScenarioConfig config = small_config(general);
+      config.compute_capacity = kBindingComputeCapacity;
+      Rng rng(1000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(config, rng);
+      const core::PlacementProblem problem = scenario.problem();
+      ASSERT_TRUE(problem.compute_constrained());
+      // Twin scenario from the identical RNG stream, compute left unlimited:
+      // the generator draws no randomness for the capacity knob, so only the
+      // capacities differ — the union recompute target.
+      Rng twin_rng(1000 + seed);
+      const sim::Scenario twin =
+          sim::build_scenario(small_config(general), twin_rng);
+      const core::PlacementProblem union_problem = twin.problem();
+      const sim::Evaluator evaluator(scenario.topology, scenario.library,
+                                     scenario.requests);
+      for (const std::string& spec : specs) {
+        const std::string label = "joint " + spec +
+                                  (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed);
+        core::SolverContext context{Rng(seed)};
+        const auto outcome =
+            core::SolverRegistry::instance().make(spec)->run(problem, context);
+        check_invariants(scenario, problem, evaluator, outcome.placement,
+                         outcome.hit_ratio, label);
+        check_joint_invariants(problem, outcome.placement, outcome.hit_ratio,
+                               label);
+        const double union_hit =
+            core::expected_hit_ratio(union_problem, outcome.placement);
+        EXPECT_LE(outcome.hit_ratio, union_hit + 1e-9) << label;
+        if (outcome.hit_ratio < union_hit - 1e-9) constraint_bound = true;
+      }
+    }
+  }
+  EXPECT_TRUE(constraint_bound)
+      << "compute capacity " << kBindingComputeCapacity
+      << " never bound on any scenario — the joint leg tested nothing";
+}
+
+TEST(SolverInvariants, ZeroComputeCapacityServesNothing) {
+  // Degenerate but legal: a finite capacity of 0 admits no inference at all,
+  // so every solver's joint objective is exactly 0 and no server carries any
+  // load — the sharpest edge of the feasibility contract.
+  for (const bool general : {false, true}) {
+    sim::ScenarioConfig config = small_config(general);
+    config.compute_capacity = 0.0;
+    Rng rng(1001);
+    const sim::Scenario scenario = sim::build_scenario(config, rng);
+    const core::PlacementProblem problem = scenario.problem();
+    for (const std::string spec : {"gen", "spec", "independent", "gen+repair"}) {
+      const std::string label = "joint-zero " + spec + (general ? " general" : "");
+      core::SolverContext context{Rng(1)};
+      const auto outcome =
+          core::SolverRegistry::instance().make(spec)->run(problem, context);
+      EXPECT_EQ(outcome.hit_ratio, 0.0) << label;
+      const auto joint = core::evaluate_joint(problem, outcome.placement);
+      EXPECT_EQ(joint.hit_mass, 0.0) << label;
+      for (const double load : joint.server_loads) EXPECT_EQ(load, 0.0) << label;
+    }
+  }
+}
+
+TEST(SolverInvariants, JointTiledAndCrossProcessAgreeUnderComputeConstraint) {
+  // The distributed contract extends to the joint objective: with a binding
+  // compute capacity, in-process serial, in-process threaded, and
+  // worker-process tiling must all reproduce the same placements and the
+  // same joint hit ratio bit for bit (the tile codec's v2 compute section is
+  // what carries the capacities/costs across the process boundary).
+  const char* worker_bin = std::getenv("TRIMCACHING_WORKER_BIN");
+  if (!worker_bin || !*worker_bin) {
+    GTEST_SKIP() << "TRIMCACHING_WORKER_BIN not set (run under ctest)";
+  }
+  const auto specs = harness_specs();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (const bool general : {false, true}) {
+      sim::ScenarioConfig config = small_config(general);
+      config.num_servers = 12;
+      config.num_users = 60;
+      config.area_side_m = 1400.0;
+      config.requests.deadline_min_s = 2.0;
+      config.requests.deadline_max_s = 6.0;
+      config.compute_capacity = kBindingComputeCapacity;
+      Rng rng(4000 + seed);
+      const sim::Scenario scenario = sim::build_scenario(config, rng);
+      const core::PlacementProblem problem = scenario.problem();
+      ASSERT_TRUE(problem.compute_constrained());
+      sim::TilerConfig tiler_config;
+      tiler_config.tiles_x = 2;
+      tiler_config.tiles_y = 2;
+      tiler_config.repair = (seed % 2) == 1;
+      const sim::ScenarioTiler in_process(scenario, tiler_config);
+      sim::TilerConfig distributed_config = tiler_config;
+      distributed_config.workers = 2;
+      const sim::ScenarioTiler distributed(scenario, distributed_config);
+      for (const std::string& spec : specs) {
+        const std::string label = "joint x-process " + spec +
+                                  (general ? " general" : " special") +
+                                  " seed=" + std::to_string(seed);
+        const auto serial = in_process.solve(spec, seed, 1);
+        const auto threaded = in_process.solve(spec, seed, 4);
+        const auto remote = distributed.solve(spec, seed);
+        for (const auto* result : {&threaded, &remote}) {
+          ASSERT_EQ(serial.placement.total_placements(),
+                    result->placement.total_placements())
+              << label;
+          for (ServerId m = 0; m < serial.placement.num_servers(); ++m) {
+            ASSERT_EQ(serial.placement.models_on(m), result->placement.models_on(m))
+                << label << " server " << m;
+          }
+          EXPECT_EQ(serial.hit_ratio, result->hit_ratio) << label;
+          EXPECT_EQ(serial.gain_evaluations, result->gain_evaluations) << label;
+          EXPECT_EQ(serial.iterations, result->iterations) << label;
+        }
+        EXPECT_NEAR(core::expected_hit_ratio(problem, remote.placement),
+                    remote.hit_ratio, 1e-9)
+            << label;
+        check_joint_invariants(problem, remote.placement, remote.hit_ratio, label);
+      }
+    }
+  }
+}
+
 TEST(SolverInvariants, ExactSolverOnTinyScenariosIsFeasibleAndOptimal) {
   // 10 dedicated tiny scenarios: few enough decision variables for B&B, and
   // the proven optimum must dominate every greedy-family result.

@@ -66,7 +66,84 @@ TEST_F(ServeSystemTest, StaleFinishEventsAreDiscardedAndCounted) {
   const auto& t = result.totals;
   EXPECT_GT(t.stale_events, 100u);
   EXPECT_EQ(t.requests, t.deadline_hits + t.late + t.unserved);
+  EXPECT_EQ(t.terminal(), t.requests);
   EXPECT_EQ(t.completed(), t.latency.count());
+}
+
+// ------------------------------------------------------- compute admission
+
+TEST_F(ServeSystemTest, ComputeAdmissionRejectsToCloudAndPartitions) {
+  // One inference slot per server under sustained load: arrivals that find
+  // the slot busy degrade to the cloud (a terminal state, 1:1 with the
+  // rejection counter) and the four terminal states still partition the
+  // request count exactly.
+  serve::ServeConfig config;
+  config.arrival_rate_per_user = 0.5;
+  config.duration_s = 400.0;
+  config.compute_slots = 1;
+  const auto constrained = run(*placement_, config, 11);
+  const auto& t = constrained.totals;
+  EXPECT_GT(t.compute_rejects, 0u);
+  EXPECT_EQ(t.compute_rejects, t.cloud_served);
+  EXPECT_EQ(t.terminal(), t.requests);
+  EXPECT_EQ(t.completed(), t.latency.count());
+
+  // A slot count the workload can never saturate admits everything and
+  // reproduces the unlimited replay's per-flow outcomes exactly.
+  config.compute_slots = std::size_t{1} << 20;
+  const auto roomy = run(*placement_, config, 11);
+  config.compute_slots = 0;
+  const auto unlimited = run(*placement_, config, 11);
+  EXPECT_EQ(roomy.totals.compute_rejects, 0u);
+  EXPECT_EQ(roomy.totals.cloud_served, 0u);
+  EXPECT_EQ(unlimited.totals.compute_rejects, 0u);
+  EXPECT_EQ(roomy.totals.deadline_hits, unlimited.totals.deadline_hits);
+  EXPECT_EQ(roomy.totals.late, unlimited.totals.late);
+  EXPECT_EQ(roomy.totals.unserved, unlimited.totals.unserved);
+  EXPECT_EQ(roomy.totals.download_sum_s, unlimited.totals.download_sum_s);
+  EXPECT_EQ(unlimited.totals.terminal(), unlimited.totals.requests);
+  // Saturation can only lower the served mass, never raise it.
+  EXPECT_LE(t.deadline_hits, unlimited.totals.deadline_hits);
+}
+
+TEST(ServeAdmission, BudgetSpentAtArrivalCountsUnserved) {
+  // Deadlines strictly shorter than any inference time: every request's
+  // download budget is already negative when it arrives, so nothing may be
+  // enqueued (a doomed flow would finish late *and* steal processor-sharing
+  // bandwidth from viable ones) — the whole replay lands in `unserved`.
+  sim::ScenarioConfig config;
+  config.num_servers = 3;
+  config.num_users = 12;
+  config.library_size = 10;
+  config.special.models_per_family = 4;
+  config.requests.deadline_min_s = 0.10;
+  config.requests.deadline_max_s = 0.15;
+  config.requests.inference_min_s = 0.20;
+  config.requests.inference_max_s = 0.30;
+  Rng rng(19);
+  const auto scenario = sim::build_scenario(config, rng);
+  core::PlacementSolution placement(config.num_servers,
+                                    scenario.library.num_models());
+  for (ServerId m = 0; m < config.num_servers; ++m) {
+    for (ModelId i = 0; i < scenario.library.num_models(); ++i) {
+      placement.place(m, i);
+    }
+  }
+
+  serve::ServeConfig serving;
+  serving.arrival_rate_per_user = 0.5;
+  serving.duration_s = 100.0;
+  const auto result = serve::simulate_serving(scenario.topology, scenario.library,
+                                              scenario.requests, placement, serving,
+                                              Rng(23));
+  const auto& t = result.totals;
+  EXPECT_GT(t.requests, 0u);
+  EXPECT_EQ(t.unserved, t.requests);
+  EXPECT_EQ(t.deadline_hits, 0u);
+  EXPECT_EQ(t.late, 0u);
+  EXPECT_EQ(t.completed(), 0u);
+  EXPECT_EQ(t.latency.count(), 0u);
+  EXPECT_EQ(t.terminal(), t.requests);
 }
 
 // ------------------------------------------------------------- request merging
@@ -106,6 +183,7 @@ TEST(ServeMerging, ConcurrentMissesShareOneFetch) {
   std::iota(all.begin(), all.end(), ModelId{0});
   EXPECT_LE(t.cloud_bytes, scenario.library.dedup_size(all) * config.num_servers);
   EXPECT_EQ(t.requests, t.deadline_hits + t.late + t.unserved);
+  EXPECT_EQ(t.terminal(), t.requests);
 }
 
 // -------------------------------------------------------- full-coverage parity
@@ -223,6 +301,7 @@ TEST_F(ServeSystemTest, MetricsBitIdenticalAcrossThreadCounts) {
   config.average_channel = false;  // per-request fading also in the streams
   config.queue_depth_samples = 64;
   config.drift = &drift;
+  config.compute_slots = 2;  // admission decisions also in the replay
 
   config.threads = 1;
   const auto serial = run(*placement_, config, 29);
@@ -241,6 +320,8 @@ TEST_F(ServeSystemTest, MetricsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.merged_fetches, b.merged_fetches);
   EXPECT_EQ(a.cloud_bytes, b.cloud_bytes);
   EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+  EXPECT_EQ(a.compute_rejects, b.compute_rejects);
+  EXPECT_EQ(a.cloud_served, b.cloud_served);
   EXPECT_EQ(a.stale_events, b.stale_events);
   EXPECT_EQ(a.download_sum_s, b.download_sum_s);  // bit-identical, not NEAR
   EXPECT_EQ(a.busy_time_s, b.busy_time_s);

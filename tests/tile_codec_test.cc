@@ -11,7 +11,9 @@
 //     crash) — the coordinator survives any bad worker output.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -34,6 +36,78 @@ sim::Scenario tiny_scenario(std::uint64_t seed) {
   config.requests.models_per_user = 4;
   Rng rng(seed);
   return sim::build_scenario(config, rng);
+}
+
+/// Same shape with a binding per-server compute capacity: the writer must
+/// switch to the v2 format and ship the compute section.
+sim::Scenario tiny_joint_scenario(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.num_servers = 4;
+  config.num_users = 12;
+  config.library_size = 10;
+  config.special.models_per_family = 5;
+  config.requests.models_per_user = 4;
+  config.compute_capacity = 0.1;
+  Rng rng(seed);
+  return sim::build_scenario(config, rng);
+}
+
+// Byte-surgery helpers for the forward-compat legs: the codec's envelope is
+// magic(4) + version(4) + body + FNV-1a-64 checksum(8), all little-endian.
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t b = 0; b < n; ++b) {
+    h ^= static_cast<unsigned char>(data[b]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Recomputes and replaces the trailing checksum so a deliberately forged
+/// body passes the envelope check and reaches the structural parser.
+std::string reseal(std::string bytes) {
+  bytes.resize(bytes.size() - 8);
+  const std::uint64_t h = fnv1a(bytes.data(), bytes.size());
+  for (int b = 0; b < 8; ++b) {
+    bytes.push_back(static_cast<char>((h >> (8 * b)) & 0xff));
+  }
+  return bytes;
+}
+
+std::uint32_t version_of(const std::string& bytes) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[4 + b]))
+         << (8 * b);
+  }
+  return v;
+}
+
+void set_version(std::string& bytes, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) bytes[4 + b] = static_cast<char>((v >> (8 * b)) & 0xff);
+}
+
+void set_u32_at(std::string& bytes, std::size_t at, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) bytes[at + b] = static_cast<char>((v >> (8 * b)) & 0xff);
+}
+
+void set_f64_at(std::string& bytes, std::size_t at, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int b = 0; b < 8; ++b) {
+    bytes[at + b] = static_cast<char>((bits >> (8 * b)) & 0xff);
+  }
+}
+
+/// Total request cells the view serializes (one inference cost per cell in
+/// the v2 compute section) — used to locate section offsets from the tail.
+std::size_t request_cells(const core::PlacementProblem& problem) {
+  std::size_t cells = 0;
+  for (UserId k = 0; k < problem.num_users(); ++k) {
+    cells += problem.requests().requested_models(problem.request_user(k)).size();
+  }
+  return cells;
 }
 
 TileViewHeader sample_header() {
@@ -147,6 +221,170 @@ TEST(TileCodec, LinksOnlyViewSerializesToIdenticalBytes) {
   EXPECT_THROW((void)links_only.hit_list(0, 0), std::logic_error);
   EXPECT_EQ(serialize_tile_view(sample_header(), links_only),
             serialize_tile_view(sample_header(), full));
+}
+
+// --------------------------------------------- joint compute forward compat
+
+TEST(TileCodec, UnconstrainedProblemStillSerializesVersion1) {
+  // The compatibility half of the v2 format: a compute-unconstrained problem
+  // must keep producing version-1 bytes — bit-identical to the pre-compute
+  // codec — so existing tile files and mixed-version worker fleets keep
+  // working unchanged.
+  const sim::Scenario scenario = tiny_scenario(48);
+  const std::vector<ServerId> servers = {0, 2};
+  const std::vector<UserId> users = {1, 3, 5, 8};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  EXPECT_EQ(version_of(bytes), 1u);
+  TileView parsed = parse_tile_view(bytes);
+  const core::PlacementProblem owned(std::move(parsed.data));
+  EXPECT_FALSE(owned.compute_constrained());
+}
+
+TEST(TileCodec, ConstrainedViewRoundTripsTheComputeSectionBitwise) {
+  const sim::Scenario scenario = tiny_joint_scenario(49);
+  const std::vector<ServerId> servers = {0, 1, 3};
+  const std::vector<UserId> users = {0, 2, 4, 6, 9, 11};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  ASSERT_TRUE(view.compute_constrained());
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  EXPECT_EQ(version_of(bytes), 2u);
+
+  TileView parsed = parse_tile_view(bytes);
+  const core::PlacementProblem owned(std::move(parsed.data));
+  ASSERT_TRUE(owned.compute_constrained());
+  for (ServerId m = 0; m < view.num_servers(); ++m) {
+    EXPECT_EQ(owned.compute_capacity(m), view.compute_capacity(m)) << "m=" << m;
+  }
+  for (UserId k = 0; k < view.num_users(); ++k) {
+    // The codec ships one cost per serialized request cell (the p > 0
+    // support) — compare exactly those.
+    const auto models = view.requests().requested_models(view.request_user(k));
+    for (const ModelId i : models) {
+      EXPECT_EQ(owned.compute_cost(k, i), view.compute_cost(k, i))
+          << "k=" << k << " i=" << i;
+    }
+  }
+  // Solvers take the joint path on both sides and must agree bit for bit.
+  for (const std::string spec : {"gen", "spec"}) {
+    core::SolverContext borrowed_context{Rng(9)};
+    core::SolverContext owned_context{Rng(9)};
+    const auto& registry = core::SolverRegistry::instance();
+    const auto borrowed = registry.make(spec)->run(view, borrowed_context);
+    const auto deserialized = registry.make(spec)->run(owned, owned_context);
+    EXPECT_EQ(borrowed.hit_ratio, deserialized.hit_ratio) << spec;
+    for (ServerId m = 0; m < borrowed.placement.num_servers(); ++m) {
+      EXPECT_EQ(borrowed.placement.models_on(m), deserialized.placement.models_on(m))
+          << spec << " server " << m;
+    }
+  }
+}
+
+TEST(TileCodec, ForgedVersion1OnAComputeFileFailsLoudly) {
+  // A v1-shaped parse must never silently drop a trailing compute section:
+  // forging the version field down to 1 (checksum re-sealed so the envelope
+  // passes) has to die on the strict unconsumed-bytes check, not succeed
+  // with the capacities quietly discarded.
+  const sim::Scenario scenario = tiny_joint_scenario(50);
+  const std::vector<ServerId> servers = {0, 2};
+  const std::vector<UserId> users = {1, 4, 7, 10};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  std::string bytes = serialize_tile_view(sample_header(), view);
+  ASSERT_EQ(version_of(bytes), 2u);
+  set_version(bytes, 1);
+  bytes = reseal(std::move(bytes));
+  try {
+    (void)parse_tile_view(bytes);
+    FAIL() << "v1 parse of a file carrying a compute section must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unconsumed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TileCodec, Version2WithoutComputeSectionMatchesVersion1Bitwise) {
+  // Forward compat in the other direction: a v2 file whose compute flag is 0
+  // must parse to the same problem as the v1 bytes — and because the writer
+  // canonicalizes (unconstrained data re-serializes as v1), both parses
+  // re-serialize to the identical v1 byte string.
+  const sim::Scenario scenario = tiny_scenario(51);
+  const std::vector<ServerId> servers = {1, 3};
+  const std::vector<UserId> users = {0, 2, 5, 9};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string v1 = serialize_tile_view(sample_header(), view);
+  ASSERT_EQ(version_of(v1), 1u);
+
+  std::string v2 = v1;
+  set_version(v2, 2);
+  v2.insert(v2.size() - 8, std::string(4, '\0'));  // compute flag = 0
+  v2 = reseal(std::move(v2));
+  TileView from_v1 = parse_tile_view(v1);
+  TileView from_v2 = parse_tile_view(v2);
+  const core::PlacementProblem owned_v1(std::move(from_v1.data));
+  const core::PlacementProblem owned_v2(std::move(from_v2.data));
+  EXPECT_FALSE(owned_v2.compute_constrained());
+  EXPECT_EQ(owned_v2.total_mass(), owned_v1.total_mass());
+  EXPECT_EQ(serialize_tile_view(sample_header(), owned_v1), v1);
+  EXPECT_EQ(serialize_tile_view(sample_header(), owned_v2), v1);
+}
+
+TEST(TileCodec, ComputeSectionValidationRejectsBadValues) {
+  const sim::Scenario scenario = tiny_joint_scenario(52);
+  const std::vector<ServerId> servers = {0, 1};
+  const std::vector<UserId> users = {2, 3, 6, 8};
+  const core::PlacementProblem view(scenario.topology, scenario.library,
+                                    scenario.requests, servers, users);
+  const std::string bytes = serialize_tile_view(sample_header(), view);
+  ASSERT_EQ(version_of(bytes), 2u);
+  // Section layout from the tail: checksum(8) <- costs(cells*8) <- caps(M*8)
+  // <- flag(4).
+  const std::size_t cells = request_cells(view);
+  const std::size_t caps_at = bytes.size() - 8 - cells * 8 - view.num_servers() * 8;
+  const std::size_t flag_at = caps_at - 4;
+
+  std::string bad_flag = bytes;
+  set_u32_at(bad_flag, flag_at, 2);
+  EXPECT_THROW((void)parse_tile_view(reseal(std::move(bad_flag))),
+               std::invalid_argument);
+
+  std::string bad_cap = bytes;
+  set_f64_at(bad_cap, caps_at, -1.0);
+  try {
+    (void)parse_tile_view(reseal(std::move(bad_cap)));
+    FAIL() << "negative compute capacity must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("compute capacity"), std::string::npos)
+        << e.what();
+  }
+
+  // The hardening fuzz extends over the compute section: every truncated
+  // prefix and every single-byte corruption of the v2 file fails loudly.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    EXPECT_THROW((void)parse_tile_view(bytes.substr(0, n)), std::invalid_argument)
+        << "prefix length " << n;
+  }
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    std::string corrupt = bytes;
+    corrupt[b] = static_cast<char>(corrupt[b] ^ 0x40);
+    EXPECT_THROW((void)parse_tile_view(corrupt), std::invalid_argument)
+        << "flipped byte " << b;
+  }
+}
+
+TEST(TileCodec, TrailingGarbageOnAResultFailsLoudly) {
+  // Tile results stay v1; a result file with extra bytes smuggled in front
+  // of the checksum (re-sealed, so only the strict tail can catch it) must
+  // be rejected — a worker writing a malformed record never feeds the
+  // stitch.
+  core::SolverOutcome outcome{core::PlacementSolution(2, 3)};
+  std::string bytes = serialize_tile_result(TileResult(1, std::move(outcome)));
+  bytes.insert(bytes.size() - 8, std::string(4, '\0'));
+  EXPECT_THROW((void)parse_tile_result(reseal(std::move(bytes))),
+               std::invalid_argument);
 }
 
 TEST(TileCodec, ResultRoundTripKeepsPlacementOrderAndScalars) {

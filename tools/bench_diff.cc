@@ -40,6 +40,12 @@
 //                   deadline-hit ratio of the replay, hardware-independent)
 //                   and fails when it *drops* by more than threshold_pct —
 //                   the serving-quality gate (pair with filter=serving);
+//                   served compares the served_rps column (the replay's
+//                   completed downloads per second, deterministic for a
+//                   fixed seed) and fails when it *drops* by more than
+//                   threshold_pct — the compute-admission throughput gate
+//                   (pair with filter=compute for fig9's compute-
+//                   constrained serving records);
 //                   rss compares the peak_rss_mb column (per-variant peak
 //                   resident set, fig8_scale's distributed-tiles memory
 //                   metric) and fails when it *rises* by more than
@@ -86,10 +92,11 @@ int main(int argc, char** argv) {
     const std::string filter = options.get_string("filter", "");
     const std::string metric = options.get_string("metric", "wall");
     if (metric != "wall" && metric != "speedup" && metric != "duplication" &&
-        metric != "plan_update" && metric != "hit_ratio" && metric != "rss") {
+        metric != "plan_update" && metric != "hit_ratio" && metric != "served" &&
+        metric != "rss") {
       throw std::invalid_argument(
           "bench_diff: metric must be wall|speedup|duplication|plan_update|"
-          "hit_ratio|rss, got '" +
+          "hit_ratio|served|rss, got '" +
           metric + "'");
     }
     const double min_ratio = options.get_double("min_ratio", 0.0);
@@ -152,6 +159,19 @@ int main(int argc, char** argv) {
         after = it->second.hit_ratio < 0 ? 0.0 : it->second.hit_ratio;
         delta_pct = before > 0 ? (before - after) / before * 100.0 : 0.0;
         unit = "";
+        direction = " drop";
+      } else if (metric == "served") {
+        // Throughput gate: regression = completed downloads per second
+        // *dropped*. Baseline records without the column are skipped; a
+        // candidate that stops recording it reads as a 100% drop.
+        if (entry.served_rps < 0) {
+          std::cout << "skip     " << name << "  (no baseline served_rps column)\n";
+          continue;
+        }
+        before = entry.served_rps;
+        after = it->second.served_rps < 0 ? 0.0 : it->second.served_rps;
+        delta_pct = before > 0 ? (before - after) / before * 100.0 : 0.0;
+        unit = " rps";
         direction = " drop";
       } else if (metric == "duplication") {
         // Duplication gate: regression = the placement duplication *rose*.

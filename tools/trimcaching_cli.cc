@@ -15,6 +15,14 @@
 //   models               library size, 0 = full      (0)
 //   requested            models requested per user   (30)
 //   zipf                 request skew exponent       (0.8)
+//   compute              per-server inference compute capacity (expected
+//                        request-mass x cost units); 0 = unlimited (0).
+//                        Finite capacities switch every solver and evaluator
+//                        to the joint caching + compute objective.
+//   infer_cost           scale from a request's inference seconds to its
+//                        compute cost (infer_cost_scale, >= 0) (1.0)
+//   compute_slots        concurrent inference slots per server in the
+//                        serving replay; 0 = unlimited (0)
 //   algo                 list | all | ';'-separated registry specs (all)
 //                        "all" = the paper's trio spec;gen;independent;
 //                        specs take options, e.g. gen:lazy=0,rule=per_byte
@@ -112,6 +120,7 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
     serving.arrival_rate_per_user = arrivals;
     serving.policy = options.get_string("policy", "static");
     serving.threads = threads;
+    serving.compute_slots = options.get_size("compute_slots", 0);
     const auto replay =
         serve::simulate_serving(scenario.topology, scenario.library,
                                 scenario.requests, outcome.placement, serving, rng);
@@ -120,6 +129,12 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
               << " requests, mean download " << replay.mean_download_s << " s, p95 "
               << replay.p95_download_s << " s, concurrency "
               << replay.mean_concurrency << ")\n";
+    if (serving.compute_slots > 0) {
+      std::cout << "  compute admission:  " << replay.totals.compute_rejects
+                << " rejects -> " << replay.totals.cloud_served
+                << " served from the cloud (" << serving.compute_slots
+                << " slots/server)\n";
+    }
   }
 }
 
@@ -129,7 +144,8 @@ int main(int argc, char** argv) {
   try {
     const auto options = support::Options::parse(argc, argv);
     options.check_unknown({"servers", "users", "area_m", "capacity_gb", "library",
-                           "models", "requested", "zipf", "algo", "local_search",
+                           "models", "requested", "zipf", "compute", "infer_cost",
+                           "compute_slots", "algo", "local_search",
                            "time_budget_s", "seed", "fading", "threads", "arrivals",
                            "policy", "save_library", "save_placement", "tiles",
                            "tile_halo_m",
@@ -168,6 +184,18 @@ int main(int argc, char** argv) {
     config.library_size = options.get_size("models", 0);
     config.requests.models_per_user = options.get_size("requested", 30);
     config.requests.zipf_exponent = options.get_double("zipf", 0.8);
+    const double compute = options.get_double("compute", 0.0);
+    if (compute < 0) {
+      throw std::invalid_argument("compute: must be >= 0 (0 = unlimited), got " +
+                                  std::to_string(compute));
+    }
+    if (compute > 0) config.compute_capacity = compute;
+    const double infer_cost = options.get_double("infer_cost", 1.0);
+    if (infer_cost < 0) {
+      throw std::invalid_argument("infer_cost: must be >= 0, got " +
+                                  std::to_string(infer_cost));
+    }
+    config.requests.infer_cost_scale = infer_cost;
     const std::string library = options.get_string("library", "special");
     if (library == "special") {
       config.library_kind = sim::LibraryKind::kSpecialCase;
