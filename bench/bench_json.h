@@ -31,7 +31,11 @@
 // `p99_ms` (download-latency quantiles in milliseconds) and `served_rps`
 // (completed downloads per second), all emitted when >= 0; its hit_ratio
 // column carries the *empirical* deadline-hit ratio of the replay and is
-// drop-gated by bench_diff metric=hit_ratio. Memory-sensitive variants
+// drop-gated by bench_diff metric=hit_ratio. Its fault-injection legs
+// additionally record the failure columns `failovers` / `aborted` (terminal
+// counts from the outage replay) and `rewarm_s` (mean recovery -> cache
+// re-warm transient in seconds), all emitted when >= 0 so fault-free
+// records stay byte-identical to the pre-fault schema. Memory-sensitive variants
 // (fig8_scale's distributed-tiles comparison) record `peak_rss_mb` — the
 // variant's peak resident set in MB, sampled by support/resource.h —
 // emitted when >= 0 and rise-gated by bench_diff metric=rss.
@@ -73,6 +77,14 @@ struct JsonRecord {
   double peak_rss_mb = -1.0;         ///< peak resident set during the variant,
                                      ///< MB (support/resource.h); < 0 = n/a.
                                      ///< Gated rising by bench_diff metric=rss.
+  double failovers = -1.0;           ///< failover events in the outage replay
+                                     ///< (arrival reroutes + in-flight flows
+                                     ///< rescued by a surviving warm
+                                     ///< holder); < 0 = n/a
+  double aborted = -1.0;             ///< in-flight flows killed with no
+                                     ///< surviving holder; < 0 = n/a
+  double rewarm_s = -1.0;            ///< mean recovery -> re-warm transient,
+                                     ///< seconds; < 0 = n/a
 };
 
 /// Git revision baked in at configure time (CMake), "unknown" otherwise.
@@ -129,6 +141,9 @@ inline void write_bench_json(const std::string& path,
     if (r.p99_ms >= 0) out << ", \"p99_ms\": " << r.p99_ms;
     if (r.served_rps >= 0) out << ", \"served_rps\": " << r.served_rps;
     if (r.peak_rss_mb >= 0) out << ", \"peak_rss_mb\": " << r.peak_rss_mb;
+    if (r.failovers >= 0) out << ", \"failovers\": " << r.failovers;
+    if (r.aborted >= 0) out << ", \"aborted\": " << r.aborted;
+    if (r.rewarm_s >= 0) out << ", \"rewarm_s\": " << r.rewarm_s;
     out << "}";
   }
   out << "\n  ]\n}\n";
@@ -226,6 +241,15 @@ inline std::map<std::string, JsonRecord> read_bench_json(const std::string& path
     }
     if (const auto rss = find_number(name_end, "peak_rss_mb", limit)) {
       record.peak_rss_mb = *rss;
+    }
+    if (const auto fo = find_number(name_end, "failovers", limit)) {
+      record.failovers = *fo;
+    }
+    if (const auto ab = find_number(name_end, "aborted", limit)) {
+      record.aborted = *ab;
+    }
+    if (const auto rw = find_number(name_end, "rewarm_s", limit)) {
+      record.rewarm_s = *rw;
     }
     out[record.name] = record;
     pos = record_end == std::string::npos ? name_end : record_end;

@@ -65,6 +65,14 @@ void CachePolicy::admit(ModelId i, double now) {
   evict_until_fits(pinned);
 }
 
+void CachePolicy::restart() {
+  if (library_ == nullptr) throw std::logic_error("CachePolicy: restart before bind");
+  cached_.assign(library_->num_blocks(), 0);
+  score_.assign(library_->num_blocks(), kNeverTouched);
+  order_.clear();
+  used_ = 0;
+}
+
 void CachePolicy::insert_block(BlockId j) {
   if (cached_[j]) return;
   cached_[j] = 1;

@@ -77,6 +77,15 @@ class CachePolicy {
   /// fits. Models larger than the whole cache pass through uncached.
   virtual void admit(ModelId i, double now);
 
+  /// Cold restart (crash-recovery semantics): drops every cached block and
+  /// every recency/frequency score — nothing survives the power cycle. The
+  /// cumulative eviction counter is kept, but the dropped blocks do NOT
+  /// count as evictions (they were lost, not displaced). The serving engine
+  /// calls this at a kServerUp event; a reactive policy then re-warms
+  /// through its normal admit-on-miss machinery, a static one is re-pushed
+  /// via warm().
+  virtual void restart();
+
  protected:
   /// New score for block j requested at `now`; higher survives longer.
   /// `previous` is the block's current score (-inf if never touched). Must

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/serve/cache_policy.h"
+#include "src/sim/fault_model.h"
 #include "src/support/parallel.h"
 #include "src/support/units.h"
 #include "src/wireless/channel.h"
@@ -25,6 +26,9 @@ void ServeConfig::validate() const {
   if (duration_s <= 0) throw std::invalid_argument("ServeConfig: duration must be > 0");
   if (cloud_rate_bps <= 0) {
     throw std::invalid_argument("ServeConfig: cloud rate must be > 0");
+  }
+  if (std::isnan(rewarm_fraction) || rewarm_fraction <= 0 || rewarm_fraction > 1) {
+    throw std::invalid_argument("ServeConfig: rewarm fraction must be in (0, 1]");
   }
   (void)make_cache_policy(policy);  // throws on unknown spec
 }
@@ -59,15 +63,28 @@ struct Flow {
   double budget_s = 0.0;      ///< deadline minus inference latency
   double work = 0.0;          ///< download bits / spectral efficiency (Hz·s)
   double inference_s = 0.0;   ///< edge inference service time (slot hold)
+  UserId user = 0;            ///< failover classification on an outage
+  ModelId model = 0;
 };
 
-enum class EventKind : std::uint8_t { kFlowStart, kFlowFinish, kInferFinish };
+enum class EventKind : std::uint8_t {
+  kFlowStart,
+  kFlowFinish,
+  kInferFinish,
+  kServerDown,  ///< outage begins: kill in-flight work, mark the shard down
+  kServerUp,    ///< recovery: the cache restarts cold
+};
 
 struct Event {
   double time = 0.0;
   EventKind kind = EventKind::kFlowStart;
   std::size_t flow = 0;
-  std::uint64_t version = 0;  ///< stale-finish detection
+  /// kFlowFinish: schedule version (stale-finish detection). kFlowStart and
+  /// kInferFinish: outage epoch — a transfer or inference slot opened before
+  /// a kServerDown died with it, so a mismatched pop is discarded (the flow
+  /// is classified failed_over/aborted instead of attaching). Both stamps
+  /// are 0 forever in a fault-free run, preserving byte identity.
+  std::uint64_t version = 0;
 
   bool operator>(const Event& other) const { return time > other.time; }
 };
@@ -89,7 +106,10 @@ class ServerLoop {
              const model::ModelLibrary& library,
              const workload::RequestModel& requests, const ServeConfig& config,
              CachePolicy& policy, const std::vector<char>& relayable,
-             std::vector<Request> bucket)
+             std::vector<Request> bucket, ServerId self,
+             const sim::FaultSchedule* faults,
+             const std::vector<std::vector<ServerId>>* warm_holders,
+             const std::vector<ModelId>* warm_models)
       : topology_(&topology),
         library_(&library),
         requests_(&requests),
@@ -99,12 +119,33 @@ class ServerLoop {
         reactive_(policy.reactive()),
         bandwidth_hz_(topology.radio().total_bandwidth_hz),
         compute_slots_(config.compute_slots),
+        self_(self),
+        faults_(faults),
+        warm_holders_(warm_holders),
+        warm_models_(warm_models),
+        warm_bytes_(policy.used_bytes()),
         bucket_(std::move(bucket)) {
     std::sort(bucket_.begin(), bucket_.end(), [](const Request& a, const Request& b) {
       return a.time != b.time ? a.time < b.time : a.seq < b.seq;
     });
     if (config.queue_depth_samples > 0) {
       metrics_.queue_depth.reserve(config.queue_depth_samples);
+    }
+    if (config.hit_series_windows > 0) {
+      metrics_.window_hits.assign(config.hit_series_windows, 0);
+    }
+    if (faults_ != nullptr) {
+      rewarm_threshold_ = static_cast<support::Bytes>(
+          config.rewarm_fraction * static_cast<double>(warm_bytes_));
+      // The shard's whole outage trajectory is known up front; replaying it
+      // as ordinary queue events keeps one loop and one tie-break rule (a
+      // down/up boundary at an arrival's timestamp is processed first, the
+      // exact convention generation's is_up() check assumes: down on
+      // [begin, end), up again at end).
+      for (const sim::FaultInterval& outage : faults_->outages(self_)) {
+        queue_.push(Event{outage.begin_s, EventKind::kServerDown, 0, 0});
+        queue_.push(Event{outage.end_s, EventKind::kServerUp, 0, 0});
+      }
     }
   }
 
@@ -120,7 +161,12 @@ class ServerLoop {
         sample_queue_depth(event.time);
         switch (event.kind) {
           case EventKind::kFlowStart:
-            attach_flow(event.flow, event.time);
+            if (event.version == epoch_) {
+              attach_flow(event.flow, event.time);
+            } else {
+              // The transfer this start was waiting on died with an outage.
+              classify_killed(event.flow, event.time);
+            }
             break;
           case EventKind::kFlowFinish:
             if (event.version == schedule_version_) {
@@ -130,7 +176,17 @@ class ServerLoop {
             }
             break;
           case EventKind::kInferFinish:
-            --inferences_active_;  // slot held since admission
+            if (event.version == epoch_) {
+              --inferences_active_;  // slot held since admission
+            } else {
+              ++metrics_.stale_events;  // slot already reset by the outage
+            }
+            break;
+          case EventKind::kServerDown:
+            handle_outage(event.time);
+            break;
+          case EventKind::kServerUp:
+            handle_recovery(event.time);
             break;
         }
       } else {
@@ -149,10 +205,19 @@ class ServerLoop {
   void handle_arrival(const Request& request) {
     const double now = request.time;
     const ModelId i = request.model;
+    // Unreachable under the generation contract (arrivals are only routed to
+    // servers up at their timestamp, and boundary events at the same time
+    // are processed first); kept as a terminal-partition-preserving guard.
+    if (down_) {
+      ++metrics_.unserved;
+      return;
+    }
     policy_->on_request(i, now);
 
     Flow flow;
     flow.request_time = now;
+    flow.user = request.user;
+    flow.model = i;
     flow.inference_s = requests_->inference_s(request.user, i);
     flow.budget_s = requests_->deadline_s(request.user, i) - flow.inference_s;
     // A non-positive budget can never be met: count it unserved at attach
@@ -186,9 +251,9 @@ class ServerLoop {
       // Static relay: the payload crosses the backhaul, the cache is
       // untouched (the placement stays authoritative forever).
       ++metrics_.relays;
-      const double backhaul_delay = support::bits(library_->model_size(i)) /
-                                    topology_->radio().backhaul_bps;
-      queue_.push(Event{now + backhaul_delay, EventKind::kFlowStart, idx, 0});
+      const double backhaul_delay =
+          support::bits(library_->model_size(i)) / edge_backhaul_bps(now);
+      queue_.push(Event{now + backhaul_delay, EventKind::kFlowStart, idx, epoch_});
       return;
     }
 
@@ -202,7 +267,7 @@ class ServerLoop {
         // Admitted optimistically by an earlier miss whose transfer is still
         // on the wire: ride it instead of pretending the blocks are local.
         ++metrics_.merged_fetches;
-        queue_.push(Event{pending->second, EventKind::kFlowStart, idx, 0});
+        queue_.push(Event{pending->second, EventKind::kFlowStart, idx, epoch_});
       } else {
         ++metrics_.edge_hits;
         attach_flow(idx, now);
@@ -210,13 +275,14 @@ class ServerLoop {
       return;
     }
     double ready = 0.0;
-    if ((*relayable_)[request.model] != 0) {
-      // Cache-on-relay: the warm placement put this model somewhere, so the
-      // missing blocks are pulled over the backhaul (not the cloud) and
-      // admitted — the first relay pays the price a static cache pays on
-      // every one, then the model serves locally.
+    if (relay_source_up(i, now)) {
+      // Cache-on-relay: the warm placement put this model somewhere (still
+      // up, under a fault schedule), so the missing blocks are pulled over
+      // the backhaul (not the cloud) and admitted — the first relay pays the
+      // price a static cache pays on every one, then the model serves
+      // locally.
       ++metrics_.relays;
-      ready = now + support::bits(missing) / topology_->radio().backhaul_bps;
+      ready = now + support::bits(missing) / edge_backhaul_bps(now);
     } else {
       ++metrics_.cloud_fetches;
       metrics_.cloud_bytes += missing;
@@ -227,7 +293,84 @@ class ServerLoop {
     if (in_flight) ready = std::max(ready, pending->second);
     pending_fetch_[i] = ready;
     policy_->admit(i, now);
-    queue_.push(Event{ready, EventKind::kFlowStart, idx, 0});
+    check_rewarmed(now);
+    queue_.push(Event{ready, EventKind::kFlowStart, idx, epoch_});
+  }
+
+  /// Effective edge backhaul rate at `now`: scaled by the schedule's
+  /// brownout factor. The multiply only exists under a fault schedule, so a
+  /// fault-free replay keeps the exact original arithmetic.
+  [[nodiscard]] double edge_backhaul_bps(double now) const {
+    const double base = topology_->radio().backhaul_bps;
+    return faults_ == nullptr ? base : base * faults_->backhaul_factor(now);
+  }
+
+  /// A warm holder of model i that could source a relay right now. Without
+  /// faults this is the precomputed static relay-source set; with faults a
+  /// holder must also be up at `now`.
+  [[nodiscard]] bool relay_source_up(ModelId i, double now) const {
+    if (faults_ == nullptr) return (*relayable_)[i] != 0;
+    for (const ServerId holder : (*warm_holders_)[i]) {
+      if (faults_->is_up(holder, now)) return true;
+    }
+    return false;
+  }
+
+  /// Terminal classification of a flow killed by this server's outage:
+  /// failed_over when another up warm holder covering the user survives (a
+  /// real deployment would re-dispatch there), aborted when nothing does.
+  void classify_killed(std::size_t idx, double now) {
+    const Flow& flow = flows_[idx];
+    bool survivable = false;
+    const auto& cover = topology_->servers_covering(flow.user);
+    for (const ServerId holder : (*warm_holders_)[flow.model]) {
+      if (holder == self_ || !faults_->is_up(holder, now)) continue;
+      if (std::binary_search(cover.begin(), cover.end(), holder)) {
+        survivable = true;
+        break;
+      }
+    }
+    if (survivable) {
+      ++metrics_.failed_over;
+    } else {
+      ++metrics_.aborted;
+    }
+  }
+
+  void handle_outage(double now) {
+    ++metrics_.outages;
+    advance(now);
+    down_ = true;
+    ++epoch_;  // queued transfers and inference slots die with the server
+    for (const auto& entry : active_) classify_killed(entry.second, now);
+    active_.clear();
+    pending_fetch_.clear();
+    inferences_active_ = 0;
+    rewarm_pending_ = false;  // died again before re-warming
+    schedule_next(now);       // version bump: outstanding finishes go stale
+  }
+
+  void handle_recovery(double now) {
+    ++metrics_.recoveries;
+    down_ = false;
+    policy_->restart();  // cold cache: nothing survives the power cycle
+    if (reactive_) {
+      // Re-warm through the normal admit-on-miss machinery; measure the
+      // transient until the warm footprint is substantially restored.
+      rewarm_pending_ = rewarm_threshold_ > 0;
+      rewarm_start_ = now;
+    } else {
+      // A static cache has no refill path (misses relay, never admit): model
+      // the operator re-pushing the placement as part of the restart.
+      policy_->warm(*warm_models_);
+    }
+  }
+
+  void check_rewarmed(double now) {
+    if (!rewarm_pending_ || policy_->used_bytes() < rewarm_threshold_) return;
+    metrics_.rewarm_time_s += now - rewarm_start_;
+    ++metrics_.rewarms;
+    rewarm_pending_ = false;
   }
 
   /// Advances the busy/flow-time integrals and the virtual drain clock to
@@ -270,16 +413,29 @@ class ServerLoop {
     metrics_.latency.add(download);
     if (download <= flow.budget_s) {
       ++metrics_.deadline_hits;
+      if (!metrics_.window_hits.empty()) {
+        ++metrics_.window_hits[hit_window(flow.request_time)];
+      }
     } else {
       ++metrics_.late;
     }
     if (compute_slots_ > 0) {
       // Release the admission slot once the edge inference completes.
       queue_.push(Event{now + flow.inference_s, EventKind::kInferFinish,
-                        front->second, 0});
+                        front->second, epoch_});
     }
     active_.erase(front);
     schedule_next(now);
+  }
+
+  /// Hit-series window of a request timestamp (requests land on the window
+  /// grid by *arrival* time, so a recovery transient shows where the demand
+  /// arrived, not where its download finished).
+  [[nodiscard]] std::size_t hit_window(double t) const {
+    const std::size_t windows = config_->hit_series_windows;
+    const auto w = static_cast<std::size_t>(t / config_->duration_s *
+                                            static_cast<double>(windows));
+    return std::min(windows - 1, w);
   }
 
   /// Records the active-flow count for every grid point strictly before
@@ -305,6 +461,16 @@ class ServerLoop {
   double bandwidth_hz_ = 0.0;
   std::size_t compute_slots_ = 0;   ///< 0 = unlimited (no admission control)
   std::size_t inferences_active_ = 0;
+  ServerId self_ = 0;
+  const sim::FaultSchedule* faults_ = nullptr;  ///< nullptr = fault-free replay
+  const std::vector<std::vector<ServerId>>* warm_holders_ = nullptr;
+  const std::vector<ModelId>* warm_models_ = nullptr;  ///< placement re-push
+  support::Bytes warm_bytes_ = 0;          ///< warm-placement footprint
+  support::Bytes rewarm_threshold_ = 0;    ///< bytes counting as re-warmed
+  bool down_ = false;
+  bool rewarm_pending_ = false;
+  double rewarm_start_ = 0.0;
+  std::uint64_t epoch_ = 0;  ///< bumped per outage; stamps starts/slots
   std::vector<Request> bucket_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
@@ -347,6 +513,16 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
   if (config.drift != nullptr && config.drift->num_models() != library.num_models()) {
     throw std::invalid_argument("simulate_serving: drift/library model count mismatch");
   }
+  if (config.faults != nullptr &&
+      config.faults->num_servers() != topology.num_servers()) {
+    throw std::invalid_argument(
+        "simulate_serving: fault schedule/topology server count mismatch");
+  }
+  // Inert schedules collapse to nullptr up front, so "no faults configured"
+  // and "a schedule that happens to contain no faults" run the exact same
+  // code path — byte-identical results by construction.
+  const sim::FaultSchedule* faults =
+      config.faults != nullptr && !config.faults->inert() ? config.faults : nullptr;
 
   const std::size_t num_servers = topology.num_servers();
   const std::size_t num_users = topology.num_users();
@@ -400,9 +576,23 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
   const auto warm_holds = [&](ServerId m, ModelId i) {
     return warm_cached[m * num_models + i] != 0;
   };
+  // Per-model warm-holder lists, only materialized under a fault schedule:
+  // failover routing, live relay-source checks and killed-flow
+  // classification all ask "which holders of i survive at time t".
+  std::vector<std::vector<ServerId>> warm_holders;
+  if (faults != nullptr) {
+    warm_holders.resize(num_models);
+    for (ServerId m = 0; m < num_servers; ++m) {
+      for (ModelId i = 0; i < num_models; ++i) {
+        if (warm_cached[m * num_models + i] != 0) warm_holders[i].push_back(m);
+      }
+    }
+  }
 
   // Stage 1: serial trace generation into per-server buckets.
   ServeMetrics generation;
+  const std::size_t windows = config.hit_series_windows;
+  if (windows > 0) generation.window_requests.assign(windows, 0);
   std::vector<std::vector<Request>> buckets(num_servers);
   std::uint64_t seq = 0;
   for (UserId k = 0; k < num_users; ++k) {
@@ -418,6 +608,11 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
                               : wireless::sample_rayleigh_power_gain(rng);
       ++generation.requests;
       ++seq;
+      if (windows > 0) {
+        const auto w = static_cast<std::size_t>(t / config.duration_s *
+                                                static_cast<double>(windows));
+        ++generation.window_requests[std::min(windows - 1, w)];
+      }
 
       Request request;
       request.time = t;
@@ -429,7 +624,70 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
       const auto link_se = [&](std::size_t l) {
         return config.average_channel ? mean_se[l] : std::log2(1.0 + snr[l] * gain);
       };
-      if (reactive) {
+      if (faults != nullptr) {
+        // Fault-oblivious primary pick (what the fault-free engine would
+        // route to) — consulted only to count failovers, never to route.
+        ServerId primary = kInvalidId;
+        double primary_se = 0.0;
+        const auto scan_primary = [&](bool warm_only) {
+          for (std::size_t l = begin; l < end; ++l) {
+            if (warm_only && !warm_holds(covering[l], i)) continue;
+            const double se = link_se(l);
+            if (se > primary_se) {
+              primary_se = se;
+              primary = covering[l];
+            }
+          }
+        };
+        scan_primary(true);
+        if (primary == kInvalidId && (reactive || relayable[i] != 0)) {
+          scan_primary(false);
+        }
+
+        // Fault-aware routing mirrors the fault-free priority structure, but
+        // only servers up at the arrival qualify and each link's SE is
+        // degraded by the schedule's per-server factor.
+        const auto degraded_se = [&](std::size_t l) {
+          return std::log2(1.0 + snr[l] * gain * faults->snr_factor(covering[l], t));
+        };
+        const auto scan_up = [&](bool warm_only) {
+          for (std::size_t l = begin; l < end; ++l) {
+            const ServerId m = covering[l];
+            if (warm_only && !warm_holds(m, i)) continue;
+            if (!faults->is_up(m, t)) continue;
+            const double se = degraded_se(l);
+            if (se > best_se) {
+              best_se = se;
+              serve = m;
+            }
+          }
+        };
+        scan_up(true);
+        if (serve != kInvalidId) {
+          if (!reactive) request.route = Route::kDirect;
+        } else if (reactive) {
+          scan_up(false);
+        } else {
+          // A static relay needs a *surviving* warm holder to source it; all
+          // holders down means the request is unserved outright (a static
+          // cache never degrades to the cloud).
+          bool source_up = false;
+          for (const ServerId holder : warm_holders[i]) {
+            if (faults->is_up(holder, t)) {
+              source_up = true;
+              break;
+            }
+          }
+          if (source_up) {
+            scan_up(false);
+            request.route = Route::kRelay;
+          }
+        }
+        if (primary != kInvalidId && serve != kInvalidId &&
+            !faults->is_up(primary, t)) {
+          ++generation.failovers;  // routed around a down primary
+        }
+      } else if (reactive) {
         // Mirror the static delivery rule against the *warm* cache state
         // first — a reactive cache must never route worse than the placement
         // it started from. Models without a covering warm holder go to the
@@ -488,13 +746,15 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
   // Stage 2: independent per-server replays, one metrics slot each, folded
   // in server order (bit-identical at any thread count).
   std::vector<ServeMetrics> slots(num_servers);
-  support::parallel_for(num_servers, support::resolve_threads(config.threads),
-                        [&](std::size_t m) {
-                          ServerLoop loop(topology, library, requests, config,
-                                          *policies[m], relayable,
-                                          std::move(buckets[m]));
-                          slots[m] = loop.run();
-                        });
+  support::parallel_for(
+      num_servers, support::resolve_threads(config.threads), [&](std::size_t m) {
+        ServerLoop loop(topology, library, requests, config, *policies[m],
+                        relayable, std::move(buckets[m]),
+                        static_cast<ServerId>(m), faults,
+                        faults != nullptr ? &warm_holders : nullptr,
+                        &placement.models_on(static_cast<ServerId>(m)));
+        slots[m] = loop.run();
+      });
 
   ServeResult result;
   result.totals = std::move(generation);
@@ -516,6 +776,9 @@ ServeResult simulate_serving(const wireless::NetworkTopology& topology,
     result.mean_concurrency = totals.flow_time_s / totals.busy_time_s;
   }
   result.served_rps = static_cast<double>(totals.completed()) / config.duration_s;
+  if (totals.rewarms > 0) {
+    result.mean_rewarm_s = totals.rewarm_time_s / static_cast<double>(totals.rewarms);
+  }
   return result;
 }
 

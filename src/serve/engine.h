@@ -30,6 +30,24 @@
 // stale finishes are discarded (and counted). Concurrent misses for the same
 // model on one server are merged: the first opens the cloud fetch, later
 // ones ride it (merged_fetches) and pay no additional cloud bytes.
+//
+// Fault injection (ServeConfig::faults, sim/fault_model.h). A deterministic
+// FaultSchedule threads through both stages without breaking shard
+// independence: generation routes every arrival among the servers *up at
+// its arrival time* (an arrival whose fault-oblivious primary choice is down
+// fails over to the best surviving warm holder — counted failovers — falling
+// back to relay/cloud resolution as usual), and each shard replays its own
+// outage intervals as kServerDown/kServerUp events. At kServerDown the
+// in-flight flows are killed and classified — failed_over when another up
+// warm holder covering the user survives, aborted otherwise — queued
+// transfers die with the epoch stamp, and inference slots reset. At
+// kServerUp the cache restarts cold: reactive policies re-warm through their
+// normal admit-on-miss machinery (the recovery -> re-warm transient is
+// measured as rewarm_time_s once used bytes reach rewarm_fraction of the
+// warm footprint), static caches are re-pushed from the placement (operator
+// restore). Backhaul transfers are scaled by the schedule's brownout factor.
+// A nullptr — or inert — schedule replays the fault-free engine byte for
+// byte (tests/fault_model_test.cc locks this).
 #pragma once
 
 #include <string>
@@ -41,6 +59,10 @@
 #include "src/wireless/topology.h"
 #include "src/workload/drifting_zipf.h"
 #include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+class FaultSchedule;
+}  // namespace trimcaching::sim
 
 namespace trimcaching::serve {
 
@@ -70,6 +92,17 @@ struct ServeConfig {
   /// Optional drifting popularity; nullptr samples the stationary
   /// RequestModel. Not owned; must outlive the call.
   const workload::DriftingZipf* drift = nullptr;
+  /// Optional deterministic fault schedule (sim/fault_model.h); its server
+  /// count must match the topology. nullptr — and an inert schedule with no
+  /// faults of any kind — replays the fault-free engine byte for byte. Not
+  /// owned; must outlive the call.
+  const sim::FaultSchedule* faults = nullptr;
+  /// Windows of the time-sliced hit-ratio series over the duration
+  /// (ServeMetrics::window_requests / window_hits); 0 = do not record.
+  std::size_t hit_series_windows = 0;
+  /// A recovered reactive cache counts as re-warmed once its used bytes
+  /// climb back to this fraction of its warm-placement footprint.
+  double rewarm_fraction = 0.9;
 
   void validate() const;
 };
@@ -85,6 +118,8 @@ struct ServeResult {
   double p99_download_s = 0.0;
   double mean_concurrency = 0.0;  ///< time-averaged flows per busy server
   double served_rps = 0.0;        ///< completed downloads / duration
+  double mean_rewarm_s = 0.0;     ///< mean recovery -> re-warm transient
+                                  ///< (0 when no re-warm completed)
 };
 
 /// Replays `config.duration_s` seconds of Poisson traffic against the

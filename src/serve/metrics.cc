@@ -65,6 +65,13 @@ void ServeMetrics::merge(const ServeMetrics& other) {
   cloud_bytes += other.cloud_bytes;
   cache_evictions += other.cache_evictions;
   stale_events += other.stale_events;
+  failovers += other.failovers;
+  failed_over += other.failed_over;
+  aborted += other.aborted;
+  outages += other.outages;
+  recoveries += other.recoveries;
+  rewarms += other.rewarms;
+  rewarm_time_s += other.rewarm_time_s;
   download_sum_s += other.download_sum_s;
   latency.merge(other.latency);
   busy_time_s += other.busy_time_s;
@@ -75,6 +82,13 @@ void ServeMetrics::merge(const ServeMetrics& other) {
   for (std::size_t s = 0; s < other.queue_depth.size(); ++s) {
     queue_depth[s] += other.queue_depth[s];
   }
+  const auto add_windows = [](std::vector<std::uint32_t>& into,
+                              const std::vector<std::uint32_t>& from) {
+    if (into.size() < from.size()) into.resize(from.size(), 0);
+    for (std::size_t w = 0; w < from.size(); ++w) into[w] += from[w];
+  };
+  add_windows(window_requests, other.window_requests);
+  add_windows(window_hits, other.window_hits);
 }
 
 }  // namespace trimcaching::serve

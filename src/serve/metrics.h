@@ -63,6 +63,21 @@ struct ServeMetrics {
   std::uint64_t cache_evictions = 0;
   std::uint64_t stale_events = 0;    ///< version-stamped finishes discarded
 
+  // Fault accounting (all zero without a ServeConfig::faults schedule).
+  std::uint64_t failovers = 0;    ///< arrivals rerouted because the primary
+                                  ///< (fault-oblivious) choice was down; a
+                                  ///< bookkeeping counter, not a terminal state
+  std::uint64_t failed_over = 0;  ///< terminal: in-flight flow killed by its
+                                  ///< server's outage while another up warm
+                                  ///< holder covering the user survived
+  std::uint64_t aborted = 0;      ///< terminal: killed with no surviving
+                                  ///< covering warm holder
+  std::uint64_t outages = 0;      ///< kServerDown events replayed
+  std::uint64_t recoveries = 0;   ///< kServerUp events replayed
+  std::uint64_t rewarms = 0;      ///< reactive caches re-warmed to the
+                                  ///< threshold fraction after a recovery
+  double rewarm_time_s = 0.0;     ///< summed recovery -> re-warm transients
+
   double download_sum_s = 0.0;       ///< over completed downloads
   LatencyHistogram latency;
 
@@ -73,14 +88,23 @@ struct ServeMetrics {
   /// (ServeConfig::queue_depth_samples points over the duration).
   std::vector<std::uint32_t> queue_depth;
 
+  /// Time-sliced hit-ratio series (ServeConfig::hit_series_windows equal
+  /// windows over the duration, keyed by *request* time): per-window issued
+  /// requests and deadline hits, so degradation and recovery transients are
+  /// visible as window_hits[w] / window_requests[w]. Empty when disabled.
+  std::vector<std::uint32_t> window_requests;
+  std::vector<std::uint32_t> window_hits;
+
   [[nodiscard]] std::uint64_t completed() const noexcept {
     return deadline_hits + late;
   }
 
   /// Every issued request ends in exactly one of these states; the serving
-  /// tests assert this partition after every run.
+  /// tests assert this partition after every run. failed_over and aborted
+  /// only occur under a fault schedule (in-flight flows killed by an
+  /// outage); fault-free runs keep the classic four-way partition.
   [[nodiscard]] std::uint64_t terminal() const noexcept {
-    return deadline_hits + late + unserved + cloud_served;
+    return deadline_hits + late + unserved + cloud_served + failed_over + aborted;
   }
 
   /// Folds `other` into this. Addition only, so reducing shards in a fixed

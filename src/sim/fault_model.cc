@@ -1,0 +1,220 @@
+#include "src/sim/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/sim/evaluator.h"
+
+namespace trimcaching::sim {
+
+namespace {
+
+// Counter-based stream ids: server m's fault trajectory comes from
+// seed.at(kStream, m), the brownout process from seed.at(kBrownoutStream, 0),
+// and Monte-Carlo mask s of score_under_outages from seed.at(kMaskStream, s).
+constexpr std::uint64_t kOutageStream = 0xfa17ed01;
+constexpr std::uint64_t kDegradeStream = 0xfa17ed02;
+constexpr std::uint64_t kBrownoutStream = 0xfa17ed03;
+constexpr std::uint64_t kMaskStream = 0xfa17ed04;
+
+void check_finite(double value, const char* name) {
+  if (std::isnan(value) || std::isinf(value)) {
+    throw std::invalid_argument(std::string("FaultScheduleConfig: ") + name +
+                                " must be finite (got NaN or infinity)");
+  }
+}
+
+/// Alternating exponential up/down episodes on [0, duration): healthy for
+/// Exp(1/mtbf), then faulty for Exp(1/mttr), repeated until the horizon. The
+/// final episode may straddle the horizon (never recovers within the run).
+std::vector<FaultInterval> alternating_intervals(support::Rng& rng, double mtbf_s,
+                                                 double mttr_s, double duration_s) {
+  std::vector<FaultInterval> intervals;
+  double t = rng.exponential(1.0 / mtbf_s);
+  while (t < duration_s) {
+    const double down = rng.exponential(1.0 / mttr_s);
+    intervals.push_back(FaultInterval{t, t + down});
+    t += down + rng.exponential(1.0 / mtbf_s);
+  }
+  return intervals;
+}
+
+/// True when t falls inside one of the (ascending, disjoint) intervals.
+bool inside(const std::vector<FaultInterval>& intervals, double t) {
+  const auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), t,
+      [](double value, const FaultInterval& interval) { return value < interval.begin_s; });
+  return it != intervals.begin() && t < std::prev(it)->end_s;
+}
+
+}  // namespace
+
+void FaultScheduleConfig::validate() const {
+  check_finite(duration_s, "duration_s");
+  check_finite(fault_fraction, "fault_fraction");
+  check_finite(mtbf_s, "mtbf_s");
+  check_finite(mttr_s, "mttr_s");
+  check_finite(degraded_snr_factor, "degraded_snr_factor");
+  check_finite(degrade_mtbf_s, "degrade_mtbf_s");
+  check_finite(degrade_mttr_s, "degrade_mttr_s");
+  check_finite(brownout_factor, "brownout_factor");
+  check_finite(brownout_mtbf_s, "brownout_mtbf_s");
+  check_finite(brownout_mttr_s, "brownout_mttr_s");
+  if (duration_s <= 0) {
+    throw std::invalid_argument("FaultScheduleConfig: duration_s must be > 0");
+  }
+  if (fault_fraction < 0 || fault_fraction > 1) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: fault_fraction must be in [0, 1]");
+  }
+  if (mtbf_s < 0 || mttr_s < 0) {
+    throw std::invalid_argument("FaultScheduleConfig: mtbf_s/mttr_s must be >= 0");
+  }
+  if (fault_fraction > 0 && (mtbf_s <= 0 || mttr_s <= 0)) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: fault_fraction > 0 requires mtbf_s > 0 and "
+        "mttr_s > 0");
+  }
+  if (degraded_snr_factor <= 0 || degraded_snr_factor > 1) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: degraded_snr_factor must be in (0, 1]");
+  }
+  if (degrade_mtbf_s < 0 || degrade_mttr_s < 0) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: degrade_mtbf_s/degrade_mttr_s must be >= 0");
+  }
+  if (degraded_snr_factor < 1 && (degrade_mtbf_s <= 0 || degrade_mttr_s <= 0)) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: degraded_snr_factor < 1 requires "
+        "degrade_mtbf_s > 0 and degrade_mttr_s > 0");
+  }
+  if (brownout_factor <= 0 || brownout_factor > 1) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: brownout_factor must be in (0, 1]");
+  }
+  if (brownout_mtbf_s < 0 || brownout_mttr_s < 0) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: brownout_mtbf_s/brownout_mttr_s must be >= 0");
+  }
+  if (brownout_factor < 1 && (brownout_mtbf_s <= 0 || brownout_mttr_s <= 0)) {
+    throw std::invalid_argument(
+        "FaultScheduleConfig: brownout_factor < 1 requires brownout_mtbf_s > 0 "
+        "and brownout_mttr_s > 0");
+  }
+}
+
+FaultSchedule::FaultSchedule(std::size_t num_servers,
+                             const FaultScheduleConfig& config,
+                             const support::Rng& seed)
+    : config_(config) {
+  config_.validate();
+  outages_.resize(num_servers);
+  degraded_.resize(num_servers);
+  degrade_factor_.assign(num_servers, 1.0);
+
+  const bool outages_on = config_.fault_fraction > 0;
+  const bool degrade_on = config_.degraded_snr_factor < 1 &&
+                          config_.degrade_mtbf_s > 0 && config_.degrade_mttr_s > 0;
+  for (ServerId m = 0; m < num_servers; ++m) {
+    support::Rng rng = seed.at(kOutageStream, m);
+    // One prone-ness draw per server, consumed even when outages are off so
+    // enabling degradation alone does not re-deal the prone set.
+    const bool prone = rng.uniform(0.0, 1.0) < config_.fault_fraction;
+    if (!prone) continue;
+    ++faulty_servers_;
+    if (outages_on) {
+      outages_[m] = alternating_intervals(rng, config_.mtbf_s, config_.mttr_s,
+                                          config_.duration_s);
+      total_outages_ += outages_[m].size();
+      for (const FaultInterval& o : outages_[m]) {
+        total_downtime_s_ +=
+            std::min(o.end_s, config_.duration_s) - std::min(o.begin_s, config_.duration_s);
+      }
+    }
+    if (degrade_on) {
+      support::Rng drng = seed.at(kDegradeStream, m);
+      degrade_factor_[m] = drng.uniform(config_.degraded_snr_factor, 1.0);
+      degraded_[m] = alternating_intervals(drng, config_.degrade_mtbf_s,
+                                           config_.degrade_mttr_s, config_.duration_s);
+      total_degradations_ += degraded_[m].size();
+    }
+  }
+
+  if (config_.brownout_factor < 1 && config_.brownout_mtbf_s > 0 &&
+      config_.brownout_mttr_s > 0) {
+    support::Rng rng = seed.at(kBrownoutStream, 0);
+    brownouts_ = alternating_intervals(rng, config_.brownout_mtbf_s,
+                                       config_.brownout_mttr_s, config_.duration_s);
+  }
+}
+
+bool FaultSchedule::is_up(ServerId m, double t) const {
+  return !inside(outages_.at(m), t);
+}
+
+double FaultSchedule::snr_factor(ServerId m, double t) const {
+  if (degrade_factor_.at(m) == 1.0) return 1.0;
+  return inside(degraded_[m], t) ? degrade_factor_[m] : 1.0;
+}
+
+double FaultSchedule::backhaul_factor(double t) const {
+  return inside(brownouts_, t) ? config_.brownout_factor : 1.0;
+}
+
+std::vector<char> FaultSchedule::up_mask(double t) const {
+  std::vector<char> up(num_servers(), 1);
+  for (ServerId m = 0; m < up.size(); ++m) up[m] = is_up(m, t) ? 1 : 0;
+  return up;
+}
+
+AvailabilityScore score_under_outages(const wireless::NetworkTopology& topology,
+                                      const model::ModelLibrary& library,
+                                      const workload::RequestModel& requests,
+                                      const core::PlacementSolution& placement,
+                                      double availability, std::size_t samples,
+                                      const support::Rng& seed) {
+  if (std::isnan(availability) || availability <= 0 || availability > 1) {
+    throw std::invalid_argument(
+        "score_under_outages: availability must be in (0, 1]");
+  }
+  if (samples == 0) {
+    throw std::invalid_argument("score_under_outages: samples must be >= 1");
+  }
+  const std::size_t num_servers = topology.num_servers();
+
+  // Private mutable copy: masking mutates the link views and bumps the
+  // revision; the caller's topology (and any plan cached against it) must
+  // stay untouched.
+  wireless::NetworkTopology masked_topology = topology;
+  Evaluator evaluator(masked_topology, library, requests);
+
+  AvailabilityScore score;
+  score.nominal_hit_ratio = evaluator.expected_hit_ratio(placement);
+  score.worst_hit_ratio = std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    support::Rng rng = seed.at(kMaskStream, s);
+    std::vector<char> up(num_servers, 1);
+    for (ServerId m = 0; m < num_servers; ++m) {
+      up[m] = rng.uniform(0.0, 1.0) < availability ? 1 : 0;
+    }
+    // A down server holds nothing: masking the placement removes it both as
+    // a direct deliverer and as a relay *source* (zeroed links alone only
+    // kill its downlinks, not relays it would originate).
+    core::PlacementSolution masked(placement.num_servers(), placement.num_models());
+    for (ServerId m = 0; m < num_servers; ++m) {
+      if (!up[m]) continue;
+      for (const ModelId i : placement.models_on(m)) masked.place(m, i);
+    }
+    masked_topology.set_availability(up);
+    const double hit = evaluator.expected_hit_ratio(masked);
+    sum += hit;
+    score.worst_hit_ratio = std::min(score.worst_hit_ratio, hit);
+  }
+  score.expected_hit_ratio = sum / static_cast<double>(samples);
+  return score;
+}
+
+}  // namespace trimcaching::sim

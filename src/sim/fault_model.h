@@ -1,0 +1,173 @@
+// Deterministic fault injection for the serving engine and placement
+// re-scoring: server outage/recovery intervals, per-link degradation
+// episodes, and backhaul brownouts, all derived counter-based from
+// Rng::at streams.
+//
+// Every interval of a FaultSchedule is a pure function of the construction
+// seed and the (stream, server) pair — never of call order or thread count —
+// so a faulty serving replay stays bit-identical for any parallelism, the
+// same contract the rest of the engine keeps (sim/eval_plan.h). The schedule
+// is generated once up front and queried read-only afterwards, which is what
+// lets the per-server replay shards consult it concurrently.
+//
+// Three independent fault families, each off by default:
+//
+//   * Outages. A fault_fraction of servers is failure-prone (a Bernoulli
+//     draw per server); each prone server alternates exponentially
+//     distributed up (mean mtbf_s) and down (mean mttr_s) episodes. While
+//     down a server serves nothing: arrivals fail over at generation time,
+//     in-flight flows are killed (serve/engine.cc classifies them
+//     failed_over / aborted), and the server returns with a cold cache.
+//   * Link degradation. Failure-prone servers additionally alternate healthy
+//     and degraded radio episodes (degrade_mtbf_s / degrade_mttr_s); during
+//     a degraded episode every downlink of the server has its SNR multiplied
+//     by a per-server factor drawn uniformly from
+//     [degraded_snr_factor, 1).
+//   * Backhaul brownouts. One global alternating process
+//     (brownout_mtbf_s / brownout_mttr_s); during a brownout every backhaul
+//     transfer (static relays, cache-on-relay pulls) runs at
+//     brownout_factor times the nominal rate.
+//
+// An inert schedule (no outages, no degradation episodes, no brownouts) is
+// contractually byte-identical to running with no schedule at all — the
+// serving engine collapses it to nullptr and tests/fault_model_test.cc locks
+// the equivalence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement.h"
+#include "src/model/model_library.h"
+#include "src/support/ids.h"
+#include "src/support/rng.h"
+#include "src/wireless/topology.h"
+#include "src/workload/request_model.h"
+
+namespace trimcaching::sim {
+
+struct FaultScheduleConfig {
+  /// Horizon in seconds; episodes are generated until they pass it (an
+  /// outage may straddle the end — the server simply never recovers).
+  double duration_s = 600.0;
+
+  /// Expected fraction of servers that are failure-prone (Bernoulli per
+  /// server). 0 = no outages and no degradation episodes anywhere.
+  double fault_fraction = 0.0;
+  /// Mean up time between outages of a prone server (exponential).
+  double mtbf_s = 0.0;
+  /// Mean outage (repair) length of a prone server (exponential).
+  double mttr_s = 0.0;
+
+  /// Lower bound of the per-server degraded-SNR factor; each prone server
+  /// draws its factor uniformly from [degraded_snr_factor, 1). 1 (default)
+  /// disables degradation episodes entirely.
+  double degraded_snr_factor = 1.0;
+  /// Mean healthy time between degradation episodes; 0 disables them.
+  double degrade_mtbf_s = 0.0;
+  /// Mean degradation episode length.
+  double degrade_mttr_s = 0.0;
+
+  /// Backhaul rate multiplier during a brownout; 1 (default) disables
+  /// brownouts entirely.
+  double brownout_factor = 1.0;
+  /// Mean healthy backhaul time between brownouts; 0 disables them.
+  double brownout_mtbf_s = 0.0;
+  /// Mean brownout length.
+  double brownout_mttr_s = 0.0;
+
+  /// Throws std::invalid_argument on NaN / out-of-range values (negative
+  /// durations, fractions outside [0, 1], factors outside (0, 1], missing
+  /// mtbf/mttr for an enabled family).
+  void validate() const;
+};
+
+/// One half-open fault episode [begin_s, end_s).
+struct FaultInterval {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+class FaultSchedule {
+ public:
+  /// Generates the full schedule for `num_servers` servers. Derivation is
+  /// counter-based off `seed` (streams kOutage/kDegrade/kBrownout below), so
+  /// two schedules built from equal (num_servers, config, seed) are
+  /// identical regardless of what else the seed Rng has been used for.
+  FaultSchedule(std::size_t num_servers, const FaultScheduleConfig& config,
+                const support::Rng& seed);
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return outages_.size(); }
+  [[nodiscard]] const FaultScheduleConfig& config() const noexcept { return config_; }
+
+  /// True when the schedule carries no fault of any kind — the serving
+  /// engine treats an inert schedule exactly like no schedule (byte-for-byte
+  /// identical results).
+  [[nodiscard]] bool inert() const noexcept {
+    return total_outages_ == 0 && total_degradations_ == 0 && brownouts_.empty();
+  }
+
+  /// Server m is up at time t (outage intervals are half-open: down on
+  /// [begin, end), up again exactly at end).
+  [[nodiscard]] bool is_up(ServerId m, double t) const;
+
+  /// SNR multiplier of server m's downlinks at time t: the server's drawn
+  /// degradation factor during a degraded episode, 1.0 otherwise.
+  [[nodiscard]] double snr_factor(ServerId m, double t) const;
+
+  /// Backhaul rate multiplier at time t: brownout_factor inside a brownout,
+  /// 1.0 outside.
+  [[nodiscard]] double backhaul_factor(double t) const;
+
+  /// Outage episodes of server m, ascending and disjoint (the serving engine
+  /// turns these into kServerDown/kServerUp events).
+  [[nodiscard]] const std::vector<FaultInterval>& outages(ServerId m) const {
+    return outages_.at(m);
+  }
+  [[nodiscard]] const std::vector<FaultInterval>& brownouts() const noexcept {
+    return brownouts_;
+  }
+
+  /// Availability mask at time t: up[m] = is_up(m, t). Feeds
+  /// NetworkTopology::set_availability for static re-scoring of a snapshot.
+  [[nodiscard]] std::vector<char> up_mask(double t) const;
+
+  // Aggregates for reports.
+  [[nodiscard]] std::size_t total_outages() const noexcept { return total_outages_; }
+  [[nodiscard]] double total_downtime_s() const noexcept { return total_downtime_s_; }
+  [[nodiscard]] std::size_t faulty_servers() const noexcept { return faulty_servers_; }
+
+ private:
+  FaultScheduleConfig config_;
+  std::vector<std::vector<FaultInterval>> outages_;     // per server
+  std::vector<std::vector<FaultInterval>> degraded_;    // per server
+  std::vector<double> degrade_factor_;                  // per server, 1 = healthy
+  std::vector<FaultInterval> brownouts_;                // global
+  std::size_t total_outages_ = 0;
+  std::size_t total_degradations_ = 0;
+  std::size_t faulty_servers_ = 0;
+  double total_downtime_s_ = 0.0;
+};
+
+/// Expected placement quality under an outage distribution — the
+/// `availability=` knob: every server is independently up with probability
+/// `availability` per Monte-Carlo draw; each draw masks the topology
+/// (NetworkTopology::set_availability zeroes the down servers' links) *and*
+/// the placement (a down server holds nothing, so it can neither deliver
+/// directly nor source a relay), then scores the masked placement with the
+/// exact Eq. 2 evaluator. K-replica placements win automatically: a model
+/// with surviving holders keeps its hit mass. Counter-based draws (stream
+/// per sample), so the score is independent of call order.
+struct AvailabilityScore {
+  double nominal_hit_ratio = 0.0;   ///< all servers up (availability = 1)
+  double expected_hit_ratio = 0.0;  ///< mean over the sampled outage masks
+  double worst_hit_ratio = 0.0;     ///< minimum over the sampled masks
+};
+
+[[nodiscard]] AvailabilityScore score_under_outages(
+    const wireless::NetworkTopology& topology, const model::ModelLibrary& library,
+    const workload::RequestModel& requests, const core::PlacementSolution& placement,
+    double availability, std::size_t samples, const support::Rng& seed);
+
+}  // namespace trimcaching::sim

@@ -1,6 +1,8 @@
 #include "src/sim/tile_worker_pool.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <spawn.h>
@@ -9,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "src/support/rng.h"
 #include "src/support/timing.h"
 
 extern char** environ;
@@ -38,15 +41,40 @@ TileWorkerPool::TileWorkerPool(WorkerPoolConfig config) : config_(std::move(conf
   if (config_.worker_bin.empty()) {
     throw std::invalid_argument("TileWorkerPool: worker_bin must be set");
   }
+  if (std::isnan(config_.backoff_base_s) || std::isnan(config_.backoff_max_s)) {
+    throw std::invalid_argument("TileWorkerPool: backoff delays must not be NaN");
+  }
 }
 
-std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
-  std::vector<bool> ok(jobs.size(), false);
+double TileWorkerPool::backoff_delay(std::size_t tile, std::size_t attempt) const {
+  if (attempt <= 1 || config_.backoff_base_s <= 0) return 0.0;
+  // Exponent clamped well below overflow; the cap dominates long before it.
+  const int doublings = static_cast<int>(std::min<std::size_t>(attempt - 2, 48));
+  const double raw = config_.backoff_base_s * std::ldexp(1.0, doublings);
+  const double capped = std::min(std::max(config_.backoff_max_s, 0.0), raw);
+  // Full-avalanche hash of (seed, tile, attempt) -> 53-bit fraction in
+  // [0, 1); jitter scales the capped delay into [1x, 1.5x).
+  const std::uint64_t word = support::mix64(
+      config_.jitter_seed ^ (static_cast<std::uint64_t>(tile) * 0x9e3779b97f4a7c15ull) ^
+      (static_cast<std::uint64_t>(attempt) << 48));
+  const double fraction = static_cast<double>(word >> 11) * 0x1.0p-53;
+  return capped * (1.0 + 0.5 * fraction);
+}
+
+WorkerRunReport TileWorkerPool::run_report(const std::vector<WorkerJob>& jobs) {
+  WorkerRunReport report;
+  report.ok.assign(jobs.size(), false);
+  std::vector<bool>& ok = report.ok;
   std::vector<std::size_t> attempts(jobs.size(), 0);
-  std::vector<std::size_t> queue;  // job indices awaiting a slot, FIFO
-  queue.reserve(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) queue.push_back(j);
-  std::size_t next = 0;
+  // Jobs awaiting a slot; an entry is spawnable once its backoff expires.
+  struct Pending {
+    std::size_t job = 0;
+    support::WallClock::time_point ready;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(jobs.size());
+  const auto start = support::WallClock::now();
+  for (std::size_t j = 0; j < jobs.size(); ++j) pending.push_back({j, start});
   std::vector<Running> running;
   running.reserve(config_.workers);
 
@@ -80,9 +108,16 @@ std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
   const auto requeue_or_fail = [&](std::size_t j, const std::string& reason) {
     const std::string label = "tile " + std::to_string(jobs[j].tile) + ": " + reason;
     if (attempts[j] <= config_.retries) {
-      log(label + ", retrying (attempt " + std::to_string(attempts[j] + 1) + ")");
-      queue.push_back(j);
+      const double delay = backoff_delay(jobs[j].tile, attempts[j] + 1);
+      report.attempts.push_back({jobs[j].tile, attempts[j], false, delay, reason});
+      log(label + ", retrying in " + std::to_string(delay) + " s (attempt " +
+          std::to_string(attempts[j] + 1) + ")");
+      const auto wait = std::chrono::duration_cast<support::WallClock::duration>(
+          std::chrono::duration<double>(delay));
+      pending.push_back({j, support::WallClock::now() + wait});
     } else {
+      report.attempts.push_back({jobs[j].tile, attempts[j], false, 0.0,
+                                 reason + " — gave up"});
       log(label + ", giving up after " + std::to_string(attempts[j]) +
           " attempt(s) — in-process fallback");
       // A killed or crashed final attempt can leave a partial result file
@@ -91,12 +126,22 @@ std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
     }
   };
 
-  while (next < queue.size() || !running.empty()) {
-    while (running.size() < config_.workers && next < queue.size()) {
-      const std::size_t j = queue[next++];
+  while (!pending.empty() || !running.empty()) {
+    const auto now = support::WallClock::now();
+    for (std::size_t p = 0; p < pending.size() && running.size() < config_.workers;) {
+      if (pending[p].ready > now) {
+        ++p;
+        continue;
+      }
+      const std::size_t j = pending[p].job;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(p));
       if (!spawn_job(j)) requeue_or_fail(j, "spawn failure");
     }
-    if (running.empty()) continue;
+    if (running.empty()) {
+      // Everything left is backing off: sleep until the earliest entry.
+      if (!pending.empty()) ::usleep(2000);
+      continue;
+    }
 
     bool reaped = false;
     for (std::size_t r = 0; r < running.size();) {
@@ -115,6 +160,7 @@ std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
         } else if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
           if (file_exists(jobs[j].result_path)) {
             ok[j] = true;
+            report.attempts.push_back({jobs[j].tile, attempts[j], true, 0.0, "ok"});
           } else {
             requeue_or_fail(j, "worker exited 0 without writing a result");
           }
@@ -150,7 +196,11 @@ std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
       ::usleep(2000);
     }
   }
-  return ok;
+  return report;
+}
+
+std::vector<bool> TileWorkerPool::run(const std::vector<WorkerJob>& jobs) {
+  return run_report(jobs).ok;
 }
 
 }  // namespace trimcaching::sim

@@ -10,9 +10,18 @@
 // pool never throws on worker failure — a failed job is simply reported, and
 // the caller (ScenarioTiler) falls back to an in-process solve with the same
 // counter-based tile seed, so one bad tile never kills or perturbs the run.
+//
+// Retries back off exponentially: attempt a of a tile waits
+// min(backoff_max_s, backoff_base_s * 2^(a-1)) scaled by a deterministic
+// jitter in [1, 1.5) derived from mix64(jitter_seed, tile, attempt) — the
+// delay sequence is a pure function of the config, never of wall-clock
+// noise, so a flapping worker binary cannot make two runs diverge in how
+// hard they hammer it. Every attempt (spawned or given up) is recorded in a
+// WorkerRunReport attempt log that the caller can surface for post-mortems.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -30,8 +39,34 @@ struct WorkerPoolConfig {
   std::string worker_bin;       ///< path to the trimcaching_worker binary
   double timeout_s = 0.0;       ///< per-attempt wall timeout; <= 0 = none
   std::size_t retries = 1;      ///< respawns after a crash/timeout, per job
+  /// First retry delay; retry a of a tile waits
+  /// min(backoff_max_s, backoff_base_s * 2^(a-1)) * jitter. <= 0 disables
+  /// backoff (immediate requeue, the pre-backoff behavior).
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;   ///< exponential growth cap (pre-jitter)
+  /// Seed of the deterministic retry jitter, mixed with (tile, attempt).
+  std::uint64_t jitter_seed = 0x7e71e5u;
   /// Optional failure log sink ("tile 3: worker killed by signal 9, retrying").
   std::function<void(const std::string&)> log;
+};
+
+/// One completed worker attempt, success or failure, in completion order.
+struct TileAttempt {
+  std::size_t tile = 0;     ///< WorkerJob::tile of the attempt
+  std::size_t attempt = 0;  ///< 1-based attempt number for that tile
+  bool ok = false;          ///< worker exited 0 and wrote its result
+  /// Backoff scheduled before the *next* attempt of this tile (0 when the
+  /// attempt succeeded or the pool gave up).
+  double backoff_s = 0.0;
+  std::string outcome;      ///< "ok" or the failure reason
+};
+
+struct WorkerRunReport {
+  /// One flag per job, in job order: true when a worker exited 0 and wrote
+  /// its result file (content validation stays with the caller).
+  std::vector<bool> ok;
+  /// Every attempt made, in completion order (fault post-mortem trail).
+  std::vector<TileAttempt> attempts;
 };
 
 class TileWorkerPool {
@@ -39,9 +74,17 @@ class TileWorkerPool {
   explicit TileWorkerPool(WorkerPoolConfig config);
 
   /// Runs every job through the pool; blocks until all finish or fail
-  /// permanently. Returns one flag per job: true when a worker exited 0 and
-  /// wrote its result file (content validation stays with the caller).
+  /// permanently. Returns the per-job success flags plus the full attempt
+  /// log (retries, backoff delays, failure reasons).
+  [[nodiscard]] WorkerRunReport run_report(const std::vector<WorkerJob>& jobs);
+
+  /// run_report without the attempt log, for callers that only need flags.
   [[nodiscard]] std::vector<bool> run(const std::vector<WorkerJob>& jobs);
+
+  /// Deterministic pre-spawn delay of retry `attempt` (1-based; attempt 1 is
+  /// the initial try and never waits): exponential-with-cap times a jitter
+  /// in [1, 1.5) that depends only on (jitter_seed, tile, attempt).
+  [[nodiscard]] double backoff_delay(std::size_t tile, std::size_t attempt) const;
 
  private:
   WorkerPoolConfig config_;

@@ -123,7 +123,8 @@ struct ScratchCleanup {
 void solve_tiles_distributed(const ScenarioTiler& tiler, const TilerConfig& config,
                              const std::string& solver_spec,
                              const support::Rng& master, double time_budget_s,
-                             std::vector<std::optional<TileStitch>>& stitches) {
+                             std::vector<std::optional<TileStitch>>& stitches,
+                             std::vector<TileAttempt>& attempt_log) {
   const std::string worker_bin = resolve_worker_bin(config);
   const ScratchDir scratch = resolve_scratch_dir(config);
   const std::vector<Tile>& tiles = tiler.tiles();
@@ -160,7 +161,9 @@ void solve_tiles_distributed(const ScenarioTiler& tiler, const TilerConfig& conf
     std::fprintf(stderr, "[tiler/workers] %s\n", message.c_str());
   };
   TileWorkerPool pool(pool_config);
-  const std::vector<bool> ok = pool.run(jobs);
+  WorkerRunReport report = pool.run_report(jobs);
+  const std::vector<bool>& ok = report.ok;
+  attempt_log = std::move(report.attempts);
 
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const std::size_t t = jobs[j].tile;
@@ -325,9 +328,10 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
   const auto start = support::WallClock::now();
   const support::Rng master(seed);
   std::vector<std::optional<TileStitch>> stitches(tiles_.size());
+  std::vector<TileAttempt> worker_attempts;
   if (config_.workers > 0) {
     solve_tiles_distributed(*this, config_, solver_spec, master, time_budget_s,
-                            stitches);
+                            stitches, worker_attempts);
   } else {
     support::parallel_for(tiles_.size(), threads, [&](std::size_t t) {
       const Tile& tile = tiles_[t];
@@ -346,6 +350,7 @@ TiledSolveResult ScenarioTiler::solve(const std::string& solver_spec,
 
   TiledSolveResult result{core::PlacementSolution(
       scenario_->topology.num_servers(), scenario_->library.num_models())};
+  result.worker_attempts = std::move(worker_attempts);
   // Tile-index-order stitch: server sets are disjoint, so placements never
   // conflict and the merge is exact.
   for (std::size_t t = 0; t < tiles_.size(); ++t) {

@@ -64,6 +64,7 @@
 #include "src/sim/evaluator.h"
 #include "src/sim/placement_repair.h"
 #include "src/sim/scenario.h"
+#include "src/sim/tile_worker_pool.h"
 
 namespace trimcaching::sim {
 
@@ -138,6 +139,10 @@ struct TiledSolveResult {
   std::size_t duplicates_evicted = 0;
   std::size_t repair_additions = 0;
   double repair_wall_seconds = 0.0;
+  /// Worker-pool attempt log (workers=N only; empty otherwise): every spawn
+  /// outcome in completion order, with the exponential-backoff delay
+  /// scheduled before each retry — the post-mortem trail for flaky workers.
+  std::vector<TileAttempt> worker_attempts = {};
 };
 
 class ScenarioTiler {

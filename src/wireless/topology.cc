@@ -144,14 +144,31 @@ void NetworkTopology::refresh_links_partial(const std::vector<UserId>& dirty) {
     if (!all_dirty && recompute) ++next_dirty;
     if (recompute) {
       for (const ServerId m : covering_[k]) {
+        scratch_flat_.push_back(m);
+        // Availability view: a down server's links are dead (zero bandwidth,
+        // SNR and rate) — it cannot deliver or relay anything.
+        if (!available_.empty() && available_[m] == 0) {
+          scratch_bandwidth_.push_back(0.0);
+          scratch_snr_.push_back(0.0);
+          scratch_rate_.push_back(0.0);
+          continue;
+        }
         const double bw = scratch_server_bw_[m];
         const double pw = scratch_server_pw_[m];
         const double d = distance(server_pos_[m], user_pos_[k]);
         const double noise = radio_.channel.effective_noise_psd() * bw;
-        scratch_flat_.push_back(m);
+        double snr = bw > 0 ? pw * path_gain(radio_.channel, d) / noise : 0.0;
+        double rate = shannon_rate(radio_.channel, bw, pw, d);
+        const double derate = snr_derating_.empty() ? 1.0 : snr_derating_[m];
+        if (derate < 1.0) {
+          // Degraded link: the rate recomputes from the derated SNR; the
+          // un-derated path above stays bit-identical to the maskless build.
+          snr *= derate;
+          rate = bw > 0 ? bw * std::log2(1.0 + snr) : 0.0;
+        }
         scratch_bandwidth_.push_back(bw);
-        scratch_snr_.push_back(bw > 0 ? pw * path_gain(radio_.channel, d) / noise : 0.0);
-        scratch_rate_.push_back(shannon_rate(radio_.channel, bw, pw, d));
+        scratch_snr_.push_back(snr);
+        scratch_rate_.push_back(rate);
       }
     } else {
       // Clean span: the user did not move and none of its servers changed
@@ -297,6 +314,35 @@ void NetworkTopology::set_compute_capacities(std::vector<double> capacities) {
     }
   }
   compute_capacities_ = std::move(capacities);
+}
+
+void NetworkTopology::set_availability(std::vector<char> up,
+                                       std::vector<double> snr_derating) {
+  if (!up.empty() && up.size() != num_servers()) {
+    throw std::invalid_argument(
+        "NetworkTopology::set_availability: mask size mismatch with servers");
+  }
+  if (!snr_derating.empty()) {
+    if (snr_derating.size() != num_servers()) {
+      throw std::invalid_argument(
+          "NetworkTopology::set_availability: derating size mismatch with servers");
+    }
+    for (const double f : snr_derating) {
+      if (std::isnan(f) || f < 0 || f > 1) {
+        throw std::invalid_argument(
+            "NetworkTopology::set_availability: derating factors must be in [0, 1]");
+      }
+    }
+  }
+  available_ = std::move(up);
+  snr_derating_ = std::move(snr_derating);
+  // Full link-view recompute under the new mask; association is untouched
+  // (the mask is a delivery view, not a deployment change), but consumers of
+  // the rates must rebuild, so this counts as a full-revision change.
+  const std::uint64_t from = revision_;
+  refresh_links_partial({});
+  ++revision_;
+  last_delta_ = TopologyDelta{from, revision_, true, {}};
 }
 
 bool NetworkTopology::is_associated(ServerId m, UserId k) const {

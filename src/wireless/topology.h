@@ -106,6 +106,38 @@ class NetworkTopology {
   /// be >= 0; +inf marks an individually unconstrained server.
   void set_compute_capacities(std::vector<double> capacities);
 
+  // ---- Availability / degraded-rate view (fault re-scoring) ---------------
+  //
+  // A snapshot of a fault state (sim/fault_model.h): a *down* server's links
+  // carry zero bandwidth/SNR/rate — it can neither deliver directly nor act
+  // as the relay hop of another holder — and an up server's link SNR is
+  // multiplied by its derating factor before the rate recomputes. The mask
+  // is purely a delivery view: association stays geometric (a down server
+  // keeps its members, so surviving shares do not redistribute) and the
+  // placement is NOT masked here — callers scoring a placement under the
+  // mask must also drop the models held by down servers, or a dead holder
+  // could still source backhaul relays (see sim::score_under_outages).
+
+  /// Installs the availability mask (empty = everything up) and optional
+  /// per-server SNR derating factors in [0, 1] (empty = no derating). Sizes
+  /// must match num_servers() when non-empty; NaN or out-of-range values
+  /// throw std::invalid_argument. Recomputes the link views and bumps
+  /// revision(), so cached plans rebuild. With no mask and no derating the
+  /// recomputed views are bit-identical to the unmasked topology.
+  void set_availability(std::vector<char> up, std::vector<double> snr_derating = {});
+  /// True when no mask is installed (every server up, no derating).
+  [[nodiscard]] bool fully_available() const noexcept {
+    return available_.empty() && snr_derating_.empty();
+  }
+  /// Server m is up under the current mask (true when no mask is set).
+  [[nodiscard]] bool available(ServerId m) const {
+    if (available_.empty()) {
+      if (m >= server_pos_.size()) throw std::out_of_range("NetworkTopology::available");
+      return true;
+    }
+    return available_.at(m) != 0;
+  }
+
   /// Servers covering user k (the paper's M_k), ascending order.
   [[nodiscard]] const std::vector<ServerId>& servers_covering(UserId k) const {
     return covering_.at(k);
@@ -219,6 +251,8 @@ class NetworkTopology {
   std::vector<Point> user_pos_;
   std::vector<support::Bytes> capacities_;
   std::vector<double> compute_capacities_;  // empty = unlimited
+  std::vector<char> available_;             // empty = all up
+  std::vector<double> snr_derating_;        // empty = no derating
 
   std::vector<std::vector<ServerId>> covering_;    // per user
   std::vector<std::vector<UserId>> associated_;    // per server

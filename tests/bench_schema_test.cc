@@ -61,6 +61,9 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
   full.p99_ms = 950.0;
   full.served_rps = 1250.0;
   full.peak_rss_mb = 640.0;
+  full.failovers = 42.0;
+  full.aborted = 7.0;
+  full.rewarm_s = 12.5;
   write_bench_json(path, {full});
 
   const std::set<std::string> expected = {
@@ -68,7 +71,8 @@ TEST(BenchJsonSchema, WriterEmitsExactlyTheLockedKeySet) {
       "name",    "wall_seconds",      "throughput",       "threads",
       "speedup_vs_serial", "hit_ratio", "duplication_factor",
       "plan_rebuilds", "plan_deltas", "plan_update_speedup",
-      "p50_ms", "p95_ms", "p99_ms", "served_rps", "peak_rss_mb"};
+      "p50_ms", "p95_ms", "p99_ms", "served_rps", "peak_rss_mb",
+      "failovers", "aborted", "rewarm_s"};
   EXPECT_EQ(keys_in(slurp(path)), expected);
 
   // Optional columns disappear when not recorded; required ones never do.
@@ -101,6 +105,9 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   full.p99_ms = 950.0;
   full.served_rps = 1250.0;
   full.peak_rss_mb = 640.0;
+  full.failovers = 42.0;
+  full.aborted = 7.0;
+  full.rewarm_s = 12.5;
   JsonRecord minimal;
   minimal.name = "kernel_minimal";
   minimal.wall_seconds = 0.125;
@@ -123,6 +130,9 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_DOUBLE_EQ(f.p99_ms, 950.0);
   EXPECT_DOUBLE_EQ(f.served_rps, 1250.0);
   EXPECT_DOUBLE_EQ(f.peak_rss_mb, 640.0);
+  EXPECT_DOUBLE_EQ(f.failovers, 42.0);
+  EXPECT_DOUBLE_EQ(f.aborted, 7.0);
+  EXPECT_DOUBLE_EQ(f.rewarm_s, 12.5);
   const JsonRecord& m = records.at("kernel_minimal");
   EXPECT_DOUBLE_EQ(m.wall_seconds, 0.125);
   // Absent optional columns keep their "not recorded" defaults.
@@ -137,6 +147,9 @@ TEST(BenchJsonSchema, ReaderRoundTripsValuesAndDefaults) {
   EXPECT_LT(m.p99_ms, 0.0);
   EXPECT_LT(m.served_rps, 0.0);
   EXPECT_LT(m.peak_rss_mb, 0.0);
+  EXPECT_LT(m.failovers, 0.0);
+  EXPECT_LT(m.aborted, 0.0);
+  EXPECT_LT(m.rewarm_s, 0.0);
 }
 
 TEST(BenchJsonSchema, MergePreservesForeignRecordsAndOverwritesByName) {
@@ -273,6 +286,27 @@ TEST(BenchJsonSchema, CommittedServingBaselineMatchesTheLock) {
     EXPECT_GT(records.at("fig9_serving_" + load + "_lru").hit_ratio, fixed) << load;
     EXPECT_GT(records.at("fig9_serving_" + load + "_ewma").hit_ratio, fixed) << load;
   }
+  // The outage-storm leg: both fault records carry the failure columns
+  // (failover routing engaged, a worst degradation window was recorded) and
+  // the reactive policy measured a re-warm transient. Fault-free records
+  // never carry the failure columns — the schema stays byte-identical for
+  // them.
+  for (const std::string base : {"static", "lru"}) {
+    const std::string name = "fig9_serving_faults_" + base;
+    ASSERT_TRUE(records.count(name)) << "baseline is missing " << name;
+    const JsonRecord& record = records.at(name);
+    EXPECT_GE(record.hit_ratio, 0.0) << name;
+    EXPECT_GT(record.failovers, 0.0) << name;
+    EXPECT_GE(record.aborted, 0.0) << name;
+    const std::string trough_name = name + "_worst_window";
+    ASSERT_TRUE(records.count(trough_name)) << "baseline is missing " << trough_name;
+    const JsonRecord& trough = records.at(trough_name);
+    EXPECT_GE(trough.hit_ratio, 0.0) << trough_name;
+    EXPECT_LE(trough.hit_ratio, record.hit_ratio) << trough_name;
+  }
+  EXPECT_GT(records.at("fig9_serving_faults_lru").rewarm_s, 0.0);
+  EXPECT_LT(records.at("fig9_serving_10rps_lru").failovers, 0.0)
+      << "a fault-free record must not carry the failure columns";
 }
 
 TEST(BenchJsonSchema, CommittedMicroBaselineMatchesTheLock) {

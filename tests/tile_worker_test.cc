@@ -16,6 +16,7 @@
 // whole suite skips when it is absent (manual runs outside ctest).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <sys/stat.h>
@@ -134,6 +135,25 @@ TEST(TileWorkers, SigkilledWorkerIsRetriedTransparently) {
   ::rmdir(marker_dir.c_str());
   EXPECT_EQ(markers, remote.tiles_solved);
   expect_bit_identical(reference, remote);
+
+  // The attempt log surfaces the whole story: one failed attempt per solved
+  // tile (with a positive backoff scheduled before its retry) followed by a
+  // successful one.
+  std::size_t failures = 0;
+  std::size_t successes = 0;
+  for (const TileAttempt& attempt : remote.worker_attempts) {
+    if (attempt.ok) {
+      ++successes;
+      EXPECT_EQ(attempt.backoff_s, 0.0) << "tile " << attempt.tile;
+      EXPECT_EQ(attempt.outcome, "ok") << "tile " << attempt.tile;
+    } else {
+      ++failures;
+      EXPECT_GT(attempt.backoff_s, 0.0)
+          << "tile " << attempt.tile << ": retry scheduled without backoff";
+    }
+  }
+  EXPECT_EQ(successes, remote.tiles_solved);
+  EXPECT_EQ(failures, remote.tiles_solved);
 }
 
 TEST(TileWorkers, AlwaysCrashingWorkerFallsBackInProcess) {
@@ -150,6 +170,62 @@ TEST(TileWorkers, AlwaysCrashingWorkerFallsBackInProcess) {
   const auto remote = distributed.solve("gen", 31);
   ::unsetenv("TRIMCACHING_WORKER_CRASH_ALWAYS");
   expect_bit_identical(reference, remote);
+
+  // Every attempt failed (initial + one retry per tile), and each tile's
+  // final attempt records the give-up before the in-process fallback ran.
+  EXPECT_EQ(remote.worker_attempts.size(), remote.tiles_solved * 2);
+  std::size_t gave_up = 0;
+  for (const TileAttempt& attempt : remote.worker_attempts) {
+    EXPECT_FALSE(attempt.ok) << "tile " << attempt.tile;
+    if (attempt.outcome.find("gave up") != std::string::npos) ++gave_up;
+  }
+  EXPECT_EQ(gave_up, remote.tiles_solved);
+}
+
+TEST(TileWorkerBackoff, DelaysAreDeterministicCappedAndJittered) {
+  // backoff_delay is a pure function of (config, tile, attempt): the initial
+  // attempt never waits, retries grow exponentially from backoff_base_s to
+  // the backoff_max_s cap, and the deterministic jitter keeps every delay
+  // inside [1x, 1.5x) of its capped base.
+  WorkerPoolConfig config;
+  config.worker_bin = "/bin/true";
+  config.backoff_base_s = 0.05;
+  config.backoff_max_s = 2.0;
+  const TileWorkerPool pool(config);
+  const TileWorkerPool clone(config);
+  EXPECT_EQ(pool.backoff_delay(0, 1), 0.0);
+  EXPECT_EQ(pool.backoff_delay(7, 1), 0.0);
+  for (const std::size_t tile : {std::size_t{0}, std::size_t{3}, std::size_t{17}}) {
+    double previous_base = 0.0;
+    for (std::size_t attempt = 2; attempt <= 10; ++attempt) {
+      const double base = std::min(
+          2.0, 0.05 * static_cast<double>(std::size_t{1} << (attempt - 2)));
+      const double delay = pool.backoff_delay(tile, attempt);
+      EXPECT_GE(delay, base) << "tile " << tile << " attempt " << attempt;
+      EXPECT_LT(delay, base * 1.5) << "tile " << tile << " attempt " << attempt;
+      // Same config => bit-equal delays; growth is monotone until the cap.
+      EXPECT_EQ(delay, clone.backoff_delay(tile, attempt));
+      EXPECT_GE(base, previous_base);
+      previous_base = base;
+    }
+  }
+  // A different jitter seed moves the delays (same capped bases).
+  WorkerPoolConfig reseeded = config;
+  reseeded.jitter_seed = 0xdecafbad;
+  const TileWorkerPool other(reseeded);
+  bool any_differs = false;
+  for (std::size_t attempt = 2; attempt <= 6; ++attempt) {
+    if (other.backoff_delay(3, attempt) != pool.backoff_delay(3, attempt)) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+  // backoff_base_s <= 0 disables the backoff entirely.
+  WorkerPoolConfig disabled = config;
+  disabled.backoff_base_s = 0.0;
+  const TileWorkerPool immediate(disabled);
+  EXPECT_EQ(immediate.backoff_delay(3, 2), 0.0);
+  EXPECT_EQ(immediate.backoff_delay(3, 9), 0.0);
 }
 
 TEST(TileWorkers, StalledWorkerHitsTimeoutAndFallsBack) {

@@ -37,6 +37,18 @@
 //   arrivals             per-user req/s for the serving replay, 0=off (0)
 //   policy               serving cache policy for the replay:
 //                        static | lru | ewma[:tau_s=60] | priority (static)
+//   faults               fraction of failure-prone servers for deterministic
+//                        fault injection in the serving replay, 0=off (0);
+//                        prone servers alternate exponential up/down episodes
+//   mtbf                 mean up time between outages in seconds (120);
+//                        only read when faults > 0
+//   mttr                 mean outage length in seconds (30); only read when
+//                        faults > 0
+//   availability         per-server up probability for placement scoring
+//                        under random outages (sim::score_under_outages);
+//                        1 = skip the availability report (1)
+//   outage_samples       Monte-Carlo outage masks for the availability
+//                        report (32)
 //   tiles                solve through ScenarioTiler on an NxN spatial
 //                        grid, 0 = untiled (0); servers stay tile-disjoint,
 //                        boundary users ride along in halo tiles, hit
@@ -57,6 +69,7 @@
 //   scratch_dir          directory for the tile view/result files handed to
 //                        workers; empty = a mkdtemp'd dir under $TMPDIR,
 //                        removed afterwards ("")
+#include <cmath>
 #include <iostream>
 #include <optional>
 #include <vector>
@@ -66,6 +79,7 @@
 #include "src/serve/engine.h"
 #include "src/sim/evaluator.h"
 #include "src/sim/experiment.h"
+#include "src/sim/fault_model.h"
 #include "src/sim/scenario.h"
 #include "src/sim/tiler.h"
 #include "src/support/options.h"
@@ -89,9 +103,17 @@ std::vector<std::string> split_specs(const std::string& text) {
   return specs;
 }
 
+/// Availability report settings (availability= / outage_samples= knobs);
+/// availability = 1 skips the report entirely.
+struct AvailabilityKnobs {
+  double availability = 1.0;
+  std::size_t samples = 32;
+};
+
 void report(const core::Solver& solver, const core::SolverOutcome& outcome,
             const sim::Scenario& scenario, const sim::Evaluator& evaluator,
             const support::Options& options, std::size_t threads,
+            const sim::FaultSchedule* faults, const AvailabilityKnobs& avail,
             support::Rng& rng) {
   std::cout << solver.title() << " [" << solver.name() << "]:\n"
             << "  expected hit ratio: "
@@ -121,6 +143,7 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
     serving.policy = options.get_string("policy", "static");
     serving.threads = threads;
     serving.compute_slots = options.get_size("compute_slots", 0);
+    serving.faults = faults;
     const auto replay =
         serve::simulate_serving(scenario.topology, scenario.library,
                                 scenario.requests, outcome.placement, serving, rng);
@@ -135,6 +158,25 @@ void report(const core::Solver& solver, const core::SolverOutcome& outcome,
                 << " served from the cloud (" << serving.compute_slots
                 << " slots/server)\n";
     }
+    if (faults != nullptr) {
+      std::cout << "  failure summary:    " << replay.totals.outages << " outages / "
+                << replay.totals.recoveries << " recoveries, " << replay.totals.failovers
+                << " arrivals failed over, " << replay.totals.failed_over
+                << " in-flight failed over, " << replay.totals.aborted << " aborted, "
+                << replay.totals.rewarms << " cache re-warms (mean "
+                << replay.mean_rewarm_s << " s)\n";
+    }
+  }
+  if (avail.availability < 1.0) {
+    // Counter-based draws: every solver is scored under identical outage
+    // masks (rng is not advanced).
+    const sim::AvailabilityScore score = sim::score_under_outages(
+        scenario.topology, scenario.library, scenario.requests, outcome.placement,
+        avail.availability, avail.samples, rng);
+    std::cout << "  availability score: expected " << score.expected_hit_ratio
+              << ", worst " << score.worst_hit_ratio << ", nominal "
+              << score.nominal_hit_ratio << " (availability " << avail.availability
+              << ", " << avail.samples << " outage masks)\n";
   }
 }
 
@@ -147,8 +189,9 @@ int main(int argc, char** argv) {
                            "models", "requested", "zipf", "compute", "infer_cost",
                            "compute_slots", "algo", "local_search",
                            "time_budget_s", "seed", "fading", "threads", "arrivals",
-                           "policy", "save_library", "save_placement", "tiles",
-                           "tile_halo_m",
+                           "policy", "faults", "mtbf", "mttr", "availability",
+                           "outage_samples", "save_library", "save_placement",
+                           "tiles", "tile_halo_m",
                            "repair", "repair_tol", "workers", "worker_bin",
                            "scratch_dir"});
 
@@ -212,6 +255,38 @@ int main(int argc, char** argv) {
 
     const std::size_t threads = support::resolve_threads(sim::threads_option(options));
 
+    // Fault-injection knobs, validated before any expensive work: NaN and
+    // out-of-range values get a targeted diagnostic, mirroring compute=.
+    const double faults = options.get_double("faults", 0.0);
+    if (std::isnan(faults) || faults < 0 || faults > 1) {
+      throw std::invalid_argument(
+          "faults: must be in [0, 1] (fraction of failure-prone servers), got " +
+          std::to_string(faults));
+    }
+    const double mtbf = options.get_double("mtbf", 120.0);
+    const double mttr = options.get_double("mttr", 30.0);
+    if (faults > 0) {
+      if (std::isnan(mtbf) || mtbf <= 0) {
+        throw std::invalid_argument(
+            "mtbf: must be > 0 seconds when faults > 0, got " + std::to_string(mtbf));
+      }
+      if (std::isnan(mttr) || mttr <= 0) {
+        throw std::invalid_argument(
+            "mttr: must be > 0 seconds when faults > 0, got " + std::to_string(mttr));
+      }
+    }
+    AvailabilityKnobs avail;
+    avail.availability = options.get_double("availability", 1.0);
+    if (std::isnan(avail.availability) || avail.availability <= 0 ||
+        avail.availability > 1) {
+      throw std::invalid_argument("availability: must be in (0, 1], got " +
+                                  std::to_string(avail.availability));
+    }
+    avail.samples = options.get_size("outage_samples", 32);
+    if (avail.samples == 0) {
+      throw std::invalid_argument("outage_samples: must be >= 1");
+    }
+
     support::Rng rng(options.get_size("seed", 1));
     const sim::Scenario scenario = sim::build_scenario(config, rng);
     const auto lib_stats = scenario.library.stats();
@@ -242,6 +317,25 @@ int main(int argc, char** argv) {
     // reused across solvers.
     const sim::Evaluator evaluator(scenario.topology, scenario.library,
                                    scenario.requests);
+
+    // One fault schedule for the whole run (counter-based off the seed, so
+    // every solver's replay sees identical outages).
+    std::unique_ptr<sim::FaultSchedule> fault_schedule;
+    if (faults > 0) {
+      sim::FaultScheduleConfig fault_config;
+      fault_config.duration_s = serve::ServeConfig{}.duration_s;
+      fault_config.fault_fraction = faults;
+      fault_config.mtbf_s = mtbf;
+      fault_config.mttr_s = mttr;
+      fault_config.validate();
+      fault_schedule = std::make_unique<sim::FaultSchedule>(config.num_servers,
+                                                            fault_config, rng);
+      std::cout << "failure model: " << fault_schedule->faulty_servers() << "/"
+                << config.num_servers << " servers fault-prone, "
+                << fault_schedule->total_outages() << " outages, "
+                << fault_schedule->total_downtime_s() << " s total downtime (mtbf "
+                << mtbf << " s, mttr " << mttr << " s)\n\n";
+    }
 
     // Optional spatial tiling: servers partition onto an NxN grid, tiles
     // solve concurrently, and the stitched placement is scored globally.
@@ -312,7 +406,8 @@ int main(int argc, char** argv) {
         io::write_placement(path, outcome.placement);
         std::cout << solvers[s]->name() << " placement written to " << path << "\n";
       }
-      report(*solvers[s], outcome, scenario, evaluator, options, threads, rng);
+      report(*solvers[s], outcome, scenario, evaluator, options, threads,
+             fault_schedule.get(), avail, rng);
     }
     return 0;
   } catch (const std::exception& e) {
